@@ -1,0 +1,212 @@
+// Micro-benchmarks (google-benchmark) for the encoding substrate and the
+// Corra schemes: encode, full decode, point access, and selective gather
+// throughput. Not a paper figure — used to sanity-check that the O(1)
+// random-access claims behind the baseline choice hold.
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "core/diff_encoding.h"
+#include "core/hierarchical_encoding.h"
+#include "encoding/delta.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "encoding/rle.h"
+#include "query/selection_vector.h"
+
+namespace corra {
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+
+std::vector<int64_t> DateLikeValues(size_t n) {
+  Rng rng(42);
+  std::vector<int64_t> values(n);
+  for (auto& v : values) {
+    v = rng.Uniform(8035, 10591);
+  }
+  return values;
+}
+
+std::vector<int64_t> OffsetValues(const std::vector<int64_t>& base,
+                                  int64_t lo, int64_t hi) {
+  Rng rng(43);
+  std::vector<int64_t> values(base.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    values[i] = base[i] + rng.Uniform(lo, hi);
+  }
+  return values;
+}
+
+void BM_ForEncode(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  for (auto _ : state) {
+    auto column = enc::ForColumn::Encode(values).value();
+    benchmark::DoNotOptimize(column);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_ForEncode);
+
+void BM_ForDecodeAll(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  auto column = enc::ForColumn::Encode(values).value();
+  std::vector<int64_t> out(kRows);
+  for (auto _ : state) {
+    column->DecodeAll(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_ForDecodeAll);
+
+void BM_DictDecodeAll(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  auto column = enc::DictColumn::Encode(values).value();
+  std::vector<int64_t> out(kRows);
+  for (auto _ : state) {
+    column->DecodeAll(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_DictDecodeAll);
+
+// Point access: FOR is O(1); Delta pays its checkpoint scan. This is the
+// paper's argument for restricting the baseline to FOR/Dict.
+void BM_PointAccessFor(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  auto column = enc::ForColumn::Encode(values).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        column->Get(static_cast<size_t>(rng.Uniform(0, kRows - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointAccessFor);
+
+void BM_PointAccessDelta(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  auto column = enc::DeltaColumn::Encode(values).value();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        column->Get(static_cast<size_t>(rng.Uniform(0, kRows - 1))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointAccessDelta);
+
+void BM_GatherFor(benchmark::State& state) {
+  const auto values = DateLikeValues(kRows);
+  auto column = enc::ForColumn::Encode(values).value();
+  Rng rng(8);
+  const auto rows = query::GenerateSelectionVector(
+      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
+  std::vector<int64_t> out(rows.size());
+  for (auto _ : state) {
+    column->Gather(rows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * rows.size()));
+}
+BENCHMARK(BM_GatherFor)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_GatherDiff(benchmark::State& state) {
+  const auto reference = DateLikeValues(kRows);
+  const auto target = OffsetValues(reference, 1, 30);
+  auto ref_column = enc::ForColumn::Encode(reference).value();
+  auto diff_column =
+      DiffEncodedColumn::Encode(target, reference, 0).value();
+  const enc::EncodedColumn* refs[] = {ref_column.get()};
+  (void)diff_column->BindReferences(refs);
+  Rng rng(8);
+  const auto rows = query::GenerateSelectionVector(
+      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
+  std::vector<int64_t> out(rows.size());
+  for (auto _ : state) {
+    diff_column->Gather(rows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * rows.size()));
+}
+BENCHMARK(BM_GatherDiff)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_GatherDiffWithReference(benchmark::State& state) {
+  const auto reference = DateLikeValues(kRows);
+  const auto target = OffsetValues(reference, 1, 30);
+  auto ref_column = enc::ForColumn::Encode(reference).value();
+  auto diff_column =
+      DiffEncodedColumn::Encode(target, reference, 0).value();
+  const enc::EncodedColumn* refs[] = {ref_column.get()};
+  (void)diff_column->BindReferences(refs);
+  Rng rng(8);
+  const auto rows = query::GenerateSelectionVector(
+      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
+  std::vector<int64_t> ref_values(rows.size());
+  ref_column->Gather(rows, ref_values.data());
+  std::vector<int64_t> out(rows.size());
+  for (auto _ : state) {
+    diff_column->GatherWithReference(rows, ref_values.data(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * rows.size()));
+}
+BENCHMARK(BM_GatherDiffWithReference)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_HierarchicalGather(benchmark::State& state) {
+  Rng data_rng(9);
+  std::vector<int64_t> city(kRows);
+  std::vector<int64_t> zip(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    city[i] = data_rng.Uniform(0, 2499);
+    zip[i] = 10000 + city[i] * 30 + data_rng.Uniform(0, 29);
+  }
+  auto ref_column = enc::ForColumn::Encode(city).value();
+  auto hier_column = HierarchicalColumn::Encode(zip, city, 0).value();
+  const enc::EncodedColumn* refs[] = {ref_column.get()};
+  (void)hier_column->BindReferences(refs);
+  Rng rng(10);
+  const auto rows = query::GenerateSelectionVector(
+      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
+  std::vector<int64_t> out(rows.size());
+  for (auto _ : state) {
+    hier_column->Gather(rows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * rows.size()));
+}
+BENCHMARK(BM_HierarchicalGather)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_RleDecodeAll(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<int64_t> values(kRows);
+  int64_t current = 0;
+  size_t remaining = 0;
+  for (auto& v : values) {
+    if (remaining == 0) {
+      current = rng.Uniform(0, 100);
+      remaining = static_cast<size_t>(rng.Uniform(10, 200));
+    }
+    v = current;
+    --remaining;
+  }
+  auto column = enc::RleColumn::Encode(values).value();
+  std::vector<int64_t> out(kRows);
+  for (auto _ : state) {
+    column->DecodeAll(out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+}
+BENCHMARK(BM_RleDecodeAll);
+
+}  // namespace
+}  // namespace corra
+
+BENCHMARK_MAIN();

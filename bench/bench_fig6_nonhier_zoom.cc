@@ -1,0 +1,64 @@
+// Reproduces the paper's Fig. 6: absolute query latency of the
+// non-hierarchical encoding at selectivities {0.005, 0.01, 0.05, 0.1} on
+// TPC-H lineitem, including the "uncompressed" configuration.
+//
+// Expected shape: uncompressed < single-column < Corra when querying the
+// diff-encoded column alone; the gap (mostly) closes when querying both
+// columns, because the reference must be read anyway.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/tpch.h"
+#include "latency_common.h"
+
+namespace corra::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const size_t n = flags.rows > 0 ? flags.rows : kLatencyDefaultRows;
+  std::fprintf(stderr, "[fig6] lineitem pair: %zu rows\n", n);
+
+  auto table = datagen::MakeLineitemTable(n).value();
+  CompressionPlan plan = CompressionPlan::AllAuto(4);
+  plan.columns[2].auto_vertical = false;
+  plan.columns[2].scheme = enc::Scheme::kDiff;
+  plan.columns[2].reference = 1;
+  const Contenders contenders = BuildContenders(table, plan);
+
+  PrintHeader(
+      "Figure 6: non-hierarchical encoding zoom-in, absolute times "
+      "(ms per query, " +
+      std::to_string(n) + " rows per block)");
+  std::printf("%11s %12s | %13s %13s %13s | %13s %13s %13s\n",
+              "Selectivity", "", "uncompressed", "single-col", "Corra",
+              "uncompressed", "single-col", "Corra");
+  std::printf("%11s %12s | %41s | %41s\n", "", "",
+              "query on diff-encoded column", "query on both columns");
+  PrintRule();
+  Rng rng(1);
+  for (double selectivity : query::ZoomSelectivities()) {
+    const auto selections = query::GenerateSelectionVectors(
+        n, selectivity, flags.runs, &rng);
+    const PairTimes plain =
+        MeasurePair(contenders.uncompressed->block(0), 1, 2, selections);
+    const PairTimes base =
+        MeasurePair(contenders.baseline->block(0), 1, 2, selections);
+    const PairTimes ours =
+        MeasurePair(contenders.corra->block(0), 1, 2, selections);
+    std::printf(
+        "%11.3f %12s | %10.3f ms %10.3f ms %10.3f ms | %10.3f ms "
+        "%10.3f ms %10.3f ms\n",
+        selectivity, "", plain.target_only * 1e3, base.target_only * 1e3,
+        ours.target_only * 1e3, plain.both * 1e3, base.both * 1e3,
+        ours.both * 1e3);
+  }
+  PrintRule();
+  return 0;
+}
+
+}  // namespace
+}  // namespace corra::bench
+
+int main(int argc, char** argv) { return corra::bench::Run(argc, argv); }

@@ -1,0 +1,64 @@
+// Reproduces the paper's Fig. 7: absolute query latency of the
+// hierarchical encoding at selectivities {0.005, 0.01, 0.05, 0.1} on the
+// LDBC message (countryid, ip) pair, including "uncompressed".
+//
+// Expected shape: like Fig. 6, but the both-columns case retains a small
+// overhead — the un-prefetchable lookup into the flattened values array
+// is metadata the non-hierarchical scheme does not have.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datagen/ldbc.h"
+#include "latency_common.h"
+
+namespace corra::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  const size_t n = flags.rows > 0 ? flags.rows : kLatencyDefaultRows;
+  std::fprintf(stderr, "[fig7] ldbc pair: %zu rows\n", n);
+
+  auto table = datagen::MakeLdbcTable(n).value();
+  CompressionPlan plan = CompressionPlan::AllAuto(2);
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kHierarchical;
+  plan.columns[1].reference = 0;
+  const Contenders contenders = BuildContenders(table, plan);
+
+  PrintHeader(
+      "Figure 7: hierarchical encoding zoom-in, absolute times "
+      "(ms per query, " +
+      std::to_string(n) + " rows per block)");
+  std::printf("%11s %12s | %13s %13s %13s | %13s %13s %13s\n",
+              "Selectivity", "", "uncompressed", "single-col", "Corra",
+              "uncompressed", "single-col", "Corra");
+  std::printf("%11s %12s | %41s | %41s\n", "", "",
+              "query on diff-encoded column", "query on both columns");
+  PrintRule();
+  Rng rng(2);
+  for (double selectivity : query::ZoomSelectivities()) {
+    const auto selections = query::GenerateSelectionVectors(
+        n, selectivity, flags.runs, &rng);
+    const PairTimes plain =
+        MeasurePair(contenders.uncompressed->block(0), 0, 1, selections);
+    const PairTimes base =
+        MeasurePair(contenders.baseline->block(0), 0, 1, selections);
+    const PairTimes ours =
+        MeasurePair(contenders.corra->block(0), 0, 1, selections);
+    std::printf(
+        "%11.3f %12s | %10.3f ms %10.3f ms %10.3f ms | %10.3f ms "
+        "%10.3f ms %10.3f ms\n",
+        selectivity, "", plain.target_only * 1e3, base.target_only * 1e3,
+        ours.target_only * 1e3, plain.both * 1e3, base.both * 1e3,
+        ours.both * 1e3);
+  }
+  PrintRule();
+  return 0;
+}
+
+}  // namespace
+}  // namespace corra::bench
+
+int main(int argc, char** argv) { return corra::bench::Run(argc, argv); }

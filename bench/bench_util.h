@@ -1,0 +1,93 @@
+// Shared helpers for the paper-reproduction benchmarks: flag parsing,
+// size formatting/normalization, and a fixed-width table printer.
+//
+// Every bench accepts:
+//   --scale N   divide the paper's row count by N (default varies)
+//   --rows N    absolute row override (wins over --scale)
+//   --runs N    selection vectors per selectivity (default 10, as in
+//               the paper)
+
+#ifndef CORRA_BENCH_BENCH_UTIL_H_
+#define CORRA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace corra::bench {
+
+struct Flags {
+  size_t scale = 0;  // 0 = bench default.
+  size_t rows = 0;   // 0 = derive from scale.
+  size_t runs = 10;
+};
+
+inline Flags ParseFlags(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    auto value = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+        return argv[i] + len + 1;
+      }
+      if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+        return argv[++i];
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--scale")) {
+      flags.scale = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--rows")) {
+      flags.rows = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v = value("--runs")) {
+      flags.runs = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    }
+  }
+  return flags;
+}
+
+/// Rows to generate: --rows wins, then full_rows / --scale, then
+/// full_rows / default_scale.
+inline size_t ResolveRows(const Flags& flags, size_t full_rows,
+                          size_t default_scale) {
+  if (flags.rows > 0) {
+    return flags.rows;
+  }
+  const size_t scale = flags.scale > 0 ? flags.scale : default_scale;
+  return full_rows / scale;
+}
+
+inline double ToMb(size_t bytes) {
+  return static_cast<double>(bytes) / 1e6;
+}
+
+/// Scales a measured size at `actual_rows` to the paper's `full_rows`
+/// (per-row payloads scale exactly; metadata approximately — the caller
+/// should note when metadata dominates).
+inline double NormalizedMb(size_t bytes, size_t actual_rows,
+                           size_t full_rows) {
+  if (actual_rows == 0) {
+    return 0;
+  }
+  return ToMb(bytes) * static_cast<double>(full_rows) /
+         static_cast<double>(actual_rows);
+}
+
+inline void PrintRule(int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace corra::bench
+
+#endif  // CORRA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,127 @@
+// Shared setup for the latency benchmarks (paper Figs. 5-8): builds the
+// three competing configurations of a (reference, target) column pair —
+// uncompressed, best single-column baseline, and Corra — as single
+// self-contained blocks, and measures materializing queries over them.
+
+#ifndef CORRA_BENCH_LATENCY_COMMON_H_
+#define CORRA_BENCH_LATENCY_COMMON_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/corra_compressor.h"
+#include "query/latency.h"
+#include "query/scan.h"
+#include "query/selection_vector.h"
+
+namespace corra::bench {
+
+// Global sink defeating dead-code elimination of materialized values.
+inline volatile int64_t g_sink = 0;
+
+inline void Consume(const std::vector<int64_t>& values) {
+  int64_t acc = 0;
+  for (int64_t v : values) {
+    acc += v;
+  }
+  g_sink = g_sink + acc;
+}
+
+/// The three competing physical layouts of one logical table.
+struct Contenders {
+  std::optional<CompressedTable> uncompressed;
+  std::optional<CompressedTable> baseline;
+  std::optional<CompressedTable> corra;
+};
+
+/// Compresses `table` three ways with a single block covering all rows.
+/// `corra_plan` must already contain the horizontal assignments.
+inline Contenders BuildContenders(const Table& table,
+                                  CompressionPlan corra_plan) {
+  Contenders out;
+  CompressionPlan plain = CompressionPlan::AllPlain(table.num_columns());
+  plain.block_rows = table.num_rows();
+  CompressionPlan auto_plan = CompressionPlan::AllAuto(table.num_columns());
+  auto_plan.block_rows = table.num_rows();
+  corra_plan.block_rows = table.num_rows();
+  out.uncompressed.emplace(
+      CorraCompressor::Compress(table, plain).value());
+  out.baseline.emplace(
+      CorraCompressor::Compress(table, auto_plan).value());
+  out.corra.emplace(CorraCompressor::Compress(table, corra_plan).value());
+  return out;
+}
+
+/// Mean seconds to materialize the target column alone, and the
+/// (reference, target) pair, over the given selection vectors.
+struct PairTimes {
+  double target_only = 0;
+  double both = 0;
+};
+
+// Timed passes per configuration: one warm-up pass (cold caches would
+// otherwise penalize whichever contender runs first), then the minimum of
+// the timed passes (robust against scheduler noise). Small selections are
+// microsecond-scale, so they get more passes.
+inline int PassesForSelections(
+    const std::vector<std::vector<uint32_t>>& selections) {
+  const size_t rows =
+      selections.empty() ? 0 : selections.front().size();
+  if (rows < 10'000) {
+    return 9;
+  }
+  if (rows < 200'000) {
+    return 5;
+  }
+  return 2;
+}
+
+inline double MinOfPasses(
+    const std::vector<std::vector<uint32_t>>& selections,
+    const std::function<void(std::span<const uint32_t>)>& body) {
+  const int passes = PassesForSelections(selections);
+  double best = 0;
+  for (int pass = -1; pass < passes; ++pass) {
+    const double seconds = query::MeanRunSeconds(selections, body);
+    if (pass == -1) {
+      continue;  // Warm-up.
+    }
+    best = pass == 0 ? seconds : std::min(best, seconds);
+  }
+  return best;
+}
+
+inline PairTimes MeasurePair(
+    const Block& block, size_t ref_col, size_t target_col,
+    const std::vector<std::vector<uint32_t>>& selections) {
+  PairTimes times;
+  std::vector<int64_t> out_target;
+  std::vector<int64_t> out_ref;
+  times.target_only =
+      MinOfPasses(selections, [&](std::span<const uint32_t> rows) {
+        out_target.resize(rows.size());
+        query::ScanColumn(block, target_col, rows, out_target.data());
+        Consume(out_target);
+      });
+  times.both =
+      MinOfPasses(selections, [&](std::span<const uint32_t> rows) {
+        out_ref.resize(rows.size());
+        out_target.resize(rows.size());
+        query::ScanPair(block, ref_col, target_col, rows, out_ref.data(),
+                        out_target.data());
+        Consume(out_ref);
+        Consume(out_target);
+      });
+  return times;
+}
+
+/// Default rows for the latency benches: large enough that the packed
+/// columns exceed the last-level cache (the paper's 60M-row runs are
+/// memory-bound; a 1M-row block would be cache-resident and overstate
+/// Corra's relative overhead).
+inline constexpr size_t kLatencyDefaultRows = 4'000'000;
+
+}  // namespace corra::bench
+
+#endif  // CORRA_BENCH_LATENCY_COMMON_H_

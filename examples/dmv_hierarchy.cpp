@@ -1,0 +1,68 @@
+// DMV registrations: hierarchical encoding of (city -> zip_code) and
+// (state -> city), with string dictionaries travelling inside the
+// self-contained blocks. Demonstrates Alg. 1's decompression path and
+// rendering logical values back to text.
+//
+// Run: ./dmv_hierarchy [rows]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/corra_compressor.h"
+#include "datagen/dmv.h"
+#include "query/scan.h"
+#include "query/selection_vector.h"
+
+int main(int argc, char** argv) {
+  using namespace corra;
+
+  const size_t rows =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1000000;
+  std::printf("generating %zu DMV registrations...\n", rows);
+  auto table = datagen::MakeDmvTableFromCodes(rows).value();
+
+  CompressionPlan plan = CompressionPlan::AllAuto(3);
+  plan.columns[1].auto_vertical = false;  // city w.r.t. state
+  plan.columns[1].scheme = enc::Scheme::kHierarchical;
+  plan.columns[1].reference = 0;
+  plan.columns[2].auto_vertical = false;  // zip w.r.t. city
+  plan.columns[2].scheme = enc::Scheme::kHierarchical;
+  plan.columns[2].reference = 1;
+
+  auto corra = CorraCompressor::Compress(table, plan).value();
+  auto baseline =
+      CorraCompressor::Compress(table, CompressionPlan::AllAuto(3)).value();
+
+  std::printf("\n%-10s %14s %14s %9s\n", "column", "baseline", "Corra",
+              "saving");
+  for (size_t c = 0; c < 3; ++c) {
+    const size_t b = baseline.ColumnSizeBytes(c);
+    const size_t k = corra.ColumnSizeBytes(c);
+    std::printf("%-10s %12zu B %12zu B %8.1f%%\n",
+                table.column(c).name().c_str(), b, k,
+                100.0 * (1.0 - static_cast<double>(k) /
+                                   static_cast<double>(b)));
+  }
+
+  // Serialize block 0, reload, and render a few sampled registrations
+  // through the reloaded string dictionaries (full self-containment).
+  const auto bytes = corra.block(0).Serialize();
+  auto block = Block::Deserialize(bytes, /*verify=*/true).value();
+  Rng rng(3);
+  const auto sample =
+      query::GenerateSelectionVector(block.rows(), 10.0 / block.rows(),
+                                     &rng);
+  std::printf("\nsampled registrations (decoded from serialized bytes):\n");
+  for (uint32_t row : sample) {
+    const auto* state_dict = block.dictionary(0);
+    const auto* city_dict = block.dictionary(1);
+    const int64_t state_code = block.column(0).Get(row);
+    const int64_t city_code = block.column(1).Get(row);
+    const int64_t zip = block.column(2).Get(row);
+    std::printf("  row %8u: %s, %-18s %05lld\n", row,
+                std::string((*state_dict)[state_code]).c_str(),
+                std::string((*city_dict)[city_code]).c_str(),
+                static_cast<long long>(zip));
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "common/bit_stream.h"
+
+#include "common/bit_util.h"
+
+namespace corra {
+
+BitWriter::BitWriter(int bit_width) : bit_width_(bit_width) {}
+
+void BitWriter::Append(uint64_t value) {
+  ++count_;
+  if (bit_width_ == 0) {
+    return;
+  }
+  pending_ |= value << pending_bits_;
+  pending_bits_ += bit_width_;
+  if (pending_bits_ >= 64) {
+    // Flush a full 64-bit word; carry the overflow bits.
+    uint64_t word = pending_;
+    const size_t old = bytes_.size();
+    bytes_.resize(old + 8);
+    std::memcpy(bytes_.data() + old, &word, 8);
+    pending_bits_ -= 64;
+    const int consumed = bit_width_ - pending_bits_;
+    pending_ = consumed >= 64 ? 0 : value >> consumed;
+  }
+}
+
+void BitWriter::AppendAll(std::span<const uint64_t> values) {
+  for (uint64_t v : values) {
+    Append(v);
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() && {
+  if (bit_width_ > 0) {
+    while (pending_bits_ > 0) {
+      bytes_.push_back(static_cast<uint8_t>(pending_ & 0xFF));
+      pending_ >>= 8;
+      pending_bits_ -= 8;
+    }
+  }
+  // Pad so BitReader::Get can always issue a full 64-bit load.
+  const size_t padded = bit_util::PackedBytes(count_, bit_width_);
+  bytes_.resize(padded, 0);
+  return std::move(bytes_);
+}
+
+void BitReader::DecodeAll(uint64_t* out) const {
+  if (bit_width_ == 0) {
+    std::memset(out, 0, count_ * sizeof(uint64_t));
+    return;
+  }
+  if (bit_width_ > 57) {
+    // Rare wide case: fall back to the straddle-aware random access.
+    for (size_t i = 0; i < count_; ++i) {
+      out[i] = Get(i);
+    }
+    return;
+  }
+  // Sequential decode: keep the running bit position instead of recomputing
+  // byte offsets per element. Widths <= 57 always fit one 64-bit load.
+  const uint64_t m = mask();
+  size_t bit_pos = 0;
+  for (size_t i = 0; i < count_; ++i, bit_pos += bit_width_) {
+    uint64_t word;
+    std::memcpy(&word, data_ + (bit_pos >> 3), sizeof(word));
+    out[i] = (word >> (bit_pos & 7)) & m;
+  }
+}
+
+}  // namespace corra

@@ -1,0 +1,66 @@
+// Bit-level helpers shared by all encoding schemes: bit-width computation,
+// ZigZag transforms for signed values, and alignment arithmetic.
+
+#ifndef CORRA_COMMON_BIT_UTIL_H_
+#define CORRA_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace corra::bit_util {
+
+/// Number of bits needed to represent the unsigned value `v`.
+/// BitWidth(0) == 0, BitWidth(1) == 1, BitWidth(255) == 8.
+constexpr int BitWidth(uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+/// ZigZag-maps a signed value to an unsigned one so that values of small
+/// magnitude (of either sign) map to small unsigned values:
+/// 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Rounds `v` up to the next multiple of `factor` (a power of two).
+constexpr size_t RoundUpPow2(size_t v, size_t factor) {
+  return (v + factor - 1) & ~(factor - 1);
+}
+
+/// Ceil division for non-negative integers.
+constexpr size_t CeilDiv(size_t a, size_t b) { return (a + b - 1) / b; }
+
+/// Bytes needed to store `count` values of `bit_width` bits each, padded so
+/// that any value can be read with a single unaligned 64-bit load.
+constexpr size_t PackedBytes(size_t count, int bit_width) {
+  // +8 slack bytes: a value starting in the last payload byte may pull its
+  // 64-bit load window past the end.
+  return CeilDiv(count * static_cast<size_t>(bit_width), 8) + 8;
+}
+
+/// Number of bits needed after zig-zag for the most negative/positive value
+/// in `values` (0 for an empty or all-zero span).
+int MaxZigZagBitWidth(std::span<const int64_t> values);
+
+/// Bit width of the largest value in `values` after subtracting `base`
+/// (frame-of-reference width). All values must be >= base.
+int MaxForBitWidth(std::span<const int64_t> values, int64_t base);
+
+/// Minimum and maximum of a non-empty span in a single pass.
+struct MinMax {
+  int64_t min;
+  int64_t max;
+};
+MinMax ComputeMinMax(std::span<const int64_t> values);
+
+}  // namespace corra::bit_util
+
+#endif  // CORRA_COMMON_BIT_UTIL_H_

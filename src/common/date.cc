@@ -1,0 +1,80 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace corra {
+
+namespace {
+constexpr int32_t kDaysPerMonth[] = {31, 28, 31, 30, 31, 30,
+                                     31, 31, 30, 31, 30, 31};
+}  // namespace
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int32_t DaysInMonth(int32_t year, int32_t month) {
+  if (month == 2 && IsLeapYear(year)) {
+    return 29;
+  }
+  return kDaysPerMonth[month - 1];
+}
+
+int64_t ToDays(const CivilDate& date) {
+  // Hinnant's days_from_civil.
+  int64_t y = date.year;
+  const int64_t m = date.month;
+  const int64_t d = date.day;
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                          // [0, 399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0, 146096]
+  return era * 146097 + doe - 719468;
+}
+
+CivilDate FromDays(int64_t days) {
+  // Hinnant's civil_from_days.
+  int64_t z = days + 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                                // [0, 146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);         // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                              // [0, 11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                      // [1, 31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                           // [1, 12]
+  return CivilDate{static_cast<int32_t>(y + (m <= 2)),
+                   static_cast<int32_t>(m), static_cast<int32_t>(d)};
+}
+
+Result<int64_t> ParseDate(const std::string& text) {
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-') {
+    return Status::InvalidArgument("date must be YYYY-MM-DD: " + text);
+  }
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u}) {
+    if (text[i] < '0' || text[i] > '9') {
+      return Status::InvalidArgument("non-digit in date: " + text);
+    }
+  }
+  const int32_t year = (text[0] - '0') * 1000 + (text[1] - '0') * 100 +
+                       (text[2] - '0') * 10 + (text[3] - '0');
+  const int32_t month = (text[5] - '0') * 10 + (text[6] - '0');
+  const int32_t day = (text[8] - '0') * 10 + (text[9] - '0');
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument("month out of range: " + text);
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument("day out of range: " + text);
+  }
+  return ToDays(CivilDate{year, month, day});
+}
+
+std::string FormatDate(int64_t days) {
+  const CivilDate d = FromDays(days);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return std::string(buf);
+}
+
+}  // namespace corra

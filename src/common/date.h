@@ -1,0 +1,47 @@
+// Civil-date arithmetic for the date-valued columns in TPC-H and Taxi.
+//
+// Dates are stored as int64 "days since 1970-01-01" (negative before).
+// The conversions implement Howard Hinnant's public-domain algorithms and
+// are exact over the proleptic Gregorian calendar.
+
+#ifndef CORRA_COMMON_DATE_H_
+#define CORRA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace corra {
+
+/// A calendar date (proleptic Gregorian).
+struct CivilDate {
+  int32_t year;
+  int32_t month;  // 1..12
+  int32_t day;    // 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since 1970-01-01 for the given civil date.
+int64_t ToDays(const CivilDate& date);
+
+/// Civil date for the given number of days since 1970-01-01.
+CivilDate FromDays(int64_t days);
+
+/// Parses "YYYY-MM-DD". Rejects malformed strings and invalid dates
+/// (e.g. month 13, Feb 30).
+Result<int64_t> ParseDate(const std::string& text);
+
+/// Formats days-since-epoch as "YYYY-MM-DD".
+std::string FormatDate(int64_t days);
+
+/// True if `year` is a leap year in the Gregorian calendar.
+bool IsLeapYear(int32_t year);
+
+/// Number of days in `month` of `year` (month 1..12).
+int32_t DaysInMonth(int32_t year, int32_t month);
+
+}  // namespace corra
+
+#endif  // CORRA_COMMON_DATE_H_

@@ -1,0 +1,109 @@
+// Result<T>: value-or-Status, the return type of fallible factories.
+//
+// A Result is either a T (then `ok()` is true) or an error Status. Accessing
+// the value of an errored Result aborts the process; call sites either check
+// `ok()` explicitly or use CORRA_ASSIGN_OR_RETURN.
+
+#ifndef CORRA_COMMON_RESULT_H_
+#define CORRA_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace corra {
+
+namespace internal {
+[[noreturn]] inline void DieOnBadResult(const Status& status) {
+  std::fprintf(stderr, "Result accessed with error status: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+/// Holds either a successfully produced `T` or the `Status` explaining why
+/// production failed. Implicitly constructible from both, so functions can
+/// `return Status::InvalidArgument(...)` or `return value;` directly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs an errored result. `status` must not be OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT: implicit
+    if (this->status().ok()) {
+      internal::DieOnBadResult(
+          Status::Internal("Result constructed from OK status"));
+    }
+  }
+
+  /// Constructs a successful result.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT: implicit
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error (or OK if this result holds a value).
+  Status status() const {
+    if (ok()) {
+      return Status::OK();
+    }
+    return std::get<Status>(data_);
+  }
+
+  /// The contained value; aborts if this result holds an error.
+  const T& value() const& {
+    if (!ok()) {
+      internal::DieOnBadResult(std::get<Status>(data_));
+    }
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) {
+      internal::DieOnBadResult(std::get<Status>(data_));
+    }
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) {
+      internal::DieOnBadResult(std::get<Status>(data_));
+    }
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const& {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<Status, T> data_;
+};
+
+}  // namespace corra
+
+// Two-level concat so __LINE__ expands.
+#define CORRA_CONCAT_IMPL(a, b) a##b
+#define CORRA_CONCAT(a, b) CORRA_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// moves the value into `lhs`. `lhs` may be a declaration ("auto x") or an
+/// existing variable.
+#define CORRA_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  auto CORRA_CONCAT(_corra_result_, __LINE__) = (rexpr);            \
+  if (!CORRA_CONCAT(_corra_result_, __LINE__).ok()) {               \
+    return CORRA_CONCAT(_corra_result_, __LINE__).status();         \
+  }                                                                 \
+  lhs = std::move(CORRA_CONCAT(_corra_result_, __LINE__)).value()
+
+#endif  // CORRA_COMMON_RESULT_H_

@@ -1,0 +1,121 @@
+// Error model for Corra: a lightweight, Arrow-style Status object.
+//
+// Corra never throws exceptions on data paths. Fallible operations return
+// `Status` (or `Result<T>`, see result.h) and callers propagate errors with
+// the CORRA_RETURN_NOT_OK / CORRA_ASSIGN_OR_RETURN macros.
+
+#ifndef CORRA_COMMON_STATUS_H_
+#define CORRA_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace corra {
+
+/// Machine-readable category of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  /// A caller-supplied argument is malformed or out of contract.
+  kInvalidArgument = 1,
+  /// An index or value falls outside the valid domain.
+  kOutOfRange = 2,
+  /// Serialized bytes are damaged, truncated, or inconsistent.
+  kCorruption = 3,
+  /// The requested operation exists in the API but has no implementation
+  /// for the given configuration.
+  kNotImplemented = 4,
+  /// An invariant inside the library was violated; always a bug.
+  kInternal = 5,
+  /// The requested item does not exist.
+  kNotFound = 6,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: either OK (the common case, represented
+/// without allocation) or an error code plus message.
+///
+/// Status is cheap to copy when OK and cheap to move always. It is
+/// [[nodiscard]]: ignoring a Status is a compile-time warning.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<category>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK; shared_ptr keeps copies cheap and Status small.
+  std::shared_ptr<const State> state_;
+};
+
+}  // namespace corra
+
+/// Propagates a non-OK Status to the caller.
+#define CORRA_RETURN_NOT_OK(expr)             \
+  do {                                        \
+    ::corra::Status _corra_status = (expr);   \
+    if (!_corra_status.ok()) {                \
+      return _corra_status;                   \
+    }                                         \
+  } while (false)
+
+#endif  // CORRA_COMMON_STATUS_H_

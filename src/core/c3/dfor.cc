@@ -1,0 +1,243 @@
+#include "core/c3/dfor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/bit_util.h"
+
+namespace corra::c3 {
+
+namespace {
+
+// Appends `width` low bits of `value` at bit position `cursor`.
+void AppendBits(std::vector<uint8_t>* bytes, uint64_t* cursor, uint64_t value,
+                int width) {
+  if (width == 0) {
+    return;
+  }
+  const size_t needed = (*cursor + width + 7) / 8 + 8;
+  if (bytes->size() < needed) {
+    bytes->resize(needed, 0);
+  }
+  size_t byte = *cursor >> 3;
+  int shift = static_cast<int>(*cursor & 7);
+  uint64_t word;
+  std::memcpy(&word, bytes->data() + byte, sizeof(word));
+  word |= value << shift;
+  std::memcpy(bytes->data() + byte, &word, sizeof(word));
+  if (shift + width > 64) {
+    uint64_t spill = value >> (64 - shift);
+    std::memcpy(&word, bytes->data() + byte + 8, sizeof(word));
+    word |= spill;
+    std::memcpy(bytes->data() + byte + 8, &word, sizeof(word));
+  }
+  *cursor += width;
+}
+
+uint64_t ReadBits(const uint8_t* bytes, uint64_t bit_pos, int width) {
+  if (width == 0) {
+    return 0;
+  }
+  const size_t byte = bit_pos >> 3;
+  const int shift = static_cast<int>(bit_pos & 7);
+  uint64_t word;
+  std::memcpy(&word, bytes + byte, sizeof(word));
+  uint64_t v = word >> shift;
+  if (shift + width > 64) {
+    uint64_t next;
+    std::memcpy(&next, bytes + byte + 8, sizeof(next));
+    v |= next << (64 - shift);
+  }
+  const uint64_t mask = width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  return v & mask;
+}
+
+}  // namespace
+
+DforColumn::DforColumn(uint32_t ref_index, std::vector<int64_t> frame_bases,
+                       std::vector<uint8_t> frame_widths,
+                       std::vector<uint64_t> frame_bit_starts,
+                       std::vector<uint8_t> payload, size_t count)
+    : SingleRefColumn(ref_index),
+      frame_bases_(std::move(frame_bases)),
+      frame_widths_(std::move(frame_widths)),
+      frame_bit_starts_(std::move(frame_bit_starts)),
+      payload_(std::move(payload)),
+      count_(count) {}
+
+Result<std::unique_ptr<DforColumn>> DforColumn::Encode(
+    std::span<const int64_t> target, std::span<const int64_t> reference,
+    uint32_t ref_index) {
+  if (target.size() != reference.size()) {
+    return Status::InvalidArgument("target/reference length mismatch");
+  }
+  std::vector<int64_t> diffs(target.size());
+  for (size_t i = 0; i < target.size(); ++i) {
+    diffs[i] = static_cast<int64_t>(static_cast<uint64_t>(target[i]) -
+                                    static_cast<uint64_t>(reference[i]));
+  }
+  const size_t frames = bit_util::CeilDiv(diffs.size(), kFrameSize);
+  std::vector<int64_t> bases(frames);
+  std::vector<uint8_t> widths(frames);
+  std::vector<uint64_t> starts(frames);
+  std::vector<uint8_t> payload;
+  uint64_t cursor = 0;
+  for (size_t f = 0; f < frames; ++f) {
+    const size_t begin = f * kFrameSize;
+    const size_t end = std::min(begin + kFrameSize, diffs.size());
+    const auto frame =
+        std::span<const int64_t>(diffs).subspan(begin, end - begin);
+    const auto mm = bit_util::ComputeMinMax(frame);
+    bases[f] = mm.min;
+    widths[f] = static_cast<uint8_t>(bit_util::BitWidth(
+        static_cast<uint64_t>(mm.max) - static_cast<uint64_t>(mm.min)));
+    starts[f] = cursor;
+    for (int64_t d : frame) {
+      AppendBits(&payload, &cursor,
+                 static_cast<uint64_t>(d) - static_cast<uint64_t>(mm.min),
+                 widths[f]);
+    }
+  }
+  payload.resize((cursor + 7) / 8 + 8, 0);
+  return std::unique_ptr<DforColumn>(
+      new DforColumn(ref_index, std::move(bases), std::move(widths),
+                     std::move(starts), std::move(payload), target.size()));
+}
+
+size_t DforColumn::EstimateSizeBytes(std::span<const int64_t> target,
+                                     std::span<const int64_t> reference) {
+  if (target.size() != reference.size()) {
+    return SIZE_MAX;
+  }
+  size_t total_bits = 0;
+  size_t frames = 0;
+  for (size_t begin = 0; begin < target.size(); begin += kFrameSize) {
+    const size_t end = std::min(begin + kFrameSize, target.size());
+    int64_t lo = 0;
+    int64_t hi = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const int64_t d = static_cast<int64_t>(
+          static_cast<uint64_t>(target[i]) -
+          static_cast<uint64_t>(reference[i]));
+      if (i == begin) {
+        lo = hi = d;
+      } else {
+        lo = std::min(lo, d);
+        hi = std::max(hi, d);
+      }
+    }
+    total_bits += (end - begin) *
+                  bit_util::BitWidth(static_cast<uint64_t>(hi) -
+                                     static_cast<uint64_t>(lo));
+    ++frames;
+  }
+  // Per frame: base (8B) + width (1B) + bit start (8B).
+  return bit_util::CeilDiv(total_bits, 8) + frames * 17;
+}
+
+Result<std::unique_ptr<DforColumn>> DforColumn::Deserialize(
+    BufferReader* reader) {
+  uint32_t ref_index = 0;
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&ref_index));
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  std::vector<int64_t> bases;
+  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&bases));
+  std::span<const uint8_t> width_bytes;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&width_bytes));
+  std::vector<int64_t> starts_i64;
+  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&starts_i64));
+  std::span<const uint8_t> payload;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
+
+  const size_t frames = bit_util::CeilDiv(count, kFrameSize);
+  if (bases.size() != frames || width_bytes.size() != frames ||
+      starts_i64.size() != frames) {
+    return Status::Corruption("DFOR frame directory size mismatch");
+  }
+  std::vector<uint8_t> widths(width_bytes.begin(), width_bytes.end());
+  std::vector<uint64_t> starts(frames);
+  uint64_t expected_bits = 0;
+  for (size_t f = 0; f < frames; ++f) {
+    if (widths[f] > 64) {
+      return Status::Corruption("DFOR width > 64");
+    }
+    starts[f] = static_cast<uint64_t>(starts_i64[f]);
+    if (starts[f] != expected_bits) {
+      return Status::Corruption("DFOR frame bit starts inconsistent");
+    }
+    const size_t rows_in_frame =
+        std::min(kFrameSize, static_cast<size_t>(count) - f * kFrameSize);
+    expected_bits += rows_in_frame * widths[f];
+  }
+  if (payload.size() < (expected_bits + 7) / 8 + 8) {
+    return Status::Corruption("DFOR payload truncated");
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  return std::unique_ptr<DforColumn>(
+      new DforColumn(ref_index, std::move(bases), std::move(widths),
+                     std::move(starts), std::move(bytes), count));
+}
+
+size_t DforColumn::SizeBytes() const {
+  uint64_t total_bits = 0;
+  for (size_t f = 0; f < frame_widths_.size(); ++f) {
+    const size_t rows =
+        std::min(kFrameSize, count_ - f * kFrameSize);
+    total_bits += rows * frame_widths_[f];
+  }
+  return bit_util::CeilDiv(total_bits, 8) + frame_bases_.size() * 17;
+}
+
+int64_t DforColumn::DiffAt(size_t row) const {
+  const size_t f = row / kFrameSize;
+  const uint64_t bit_pos =
+      frame_bit_starts_[f] + (row % kFrameSize) * frame_widths_[f];
+  return frame_bases_[f] +
+         static_cast<int64_t>(
+             ReadBits(payload_.data(), bit_pos, frame_widths_[f]));
+}
+
+int64_t DforColumn::Get(size_t row) const {
+  assert(ref_ != nullptr && "reference not bound");
+  return ref_->Get(row) + DiffAt(row);
+}
+
+void DforColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
+  assert(ref_ != nullptr && "reference not bound");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = ref_->Get(rows[i]) + DiffAt(rows[i]);
+  }
+}
+
+void DforColumn::GatherWithReference(std::span<const uint32_t> rows,
+                                     const int64_t* ref_values,
+                                     int64_t* out) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = ref_values[i] + DiffAt(rows[i]);
+  }
+}
+
+void DforColumn::DecodeAll(int64_t* out) const {
+  assert(ref_ != nullptr && "reference not bound");
+  ref_->DecodeAll(out);
+  for (size_t i = 0; i < count_; ++i) {
+    out[i] += DiffAt(i);
+  }
+}
+
+void DforColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(enc::Scheme::kC3Dfor));
+  writer->Write<uint32_t>(ref_index_);
+  writer->Write<uint64_t>(count_);
+  writer->WriteInt64Array(frame_bases_);
+  writer->WriteBytes(std::span<const uint8_t>(frame_widths_.data(),
+                                              frame_widths_.size()));
+  std::vector<int64_t> starts(frame_bit_starts_.begin(),
+                              frame_bit_starts_.end());
+  writer->WriteInt64Array(starts);
+  writer->WriteBytes(payload_);
+}
+
+}  // namespace corra::c3

@@ -1,0 +1,149 @@
+#include "core/correlation_detector.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/diff_encoding.h"
+#include "core/hierarchical_encoding.h"
+#include "encoding/selector.h"
+
+namespace corra {
+
+namespace {
+
+// Aligned strided sample of a column pair.
+void PairedSample(std::span<const int64_t> a, std::span<const int64_t> b,
+                  size_t limit, std::vector<int64_t>* out_a,
+                  std::vector<int64_t>* out_b) {
+  if (limit == 0 || a.size() <= limit) {
+    out_a->assign(a.begin(), a.end());
+    out_b->assign(b.begin(), b.end());
+    return;
+  }
+  const size_t stride = a.size() / limit;
+  out_a->clear();
+  out_b->clear();
+  for (size_t i = 0; i < a.size() && out_a->size() < limit; i += stride) {
+    out_a->push_back(a[i]);
+    out_b->push_back(b[i]);
+  }
+}
+
+size_t ScaleEstimate(size_t sample_bytes, size_t sample_rows,
+                     size_t full_rows) {
+  if (sample_rows == 0 || sample_bytes == SIZE_MAX) {
+    return sample_bytes;
+  }
+  return static_cast<size_t>(static_cast<double>(sample_bytes) *
+                             static_cast<double>(full_rows) /
+                             static_cast<double>(sample_rows));
+}
+
+// Densifies arbitrary reference values into codes 0..C-1 (first-seen
+// order) so the hierarchical estimator can run on any column.
+std::vector<int64_t> Densify(std::span<const int64_t> values) {
+  std::unordered_map<int64_t, int64_t> codes;
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  for (int64_t v : values) {
+    const auto [it, inserted] =
+        codes.emplace(v, static_cast<int64_t>(codes.size()));
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<CorrelationSuggestion>> DetectCorrelations(
+    std::span<const CandidateColumn> columns,
+    const DetectorOptions& options) {
+  const size_t n = columns.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least two columns");
+  }
+  const size_t rows = columns[0].values.size();
+  for (const auto& c : columns) {
+    if (c.values.size() != rows) {
+      return Status::InvalidArgument("columns differ in length");
+    }
+  }
+
+  // Vertical baselines per column (on samples).
+  std::vector<size_t> vertical(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<int64_t> sample;
+    std::vector<int64_t> unused;
+    PairedSample(columns[i].values, columns[i].values, options.sample_limit,
+                 &sample, &unused);
+    size_t best = SIZE_MAX;
+    for (const auto& e : enc::EstimateSchemes(
+             sample, enc::SelectionPolicy::kConstantTimeAccessOnly)) {
+      best = std::min(best, e.size_bytes);
+    }
+    vertical[i] = ScaleEstimate(best, sample.size(), rows);
+  }
+
+  std::vector<CorrelationSuggestion> suggestions;
+  std::vector<int64_t> target_sample;
+  std::vector<int64_t> ref_sample;
+  for (uint32_t t = 0; t < n; ++t) {
+    for (uint32_t r = 0; r < n; ++r) {
+      if (t == r) {
+        continue;
+      }
+      PairedSample(columns[t].values, columns[r].values,
+                   options.sample_limit, &target_sample, &ref_sample);
+      CorrelationSuggestion best;
+      best.scheme = enc::Scheme::kDiff;
+      best.target = t;
+      best.reference = r;
+      best.vertical_bytes = vertical[t];
+      best.horizontal_bytes = SIZE_MAX;
+      if (options.consider_diff) {
+        const size_t est = ScaleEstimate(
+            DiffEncodedColumn::EstimateSizeBytes(target_sample, ref_sample,
+                                                 options.diff_options),
+            target_sample.size(), rows);
+        if (est < best.horizontal_bytes) {
+          best.horizontal_bytes = est;
+          best.scheme = enc::Scheme::kDiff;
+        }
+      }
+      if (options.consider_hierarchical) {
+        // Note: metadata scales sublinearly with rows, so the scaled
+        // estimate is conservative (an upper bound) for the metadata part.
+        const std::vector<int64_t> dense = Densify(ref_sample);
+        const size_t est = ScaleEstimate(
+            HierarchicalColumn::EstimateSizeBytes(target_sample, dense),
+            target_sample.size(), rows);
+        if (est < best.horizontal_bytes) {
+          best.horizontal_bytes = est;
+          best.scheme = enc::Scheme::kHierarchical;
+        }
+      }
+      if (best.horizontal_bytes == SIZE_MAX || best.vertical_bytes == 0) {
+        continue;
+      }
+      best.saving_rate = 1.0 - static_cast<double>(best.horizontal_bytes) /
+                                   static_cast<double>(best.vertical_bytes);
+      if (best.saving_rate >= options.min_saving_rate) {
+        suggestions.push_back(best);
+      }
+    }
+  }
+  std::sort(suggestions.begin(), suggestions.end(),
+            [](const CorrelationSuggestion& a,
+               const CorrelationSuggestion& b) {
+              if (a.saving_rate != b.saving_rate) {
+                return a.saving_rate > b.saving_rate;
+              }
+              if (a.target != b.target) {
+                return a.target < b.target;
+              }
+              return a.reference < b.reference;
+            });
+  return suggestions;
+}
+
+}  // namespace corra

@@ -1,0 +1,52 @@
+// Automatic correlation detection — the extension the paper names as
+// future work ("we envision Corra to support ... automatic correlation
+// detection", Sec. 4).
+//
+// The detector samples all ordered column pairs and estimates, for each
+// Corra scheme, the compressed size the target would have against that
+// reference. Suggestions above a saving threshold are returned ranked, so
+// a user (or the compressor) can build a CompressionPlan without knowing
+// the data's correlations in advance.
+
+#ifndef CORRA_CORE_CORRELATION_DETECTOR_H_
+#define CORRA_CORE_CORRELATION_DETECTOR_H_
+
+#include <span>
+#include <vector>
+
+#include "core/config_optimizer.h"
+#include "encoding/scheme.h"
+
+namespace corra {
+
+/// One detected opportunity: encode `target` horizontally w.r.t.
+/// `reference` using `scheme`.
+struct CorrelationSuggestion {
+  enc::Scheme scheme;
+  uint32_t target;
+  uint32_t reference;
+  size_t vertical_bytes;    // Best single-column estimate for target.
+  size_t horizontal_bytes;  // Estimate under the suggested scheme.
+  double saving_rate;       // 1 - horizontal / vertical.
+};
+
+struct DetectorOptions {
+  /// Rows sampled (strided) per pair; 0 = all rows.
+  size_t sample_limit = 1 << 16;
+  /// Suggestions below this saving rate are dropped.
+  double min_saving_rate = 0.05;
+  bool consider_diff = true;
+  bool consider_hierarchical = true;
+  DiffOptions diff_options;
+};
+
+/// Scans all ordered pairs of `columns` and returns suggestions sorted by
+/// descending saving rate. At most one suggestion (the best scheme) is
+/// emitted per (target, reference) pair.
+Result<std::vector<CorrelationSuggestion>> DetectCorrelations(
+    std::span<const CandidateColumn> columns,
+    const DetectorOptions& options = {});
+
+}  // namespace corra
+
+#endif  // CORRA_CORE_CORRELATION_DETECTOR_H_

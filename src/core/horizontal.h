@@ -1,0 +1,62 @@
+// Base class for horizontal encodings with a single reference column
+// (Corra's diff and hierarchical schemes, and the C3 schemes).
+//
+// Single-reference columns support an additional fast path used when a
+// query materializes *both* columns: the scan gathers the reference once
+// and hands the values to GatherWithReference, so the reference is not
+// fetched a second time. This is exactly why the paper's "query on both
+// columns" case shows (almost) no slowdown (Fig. 5).
+
+#ifndef CORRA_CORE_HORIZONTAL_H_
+#define CORRA_CORE_HORIZONTAL_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "encoding/encoded_column.h"
+
+namespace corra {
+
+class SingleRefColumn : public enc::EncodedColumn {
+ public:
+  /// Block-local index of the reference column.
+  uint32_t ref_index() const { return ref_index_; }
+
+  /// The bound reference column (null until BindReferences).
+  const enc::EncodedColumn* reference() const { return ref_; }
+
+  std::vector<uint32_t> ReferenceIndices() const override {
+    return {ref_index_};
+  }
+
+  Status BindReferences(
+      std::span<const enc::EncodedColumn* const> references) override {
+    if (references.size() != 1 || references[0] == nullptr) {
+      return Status::InvalidArgument(
+          "single-reference scheme needs exactly one reference");
+    }
+    if (references[0]->size() != size()) {
+      return Status::InvalidArgument("reference row count mismatch");
+    }
+    ref_ = references[0];
+    return Status::OK();
+  }
+
+  /// Materializes this column at the sorted positions `rows`, given the
+  /// reference values already gathered for the same positions.
+  /// `out` must hold rows.size() values.
+  virtual void GatherWithReference(std::span<const uint32_t> rows,
+                                   const int64_t* ref_values,
+                                   int64_t* out) const = 0;
+
+ protected:
+  explicit SingleRefColumn(uint32_t ref_index) : ref_index_(ref_index) {}
+
+  uint32_t ref_index_;
+  const enc::EncodedColumn* ref_ = nullptr;
+};
+
+}  // namespace corra
+
+#endif  // CORRA_CORE_HORIZONTAL_H_

@@ -1,0 +1,382 @@
+#include "core/multi_ref_encoding.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/bit_util.h"
+
+namespace corra {
+
+Status FormulaTable::Validate() const {
+  if (code_bits < 1 || code_bits > 8) {
+    return Status::InvalidArgument("code_bits must be in [1, 8]");
+  }
+  if (groups.empty() || groups.size() > 8) {
+    return Status::InvalidArgument("need 1..8 reference groups");
+  }
+  for (const auto& group : groups) {
+    if (group.empty()) {
+      return Status::InvalidArgument("empty reference group");
+    }
+  }
+  if (formulas.empty() ||
+      formulas.size() > (size_t{1} << code_bits)) {
+    return Status::InvalidArgument("formula count must be in [1, 2^bits]");
+  }
+  const uint8_t mask_limit =
+      static_cast<uint8_t>((1u << groups.size()) - 1);
+  for (uint8_t mask : formulas) {
+    if (mask == 0 || mask > mask_limit) {
+      return Status::InvalidArgument("formula mask out of range");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Materializes, per group, the per-row sum of its member columns.
+Result<std::vector<std::vector<int64_t>>> ComputeGroupSums(
+    size_t row_count, const ColumnResolver& resolver,
+    const std::vector<std::vector<uint32_t>>& groups) {
+  std::vector<std::vector<int64_t>> sums(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    sums[g].assign(row_count, 0);
+    for (uint32_t col : groups[g]) {
+      const std::span<const int64_t> values = resolver(col);
+      if (values.size() != row_count) {
+        return Status::InvalidArgument(
+            "reference column length mismatch in group");
+      }
+      for (size_t i = 0; i < row_count; ++i) {
+        sums[g][i] += values[i];
+      }
+    }
+  }
+  return sums;
+}
+
+}  // namespace
+
+MultiRefColumn::MultiRefColumn(FormulaTable table, std::vector<uint8_t> bytes,
+                               size_t count, OutlierStore outliers)
+    : table_(std::move(table)),
+      bytes_(std::move(bytes)),
+      codes_(bytes_.data(), table_.code_bits, count),
+      outliers_(std::move(outliers)) {}
+
+Result<std::unique_ptr<MultiRefColumn>> MultiRefColumn::Encode(
+    std::span<const int64_t> target, const ColumnResolver& resolver,
+    const FormulaTable& table, double max_outlier_fraction) {
+  CORRA_RETURN_NOT_OK(table.Validate());
+  if (target.size() > UINT32_MAX) {
+    return Status::InvalidArgument("block too large for multi-ref encoding");
+  }
+  CORRA_ASSIGN_OR_RETURN(
+      auto group_sums,
+      ComputeGroupSums(target.size(), resolver, table.groups));
+
+  BitWriter writer(table.code_bits);
+  std::vector<uint32_t> outlier_rows;
+  std::vector<int64_t> outlier_values;
+  for (size_t i = 0; i < target.size(); ++i) {
+    int matched_code = -1;
+    for (size_t c = 0; c < table.formulas.size(); ++c) {
+      const uint8_t mask = table.formulas[c];
+      int64_t sum = 0;
+      for (size_t g = 0; g < table.groups.size(); ++g) {
+        if (mask & (1u << g)) {
+          sum += group_sums[g][i];
+        }
+      }
+      if (sum == target[i]) {
+        matched_code = static_cast<int>(c);
+        break;
+      }
+    }
+    if (matched_code < 0) {
+      outlier_rows.push_back(static_cast<uint32_t>(i));
+      outlier_values.push_back(target[i]);
+      writer.Append(0);  // Placeholder; outlier indices disambiguate.
+    } else {
+      writer.Append(static_cast<uint64_t>(matched_code));
+    }
+  }
+  if (!target.empty() &&
+      static_cast<double>(outlier_rows.size()) /
+              static_cast<double>(target.size()) >
+          max_outlier_fraction) {
+    return Status::InvalidArgument(
+        "outlier fraction exceeds limit; formulas do not fit the data");
+  }
+  CORRA_ASSIGN_OR_RETURN(OutlierStore store,
+                         OutlierStore::Build(outlier_rows, outlier_values));
+  return std::unique_ptr<MultiRefColumn>(new MultiRefColumn(
+      table, std::move(writer).Finish(), target.size(), std::move(store)));
+}
+
+Result<FormulaTable> MultiRefColumn::DeriveFormulas(
+    std::span<const int64_t> target, const ColumnResolver& resolver,
+    std::vector<std::vector<uint32_t>> groups, int code_bits,
+    size_t sample_limit) {
+  FormulaTable probe;
+  probe.groups = groups;
+  probe.formulas = {1};  // Dummy; full validation happens below.
+  probe.code_bits = code_bits;
+  CORRA_RETURN_NOT_OK(probe.Validate());
+
+  const size_t sample =
+      std::min(target.size(), std::max<size_t>(sample_limit, 1));
+  CORRA_ASSIGN_OR_RETURN(auto group_sums,
+                         ComputeGroupSums(target.size(), resolver, groups));
+
+  const size_t mask_count = size_t{1} << groups.size();
+  std::vector<size_t> hits(mask_count, 0);
+  for (size_t i = 0; i < sample; ++i) {
+    for (size_t mask = 1; mask < mask_count; ++mask) {
+      int64_t sum = 0;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (mask & (size_t{1} << g)) {
+          sum += group_sums[g][i];
+        }
+      }
+      if (sum == target[i]) {
+        ++hits[mask];
+      }
+    }
+  }
+  // Keep the 2^code_bits most frequent masks (frequency-descending, mask-
+  // ascending tiebreak), dropping masks that never matched.
+  std::vector<uint8_t> candidates;
+  for (size_t mask = 1; mask < mask_count; ++mask) {
+    if (hits[mask] > 0) {
+      candidates.push_back(static_cast<uint8_t>(mask));
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&hits](uint8_t a, uint8_t b) {
+              if (hits[a] != hits[b]) {
+                return hits[a] > hits[b];
+              }
+              return a < b;
+            });
+  if (candidates.empty()) {
+    return Status::NotFound("no arithmetic formula matches any sampled row");
+  }
+  const size_t keep =
+      std::min(candidates.size(), size_t{1} << code_bits);
+  candidates.resize(keep);
+
+  FormulaTable table;
+  table.groups = std::move(groups);
+  table.formulas = std::move(candidates);
+  table.code_bits = code_bits;
+  return table;
+}
+
+Result<std::unique_ptr<MultiRefColumn>> MultiRefColumn::Deserialize(
+    BufferReader* reader) {
+  FormulaTable table;
+  uint8_t code_bits = 0;
+  uint8_t group_count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&code_bits));
+  CORRA_RETURN_NOT_OK(reader->Read(&group_count));
+  table.code_bits = code_bits;
+  table.groups.resize(group_count);
+  for (auto& group : table.groups) {
+    CORRA_RETURN_NOT_OK(reader->ReadUint32Array(&group));
+  }
+  std::span<const uint8_t> formula_bytes;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&formula_bytes));
+  table.formulas.assign(formula_bytes.begin(), formula_bytes.end());
+  CORRA_RETURN_NOT_OK(table.Validate());
+
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  std::span<const uint8_t> payload;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
+  if (payload.size() < bit_util::PackedBytes(count, table.code_bits)) {
+    return Status::Corruption("multi-ref code payload truncated");
+  }
+  // Codes must index into the formula table.
+  BitReader probe(payload.data(), table.code_bits, count);
+  for (size_t i = 0; i < count; ++i) {
+    if (probe.Get(i) >= table.formulas.size()) {
+      return Status::Corruption("multi-ref code out of range");
+    }
+  }
+  CORRA_ASSIGN_OR_RETURN(OutlierStore outliers,
+                         OutlierStore::Deserialize(reader));
+  if (!outliers.empty() && outliers.row(outliers.size() - 1) >= count) {
+    return Status::Corruption("multi-ref outlier row out of range");
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  return std::unique_ptr<MultiRefColumn>(new MultiRefColumn(
+      std::move(table), std::move(bytes), count, std::move(outliers)));
+}
+
+std::vector<uint32_t> MultiRefColumn::ReferenceIndices() const {
+  std::vector<uint32_t> indices;
+  for (const auto& group : table_.groups) {
+    indices.insert(indices.end(), group.begin(), group.end());
+  }
+  return indices;
+}
+
+Status MultiRefColumn::BindReferences(
+    std::span<const enc::EncodedColumn* const> references) {
+  size_t expected = 0;
+  for (const auto& group : table_.groups) {
+    expected += group.size();
+  }
+  if (references.size() != expected) {
+    return Status::InvalidArgument("multi-ref reference count mismatch");
+  }
+  bound_groups_.assign(table_.groups.size(), {});
+  size_t next = 0;
+  for (size_t g = 0; g < table_.groups.size(); ++g) {
+    for (size_t c = 0; c < table_.groups[g].size(); ++c, ++next) {
+      const enc::EncodedColumn* col = references[next];
+      if (col == nullptr || col->size() != size()) {
+        return Status::InvalidArgument("bad multi-ref reference column");
+      }
+      bound_groups_[g].push_back(col);
+    }
+  }
+  return Status::OK();
+}
+
+int64_t MultiRefColumn::GroupSum(size_t g, size_t row) const {
+  int64_t sum = 0;
+  for (const enc::EncodedColumn* col : bound_groups_[g]) {
+    sum += col->Get(row);
+  }
+  return sum;
+}
+
+int64_t MultiRefColumn::Get(size_t row) const {
+  assert(!bound_groups_.empty() && "references not bound");
+  if (const auto v = outliers_.Find(static_cast<uint32_t>(row))) {
+    return *v;
+  }
+  const uint8_t mask = table_.formulas[codes_.Get(row)];
+  int64_t sum = 0;
+  for (size_t g = 0; g < bound_groups_.size(); ++g) {
+    if (mask & (1u << g)) {
+      sum += GroupSum(g, row);
+    }
+  }
+  return sum;
+}
+
+void MultiRefColumn::Gather(std::span<const uint32_t> rows,
+                            int64_t* out) const {
+  assert(!bound_groups_.empty() && "references not bound");
+  // Column-at-a-time in cache-sized chunks: one virtual Gather per
+  // reference column per chunk (tight loop inside), instead of one
+  // virtual Get per (row, column) pair. Group sums are accumulated per
+  // chunk, then combined per row through the formula mask.
+  constexpr size_t kChunk = 4096;
+  const size_t num_groups = bound_groups_.size();
+  std::vector<std::vector<int64_t>> group_sums(num_groups);
+  for (auto& sums : group_sums) {
+    sums.resize(kChunk);
+  }
+  std::vector<int64_t> scratch(kChunk);
+  for (size_t begin = 0; begin < rows.size(); begin += kChunk) {
+    const size_t len = std::min(kChunk, rows.size() - begin);
+    const auto chunk = rows.subspan(begin, len);
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::fill_n(group_sums[g].data(), len, 0);
+      for (const enc::EncodedColumn* col : bound_groups_[g]) {
+        col->Gather(chunk, scratch.data());
+        for (size_t i = 0; i < len; ++i) {
+          group_sums[g][i] += scratch[i];
+        }
+      }
+    }
+    for (size_t i = 0; i < len; ++i) {
+      const uint8_t mask = table_.formulas[codes_.Get(chunk[i])];
+      int64_t sum = 0;
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (mask & (1u << g)) {
+          sum += group_sums[g][i];
+        }
+      }
+      out[begin + i] = sum;
+    }
+  }
+  outliers_.Patch(rows, out);
+}
+
+void MultiRefColumn::DecodeAll(int64_t* out) const {
+  assert(!bound_groups_.empty() && "references not bound");
+  const size_t n = size();
+  // Materialize group sums once (sequential decode of each reference),
+  // then combine per row.
+  std::vector<std::vector<int64_t>> sums(bound_groups_.size());
+  std::vector<int64_t> scratch(n);
+  for (size_t g = 0; g < bound_groups_.size(); ++g) {
+    sums[g].assign(n, 0);
+    for (const enc::EncodedColumn* col : bound_groups_[g]) {
+      col->DecodeAll(scratch.data());
+      for (size_t i = 0; i < n; ++i) {
+        sums[g][i] += scratch[i];
+      }
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint8_t mask = table_.formulas[codes_.Get(i)];
+    int64_t sum = 0;
+    for (size_t g = 0; g < sums.size(); ++g) {
+      if (mask & (1u << g)) {
+        sum += sums[g][i];
+      }
+    }
+    out[i] = sum;
+  }
+  for (size_t o = 0; o < outliers_.size(); ++o) {
+    out[outliers_.row(o)] = outliers_.value(o);
+  }
+}
+
+size_t MultiRefColumn::SizeBytes() const {
+  size_t metadata = 2;  // code_bits + group count
+  for (const auto& group : table_.groups) {
+    metadata += group.size() * sizeof(uint32_t);
+  }
+  metadata += table_.formulas.size();
+  return bit_util::CeilDiv(codes_.size() * codes_.bit_width(), 8) +
+         outliers_.SizeBytes() + metadata;
+}
+
+MultiRefColumn::CodeStats MultiRefColumn::ComputeCodeStats() const {
+  CodeStats stats;
+  stats.code_counts.assign(table_.formulas.size(), 0);
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) {
+    ++stats.code_counts[codes_.Get(i)];
+  }
+  // Outlier rows carry placeholder code 0; reassign them.
+  for (size_t o = 0; o < outliers_.size(); ++o) {
+    --stats.code_counts[codes_.Get(outliers_.row(o))];
+    ++stats.outlier_count;
+  }
+  return stats;
+}
+
+void MultiRefColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(enc::Scheme::kMultiRef));
+  writer->Write<uint8_t>(static_cast<uint8_t>(table_.code_bits));
+  writer->Write<uint8_t>(static_cast<uint8_t>(table_.groups.size()));
+  for (const auto& group : table_.groups) {
+    writer->WriteUint32Array(group);
+  }
+  writer->WriteBytes(std::span<const uint8_t>(table_.formulas.data(),
+                                              table_.formulas.size()));
+  writer->Write<uint64_t>(codes_.size());
+  writer->WriteBytes(bytes_);
+  outliers_.Serialize(writer);
+}
+
+}  // namespace corra

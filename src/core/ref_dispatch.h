@@ -1,0 +1,40 @@
+// Devirtualization helper for the hot query paths of horizontal columns.
+//
+// A horizontal column's Gather calls ref->Get(row) once per selected row;
+// through the EncodedColumn vtable that is an indirect call per row. The
+// reference is almost always one of the final vertical classes (BitPack,
+// FOR, Dict — the baseline pool), so dispatching once per *batch* and
+// running a typed loop lets the compiler inline the accessor.
+
+#ifndef CORRA_CORE_REF_DISPATCH_H_
+#define CORRA_CORE_REF_DISPATCH_H_
+
+#include "encoding/bitpack.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "encoding/plain.h"
+
+namespace corra {
+
+/// Invokes `fn` with `ref` downcast to its concrete final type when it is
+/// one of the common vertical schemes, or with the base reference
+/// otherwise. `fn` must be callable with any of these as a const ref.
+template <typename Fn>
+void DispatchRef(const enc::EncodedColumn& ref, Fn&& fn) {
+  if (const auto* bitpack = dynamic_cast<const enc::BitPackColumn*>(&ref)) {
+    fn(*bitpack);
+  } else if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&ref)) {
+    fn(*fr);
+  } else if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&ref)) {
+    fn(*dict);
+  } else if (const auto* plain =
+                 dynamic_cast<const enc::PlainColumn*>(&ref)) {
+    fn(*plain);
+  } else {
+    fn(ref);
+  }
+}
+
+}  // namespace corra
+
+#endif  // CORRA_CORE_REF_DISPATCH_H_

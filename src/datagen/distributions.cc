@@ -1,0 +1,48 @@
+#include "datagen/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corra::datagen {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min(static_cast<size_t>(it - cdf_.begin()), cdf_.size() - 1);
+}
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights) {
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  for (double& c : cdf_) {
+    c /= total;
+  }
+}
+
+size_t DiscreteDistribution::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min(static_cast<size_t>(it - cdf_.begin()), cdf_.size() - 1);
+}
+
+double SampleLogNormal(Rng* rng, double mu, double sigma) {
+  return std::exp(mu + sigma * rng->NextGaussian());
+}
+
+}  // namespace corra::datagen

@@ -1,0 +1,51 @@
+// Shared sampling distributions for the synthetic dataset generators.
+//
+// The real datasets (DMV registrations, LDBC SF30, NYC Taxi) are not
+// redistributable here, so the generators in this directory synthesize
+// data with the same correlation structure; Zipf skew drives realistic
+// frequency distributions for cities, countries, and IPs.
+
+#ifndef CORRA_DATAGEN_DISTRIBUTIONS_H_
+#define CORRA_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace corra::datagen {
+
+/// Zipf-distributed sampler over ranks 0..n-1 with exponent `s`
+/// (P(rank k) ~ 1/(k+1)^s). Samples by binary search over the CDF.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t n, double s);
+
+  /// A rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Discrete sampler over explicit (unnormalized) weights.
+class DiscreteDistribution {
+ public:
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  /// An index in [0, weights.size()).
+  size_t Sample(Rng* rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Log-normal sample with the given log-space mean/stddev.
+double SampleLogNormal(Rng* rng, double mu, double sigma);
+
+}  // namespace corra::datagen
+
+#endif  // CORRA_DATAGEN_DISTRIBUTIONS_H_

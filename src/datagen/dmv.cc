@@ -1,0 +1,197 @@
+#include "datagen/dmv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "datagen/distributions.h"
+
+namespace corra::datagen {
+
+namespace {
+
+constexpr size_t kStateCount = 62;
+constexpr size_t kFullScaleCityCount = 2500;
+// "Cities have only a few dozen unique zip codes" (paper Sec. 1): capping
+// at 63 keeps the hierarchical local index at 6 bits.
+constexpr size_t kMaxZipsPerCity = 63;
+
+// City cardinality scales linearly with the requested row count so that
+// the rows-per-(city, zip)-pair repetition ratio — the quantity the
+// hierarchical savings depend on — matches the full-scale dataset at any
+// test scale. (Zips per city stay fixed: they set the local bit width.)
+size_t ScaledCityCount(size_t rows) {
+  const size_t scaled = kFullScaleCityCount * rows / kDmvRows;
+  return std::clamp<size_t>(scaled, 50, kFullScaleCityCount);
+}
+
+// Two-letter state-like codes: "NY" first (dominant), then synthetic.
+std::string StateName(size_t s) {
+  if (s == 0) {
+    return "NY";
+  }
+  std::string name(2, 'A');
+  name[0] = static_cast<char>('A' + (s / 26) % 26);
+  name[1] = static_cast<char>('A' + s % 26);
+  return name;
+}
+
+// Pronounceable-ish synthetic city names, 6-14 chars.
+std::string CityName(size_t c, Rng* rng) {
+  static constexpr const char* kPrefixes[] = {
+      "North", "South", "East", "West", "New", "Lake", "Mount", "Fort",
+      "Port", "Glen"};
+  static constexpr const char* kStems[] = {
+      "field", "ville", "burg", "town", "wood", "haven", "ford", "dale",
+      "port", "ridge", "brook", "mont"};
+  std::string name;
+  if (rng->Bernoulli(0.3)) {
+    name += kPrefixes[rng->Uniform(0, 9)];
+    name += ' ';
+  }
+  const size_t stem_len = static_cast<size_t>(rng->Uniform(3, 6));
+  for (size_t i = 0; i < stem_len; ++i) {
+    name += static_cast<char>(i == 0 ? 'A' + rng->Uniform(0, 25)
+                                     : 'a' + rng->Uniform(0, 25));
+  }
+  name += kStems[rng->Uniform(0, 11)];
+  name += std::to_string(c);  // Guarantees uniqueness.
+  return name;
+}
+
+// The static geography shared by both generator variants.
+struct Geography {
+  std::vector<std::string> state_names;
+  std::vector<std::string> city_names;
+  std::vector<size_t> city_state;
+  std::vector<int64_t> city_zip_base;
+  std::vector<size_t> city_zip_count;
+};
+
+Geography BuildGeography(size_t rows, Rng* rng) {
+  Geography geo;
+  geo.state_names.resize(kStateCount);
+  for (size_t s = 0; s < kStateCount; ++s) {
+    geo.state_names[s] = StateName(s);
+  }
+  // NY holds most cities; out-of-state tail is thin.
+  const size_t city_count = ScaledCityCount(rows);
+  ZipfDistribution city_state_dist(kStateCount, 1.6);
+  geo.city_names.resize(city_count);
+  geo.city_state.resize(city_count);
+  geo.city_zip_base.resize(city_count);
+  geo.city_zip_count.resize(city_count);
+  int64_t next_zip = 10001;  // 5-digit zips, NYC-style start.
+  for (size_t c = 0; c < city_count; ++c) {
+    geo.city_names[c] = CityName(c, rng);
+    geo.city_state[c] = city_state_dist.Sample(rng);
+    // Popular (low-rank) cities own more zips; rank correlates with c
+    // because rows sample cities by Zipf rank below.
+    const double popularity =
+        1.0 / std::pow(static_cast<double>(c + 1), 0.35);
+    size_t zips = static_cast<size_t>(
+        1 + popularity * static_cast<double>(kMaxZipsPerCity - 1) *
+                (0.5 + 0.5 * rng->NextDouble()));
+    zips = std::min(zips, kMaxZipsPerCity);
+    geo.city_zip_base[c] = next_zip;
+    geo.city_zip_count[c] = zips;
+    next_zip += static_cast<int64_t>(zips);
+    if (next_zip > 99000) {
+      next_zip = 10001 + (next_zip % 977);  // Wrap; reuse is harmless.
+    }
+  }
+  return geo;
+}
+
+// One row draw: (city index, zip value).
+struct RowDraw {
+  size_t city;
+  int64_t zip;
+};
+
+RowDraw DrawRow(const Geography& geo, const ZipfDistribution& city_dist,
+                Rng* rng) {
+  const size_t c = city_dist.Sample(rng);
+  // Zips within a city are mildly skewed toward the first few.
+  const size_t zi = static_cast<size_t>(
+      static_cast<double>(geo.city_zip_count[c]) * rng->NextDouble() *
+      rng->NextDouble());
+  return {c, geo.city_zip_base[c] +
+                 static_cast<int64_t>(
+                     std::min(zi, geo.city_zip_count[c] - 1))};
+}
+
+}  // namespace
+
+DmvData GenerateDmv(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  const Geography geo = BuildGeography(rows, &rng);
+  ZipfDistribution city_dist(geo.city_names.size(), 1.05);
+  DmvData out;
+  out.state.reserve(rows);
+  out.city.reserve(rows);
+  out.zip.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const RowDraw draw = DrawRow(geo, city_dist, &rng);
+    out.state.push_back(geo.state_names[geo.city_state[draw.city]]);
+    out.city.push_back(geo.city_names[draw.city]);
+    out.zip.push_back(draw.zip);
+  }
+  return out;
+}
+
+DmvCodes GenerateDmvCodes(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Geography geo = BuildGeography(rows, &rng);
+  ZipfDistribution city_dist(geo.city_names.size(), 1.05);
+  DmvCodes out;
+  out.state.reserve(rows);
+  out.city.reserve(rows);
+  out.zip.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    const RowDraw draw = DrawRow(geo, city_dist, &rng);
+    out.state.push_back(
+        static_cast<int64_t>(geo.city_state[draw.city]));
+    out.city.push_back(static_cast<int64_t>(draw.city));
+    out.zip.push_back(draw.zip);
+  }
+  out.state_names = std::move(geo.state_names);
+  out.city_names = std::move(geo.city_names);
+  return out;
+}
+
+Result<Table> MakeDmvTableFromCodes(size_t rows, uint64_t seed) {
+  DmvCodes data = GenerateDmvCodes(rows, seed);
+  auto state_dict = std::make_shared<enc::StringDictionary>();
+  for (const std::string& s : data.state_names) {
+    state_dict->GetOrInsert(s);
+  }
+  auto city_dict = std::make_shared<enc::StringDictionary>();
+  for (const std::string& s : data.city_names) {
+    city_dict->GetOrInsert(s);
+  }
+  Table table;
+  CORRA_ASSIGN_OR_RETURN(
+      Column state,
+      Column::StringFromCodes("state", std::move(data.state), state_dict));
+  CORRA_RETURN_NOT_OK(table.AddColumn(std::move(state)));
+  CORRA_ASSIGN_OR_RETURN(
+      Column city,
+      Column::StringFromCodes("city", std::move(data.city), city_dict));
+  CORRA_RETURN_NOT_OK(table.AddColumn(std::move(city)));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Int64("zip_code", std::move(data.zip))));
+  return table;
+}
+
+Result<Table> MakeDmvTable(size_t rows, uint64_t seed) {
+  DmvData data = GenerateDmv(rows, seed);
+  Table table;
+  CORRA_RETURN_NOT_OK(table.AddColumn(Column::String("state", data.state)));
+  CORRA_RETURN_NOT_OK(table.AddColumn(Column::String("city", data.city)));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Int64("zip_code", std::move(data.zip))));
+  return table;
+}
+
+}  // namespace corra::datagen

@@ -1,0 +1,40 @@
+// Synthetic LDBC SNB `message` columns (countryid, ip) — the hierarchical
+// pair the paper evaluates at SF 30 (Sec. 2.2 / Fig. 5, 7):
+//
+//   * 111 countries (LDBC's place dictionary), Zipf-popular;
+//   * each country owns a pool of unique IPv4 addresses (up to ~64k for
+//     the largest countries, ~1M distinct IPs overall);
+//   * a message's ip is drawn from its country's pool.
+//
+// Calibration targets (full scale 76,388,857 rows, paper Table 2):
+//   ip vertical     ~ dict codes of ~1M uniques (20 bits/row) + dict
+//   ip hierarchical ~ 16 bits/row + per-country metadata (17.1% saving).
+
+#ifndef CORRA_DATAGEN_LDBC_H_
+#define CORRA_DATAGEN_LDBC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace corra::datagen {
+
+/// message row count at SF 30 (the paper's setting).
+inline constexpr size_t kMessageRowsSf30 = 76'388'857;
+
+struct LdbcMessages {
+  std::vector<int64_t> countryid;  // Dense 0..110.
+  std::vector<int64_t> ip;         // IPv4 as integer.
+};
+
+/// Generates `rows` messages (deterministic in `seed`).
+LdbcMessages GenerateLdbcMessages(size_t rows, uint64_t seed = 42);
+
+/// Wraps the generated columns in a Table (countryid, ip).
+Result<Table> MakeLdbcTable(size_t rows, uint64_t seed = 42);
+
+}  // namespace corra::datagen
+
+#endif  // CORRA_DATAGEN_LDBC_H_

@@ -1,0 +1,157 @@
+#include "datagen/taxi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/date.h"
+#include "common/random.h"
+#include "datagen/distributions.h"
+
+namespace corra::datagen {
+
+namespace {
+
+// One year of trips (2023), in seconds.
+int64_t YearStartSeconds() {
+  return ToDays(CivilDate{2023, 1, 1}) * 86400;
+}
+constexpr int64_t kYearSeconds = 365LL * 86400;
+
+// Maximum glitch ride duration: ~12 days, just under 2^20 seconds. Real
+// TLC exports contain meter glitches of this magnitude; they bound the
+// diff bit width at 20 (paper: dropoff 136.64 -> 94.7 MB).
+constexpr int64_t kMaxDurationSeconds = (1 << 20) - 1;
+
+// A handful of corrupted timestamps dated years before the snapshot
+// (e.g. meters reset to an old date). They survive the paper's cleaning
+// and widen the vertical timestamp range to ~29 bits.
+constexpr int64_t kCorruptOffsetSeconds = 500'000'000 - kYearSeconds;
+
+}  // namespace
+
+TaxiTrips GenerateTaxiTrips(size_t rows, uint64_t seed,
+                            const TaxiFormulaProbabilities& probs) {
+  Rng rng(seed);
+  TaxiTrips out;
+  auto reserve_all = [&](auto&... vecs) { (vecs.reserve(rows), ...); };
+  reserve_all(out.pickup, out.dropoff, out.mta_tax, out.fare_amount,
+              out.improvement_surcharge, out.extra, out.tip_amount,
+              out.tolls_amount, out.congestion_surcharge, out.airport_fee,
+              out.total_amount);
+
+  DiscreteDistribution formula_dist(
+      {probs.a, probs.a_b, probs.a_c, probs.a_b_c, probs.outlier});
+  const int64_t year_start = YearStartSeconds();
+
+  for (size_t i = 0; i < rows; ++i) {
+    // --- Timestamps -----------------------------------------------------
+    int64_t pickup = year_start + rng.Uniform(0, kYearSeconds - 1);
+    if (rng.Bernoulli(2e-6)) {
+      // Corrupted meter date, years in the past.
+      pickup -= kCorruptOffsetSeconds;
+    }
+    // Log-normal duration, median ~660 s; rare glitch tail.
+    int64_t duration = static_cast<int64_t>(
+        SampleLogNormal(&rng, 6.5, 0.75));
+    if (rng.Bernoulli(5e-5)) {
+      duration = rng.Uniform(86'400, kMaxDurationSeconds);
+    }
+    duration = std::clamp<int64_t>(duration, 30, kMaxDurationSeconds);
+    out.pickup.push_back(pickup);
+    out.dropoff.push_back(pickup + duration);
+
+    // --- Money (cents) --------------------------------------------------
+    // Fare scales with duration; capped so every total stays below the
+    // paper's $100 cleaning bound with headroom for tips and fees.
+    const int64_t fare = std::clamp<int64_t>(
+        250 + duration / 8 + rng.Uniform(-100, 300), 250, 5800);
+    const int64_t mta_tax = 50;
+    const int64_t improvement = 100;
+    static constexpr int64_t kExtras[] = {0, 0, 50, 100, 250};
+    const int64_t extra = kExtras[rng.Uniform(0, 4)];
+    // ~70% of riders tip, 15-25% of the fare.
+    const int64_t tip =
+        rng.Bernoulli(0.7)
+            ? fare * rng.Uniform(15, 25) / 100
+            : 0;
+    const int64_t tolls = rng.Bernoulli(0.06) ? 688 : 0;
+    const int64_t group_a =
+        mta_tax + fare + improvement + extra + tip + tolls;
+    const int64_t group_b = 250;  // NYC congestion surcharge.
+    const int64_t group_c = 175;  // Airport fee.
+
+    const size_t formula = formula_dist.Sample(&rng);
+    int64_t total = group_a;
+    int64_t congestion = 0;
+    int64_t airport = 0;
+    switch (formula) {
+      case 0:  // A
+        break;
+      case 1:  // A + B
+        congestion = group_b;
+        total += group_b;
+        break;
+      case 2:  // A + C
+        airport = group_c;
+        total += group_c;
+        break;
+      case 3:  // A + B + C
+        congestion = group_b;
+        airport = group_c;
+        total += group_b + group_c;
+        break;
+      default: {  // Outlier: manual adjustment breaking every formula.
+        congestion = group_b;
+        int64_t perturbation = rng.Uniform(-400, 400);
+        if (perturbation >= -250 && perturbation <= 425) {
+          // Keep the perturbed total from accidentally matching A, A+B,
+          // A+C or A+B+C (offsets -250/0/-75/+175 relative to A+B).
+          perturbation = 426 + (perturbation & 63);
+        }
+        total += group_b + perturbation;
+        break;
+      }
+    }
+    out.mta_tax.push_back(mta_tax);
+    out.fare_amount.push_back(fare);
+    out.improvement_surcharge.push_back(improvement);
+    out.extra.push_back(extra);
+    out.tip_amount.push_back(tip);
+    out.tolls_amount.push_back(tolls);
+    out.congestion_surcharge.push_back(congestion);
+    out.airport_fee.push_back(airport);
+    out.total_amount.push_back(total);
+  }
+  return out;
+}
+
+Result<Table> MakeTaxiTable(size_t rows, uint64_t seed,
+                            const TaxiFormulaProbabilities& probs) {
+  TaxiTrips t = GenerateTaxiTrips(rows, seed, probs);
+  Table table;
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Timestamp("pickup", std::move(t.pickup))));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Timestamp("dropoff", std::move(t.dropoff))));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Money("mta_tax", std::move(t.mta_tax))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Money("fare_amount", std::move(t.fare_amount))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(Column::Money(
+      "improvement_surcharge", std::move(t.improvement_surcharge))));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Money("extra", std::move(t.extra))));
+  CORRA_RETURN_NOT_OK(
+      table.AddColumn(Column::Money("tip_amount", std::move(t.tip_amount))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Money("tolls_amount", std::move(t.tolls_amount))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(Column::Money(
+      "congestion_surcharge", std::move(t.congestion_surcharge))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Money("airport_fee", std::move(t.airport_fee))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Money("total_amount", std::move(t.total_amount))));
+  return table;
+}
+
+}  // namespace corra::datagen

@@ -1,0 +1,87 @@
+// Synthetic NYC Yellow Taxi trips, calibrated to the correlation structure
+// the paper exploits (Sec. 2.1 for (pickup, dropoff) and Sec. 2.3 for
+// total_amount):
+//
+//   * pickup timestamps over one year, plus a handful of corrupted rows
+//     dated years off (real TLC data contains such rows, and the paper's
+//     cleaning — dropoff >= pickup, money in [0, $100] — does not remove
+//     them); these widen the vertical FOR range to ~29 bits;
+//   * ride duration log-normal (median ~11 min) with a rare data-glitch
+//     tail up to ~12 days, bounding dropoff - pickup at 20 bits;
+//   * monetary columns (cents) in three groups:
+//       A: mta_tax, fare_amount, improvement_surcharge, extra,
+//          tip_amount, tolls_amount
+//       B: congestion_surcharge
+//       C: airport_fee
+//     total_amount = A / A+B / A+C / A+B+C / none with the paper's
+//     Table 1 probabilities (31.19 / 62.44 / 2.69 / 3.33 / 0.32 %).
+
+#ifndef CORRA_DATAGEN_TAXI_H_
+#define CORRA_DATAGEN_TAXI_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace corra::datagen {
+
+/// Cleaned trip count of the paper's one-year snapshot.
+inline constexpr size_t kTaxiRows = 37'891'377;
+
+/// The paper's Table 1 mix.
+struct TaxiFormulaProbabilities {
+  double a = 0.3119;
+  double a_b = 0.6244;
+  double a_c = 0.0269;
+  double a_b_c = 0.0333;
+  double outlier = 0.0032;
+};
+
+struct TaxiTrips {
+  std::vector<int64_t> pickup;   // seconds since epoch
+  std::vector<int64_t> dropoff;  // seconds since epoch
+  // Group A:
+  std::vector<int64_t> mta_tax;                // cents
+  std::vector<int64_t> fare_amount;            // cents
+  std::vector<int64_t> improvement_surcharge;  // cents
+  std::vector<int64_t> extra;                  // cents
+  std::vector<int64_t> tip_amount;             // cents
+  std::vector<int64_t> tolls_amount;           // cents
+  // Group B:
+  std::vector<int64_t> congestion_surcharge;   // cents
+  // Group C:
+  std::vector<int64_t> airport_fee;            // cents
+  std::vector<int64_t> total_amount;           // cents
+};
+
+/// Generates `rows` trips (deterministic in `seed`).
+TaxiTrips GenerateTaxiTrips(size_t rows, uint64_t seed = 42,
+                            const TaxiFormulaProbabilities& probs = {});
+
+/// Wraps the trips in a Table. Column order:
+/// pickup, dropoff, mta_tax, fare_amount, improvement_surcharge, extra,
+/// tip_amount, tolls_amount, congestion_surcharge, airport_fee,
+/// total_amount.
+Result<Table> MakeTaxiTable(size_t rows, uint64_t seed = 42,
+                            const TaxiFormulaProbabilities& probs = {});
+
+/// Column indices in the table built by MakeTaxiTable.
+struct TaxiColumns {
+  static constexpr size_t kPickup = 0;
+  static constexpr size_t kDropoff = 1;
+  static constexpr size_t kMtaTax = 2;
+  static constexpr size_t kFareAmount = 3;
+  static constexpr size_t kImprovementSurcharge = 4;
+  static constexpr size_t kExtra = 5;
+  static constexpr size_t kTipAmount = 6;
+  static constexpr size_t kTollsAmount = 7;
+  static constexpr size_t kCongestionSurcharge = 8;
+  static constexpr size_t kAirportFee = 9;
+  static constexpr size_t kTotalAmount = 10;
+};
+
+}  // namespace corra::datagen
+
+#endif  // CORRA_DATAGEN_TAXI_H_

@@ -1,0 +1,48 @@
+#include "datagen/tpch.h"
+
+#include "common/date.h"
+#include "common/random.h"
+
+namespace corra::datagen {
+
+LineitemDates GenerateLineitemDates(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  LineitemDates out;
+  out.orderdate.resize(rows);
+  out.shipdate.resize(rows);
+  out.commitdate.resize(rows);
+  out.receiptdate.resize(rows);
+
+  const int64_t start = ToDays(CivilDate{1992, 1, 1});
+  const int64_t end = ToDays(CivilDate{1998, 12, 31});
+  // dbgen: orders span [STARTDATE, ENDDATE - 151 days].
+  const int64_t order_hi = end - 151;
+
+  for (size_t i = 0; i < rows; ++i) {
+    const int64_t orderdate = rng.Uniform(start, order_hi);
+    const int64_t shipdate = orderdate + rng.Uniform(1, 121);
+    const int64_t commitdate = orderdate + rng.Uniform(30, 90);
+    const int64_t receiptdate = shipdate + rng.Uniform(1, 30);
+    out.orderdate[i] = orderdate;
+    out.shipdate[i] = shipdate;
+    out.commitdate[i] = commitdate;
+    out.receiptdate[i] = receiptdate;
+  }
+  return out;
+}
+
+Result<Table> MakeLineitemTable(size_t rows, uint64_t seed) {
+  LineitemDates dates = GenerateLineitemDates(rows, seed);
+  Table table;
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Date("l_orderdate", std::move(dates.orderdate))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Date("l_shipdate", std::move(dates.shipdate))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Date("l_commitdate", std::move(dates.commitdate))));
+  CORRA_RETURN_NOT_OK(table.AddColumn(
+      Column::Date("l_receiptdate", std::move(dates.receiptdate))));
+  return table;
+}
+
+}  // namespace corra::datagen

@@ -1,0 +1,86 @@
+#include "encoding/bitpack.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace corra::enc {
+
+BitPackColumn::BitPackColumn(std::vector<uint8_t> bytes, int bit_width,
+                             size_t count)
+    : bytes_(std::move(bytes)),
+      reader_(bytes_.data(), bit_width, count) {}
+
+Result<std::unique_ptr<BitPackColumn>> BitPackColumn::Encode(
+    std::span<const int64_t> values) {
+  uint64_t max_value = 0;
+  for (int64_t v : values) {
+    if (v < 0) {
+      return Status::InvalidArgument(
+          "BitPack requires non-negative values; use FOR instead");
+    }
+    max_value = std::max(max_value, static_cast<uint64_t>(v));
+  }
+  const int width = bit_util::BitWidth(max_value);
+  BitWriter writer(width);
+  for (int64_t v : values) {
+    writer.Append(static_cast<uint64_t>(v));
+  }
+  return std::unique_ptr<BitPackColumn>(
+      new BitPackColumn(std::move(writer).Finish(), width, values.size()));
+}
+
+size_t BitPackColumn::EstimateSizeBytes(std::span<const int64_t> values) {
+  uint64_t max_value = 0;
+  for (int64_t v : values) {
+    if (v < 0) {
+      return SIZE_MAX;
+    }
+    max_value = std::max(max_value, static_cast<uint64_t>(v));
+  }
+  const int width = bit_util::BitWidth(max_value);
+  return bit_util::CeilDiv(values.size() * width, 8);
+}
+
+Result<std::unique_ptr<BitPackColumn>> BitPackColumn::Deserialize(
+    BufferReader* reader) {
+  uint8_t width = 0;
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&width));
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  if (width > 64) {
+    return Status::Corruption("BitPack width > 64");
+  }
+  std::span<const uint8_t> payload;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
+  if (payload.size() < bit_util::PackedBytes(count, width)) {
+    return Status::Corruption("BitPack payload truncated");
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  return std::unique_ptr<BitPackColumn>(
+      new BitPackColumn(std::move(bytes), width, count));
+}
+
+size_t BitPackColumn::SizeBytes() const {
+  return bit_util::CeilDiv(reader_.size() * reader_.bit_width(), 8);
+}
+
+void BitPackColumn::Gather(std::span<const uint32_t> rows,
+                           int64_t* out) const {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = static_cast<int64_t>(reader_.Get(rows[i]));
+  }
+}
+
+void BitPackColumn::DecodeAll(int64_t* out) const {
+  reader_.DecodeAll(reinterpret_cast<uint64_t*>(out));
+}
+
+void BitPackColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kBitPack));
+  writer->Write<uint8_t>(static_cast<uint8_t>(reader_.bit_width()));
+  writer->Write<uint64_t>(reader_.size());
+  writer->WriteBytes(bytes_);
+}
+
+}  // namespace corra::enc

@@ -1,0 +1,54 @@
+// Fixed-width bit-packing of non-negative values.
+//
+// The simplest member of the baseline pool: width = bits of the maximum
+// value. FOR (for.h) generalizes this by subtracting a base first; BitPack
+// is kept separate because the paper's Fig. 2 uses "just bit-packing the
+// individual columns" as its reference point.
+
+#ifndef CORRA_ENCODING_BITPACK_H_
+#define CORRA_ENCODING_BITPACK_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bit_stream.h"
+#include "encoding/encoded_column.h"
+
+namespace corra::enc {
+
+class BitPackColumn final : public EncodedColumn {
+ public:
+  /// Packs `values`; fails with InvalidArgument if any value is negative.
+  static Result<std::unique_ptr<BitPackColumn>> Encode(
+      std::span<const int64_t> values);
+
+  /// Compressed size `values` would have, without encoding them.
+  /// Returns SIZE_MAX when the scheme is inapplicable (negative values).
+  static size_t EstimateSizeBytes(std::span<const int64_t> values);
+
+  static Result<std::unique_ptr<BitPackColumn>> Deserialize(
+      BufferReader* reader);
+
+  Scheme scheme() const override { return Scheme::kBitPack; }
+  size_t size() const override { return reader_.size(); }
+  size_t SizeBytes() const override;
+  int64_t Get(size_t row) const override {
+    return static_cast<int64_t>(reader_.Get(row));
+  }
+  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void DecodeAll(int64_t* out) const override;
+  void Serialize(BufferWriter* writer) const override;
+
+  int bit_width() const { return reader_.bit_width(); }
+
+ private:
+  BitPackColumn(std::vector<uint8_t> bytes, int bit_width, size_t count);
+
+  std::vector<uint8_t> bytes_;
+  BitReader reader_;
+};
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_BITPACK_H_

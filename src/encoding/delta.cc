@@ -1,0 +1,127 @@
+#include "encoding/delta.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace corra::enc {
+
+DeltaColumn::DeltaColumn(std::vector<int64_t> checkpoints,
+                         std::vector<uint8_t> bytes, int bit_width,
+                         size_t count)
+    : checkpoints_(std::move(checkpoints)),
+      bytes_(std::move(bytes)),
+      reader_(bytes_.data(), bit_width, count) {}
+
+Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Encode(
+    std::span<const int64_t> values) {
+  // First pass: width of the widest zig-zag delta.
+  uint64_t max_zz = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    // Wrap-around subtraction is well defined in unsigned space and is
+    // inverted exactly by the wrap-around addition in Get/DecodeAll.
+    const int64_t delta = static_cast<int64_t>(
+        static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(values[i - 1]));
+    max_zz = std::max(max_zz, bit_util::ZigZagEncode(delta));
+  }
+  const int width = bit_util::BitWidth(max_zz);
+
+  std::vector<int64_t> checkpoints;
+  checkpoints.reserve(values.size() / kCheckpointInterval + 1);
+  BitWriter writer(width);
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i % kCheckpointInterval == 0) {
+      checkpoints.push_back(values[i]);
+    }
+    const int64_t prev = i == 0 ? 0 : values[i - 1];
+    const int64_t delta = static_cast<int64_t>(
+        static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(prev));
+    // Row 0's delta slot is unused (the checkpoint covers it); store 0 to
+    // keep positions aligned.
+    writer.Append(i == 0 ? 0 : bit_util::ZigZagEncode(delta));
+  }
+  return std::unique_ptr<DeltaColumn>(
+      new DeltaColumn(std::move(checkpoints), std::move(writer).Finish(),
+                      width, values.size()));
+}
+
+size_t DeltaColumn::EstimateSizeBytes(std::span<const int64_t> values) {
+  uint64_t max_zz = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    const int64_t delta = static_cast<int64_t>(
+        static_cast<uint64_t>(values[i]) - static_cast<uint64_t>(values[i - 1]));
+    max_zz = std::max(max_zz, bit_util::ZigZagEncode(delta));
+  }
+  const int width = bit_util::BitWidth(max_zz);
+  const size_t checkpoints =
+      values.empty() ? 0 : (values.size() - 1) / kCheckpointInterval + 1;
+  return bit_util::CeilDiv(values.size() * width, 8) +
+         checkpoints * sizeof(int64_t);
+}
+
+Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Deserialize(
+    BufferReader* reader) {
+  std::vector<int64_t> checkpoints;
+  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&checkpoints));
+  uint8_t width = 0;
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&width));
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  if (width > 64) {
+    return Status::Corruption("Delta width > 64");
+  }
+  const size_t expected_checkpoints =
+      count == 0 ? 0 : (count - 1) / kCheckpointInterval + 1;
+  if (checkpoints.size() != expected_checkpoints) {
+    return Status::Corruption("Delta checkpoint count mismatch");
+  }
+  std::span<const uint8_t> payload;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
+  if (payload.size() < bit_util::PackedBytes(count, width)) {
+    return Status::Corruption("Delta payload truncated");
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  return std::unique_ptr<DeltaColumn>(new DeltaColumn(
+      std::move(checkpoints), std::move(bytes), width, count));
+}
+
+size_t DeltaColumn::SizeBytes() const {
+  return bit_util::CeilDiv(reader_.size() * reader_.bit_width(), 8) +
+         checkpoints_.size() * sizeof(int64_t);
+}
+
+int64_t DeltaColumn::Get(size_t row) const {
+  const size_t checkpoint = row / kCheckpointInterval;
+  int64_t value = checkpoints_[checkpoint];
+  for (size_t i = checkpoint * kCheckpointInterval + 1; i <= row; ++i) {
+    value = static_cast<int64_t>(
+        static_cast<uint64_t>(value) +
+        static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(i))));
+  }
+  return value;
+}
+
+void DeltaColumn::DecodeAll(int64_t* out) const {
+  const size_t n = reader_.size();
+  if (n == 0) {
+    return;
+  }
+  int64_t value = checkpoints_[0];
+  out[0] = value;
+  for (size_t i = 1; i < n; ++i) {
+    value = static_cast<int64_t>(
+        static_cast<uint64_t>(value) +
+        static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(i))));
+    out[i] = value;
+  }
+}
+
+void DeltaColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kDelta));
+  writer->WriteInt64Array(checkpoints_);
+  writer->Write<uint8_t>(static_cast<uint8_t>(reader_.bit_width()));
+  writer->Write<uint64_t>(reader_.size());
+  writer->WriteBytes(bytes_);
+}
+
+}  // namespace corra::enc

@@ -1,0 +1,107 @@
+#include "encoding/dictionary.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bit_util.h"
+
+namespace corra::enc {
+
+DictColumn::DictColumn(std::vector<int64_t> dict, std::vector<uint8_t> bytes,
+                       int bit_width, size_t count)
+    : dict_(std::move(dict)),
+      bytes_(std::move(bytes)),
+      reader_(bytes_.data(), bit_width, count) {}
+
+Result<std::unique_ptr<DictColumn>> DictColumn::Encode(
+    std::span<const int64_t> values) {
+  std::vector<int64_t> dict(values.begin(), values.end());
+  std::sort(dict.begin(), dict.end());
+  dict.erase(std::unique(dict.begin(), dict.end()), dict.end());
+
+  std::unordered_map<int64_t, uint64_t> code_of;
+  code_of.reserve(dict.size());
+  for (size_t i = 0; i < dict.size(); ++i) {
+    code_of.emplace(dict[i], i);
+  }
+
+  const int width =
+      bit_util::BitWidth(dict.empty() ? 0 : dict.size() - 1);
+  BitWriter writer(width);
+  for (int64_t v : values) {
+    writer.Append(code_of.find(v)->second);
+  }
+  return std::unique_ptr<DictColumn>(new DictColumn(
+      std::move(dict), std::move(writer).Finish(), width, values.size()));
+}
+
+size_t DictColumn::EstimateSizeBytes(std::span<const int64_t> values) {
+  std::unordered_set<int64_t> distinct(values.begin(), values.end());
+  const size_t cardinality = distinct.size();
+  const int width =
+      bit_util::BitWidth(cardinality == 0 ? 0 : cardinality - 1);
+  return bit_util::CeilDiv(values.size() * width, 8) +
+         cardinality * sizeof(int64_t);
+}
+
+Result<std::unique_ptr<DictColumn>> DictColumn::Deserialize(
+    BufferReader* reader) {
+  std::vector<int64_t> dict;
+  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&dict));
+  uint8_t width = 0;
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&width));
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  if (width > 64) {
+    return Status::Corruption("Dict width > 64");
+  }
+  std::span<const uint8_t> payload;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
+  if (payload.size() < bit_util::PackedBytes(count, width)) {
+    return Status::Corruption("Dict payload truncated");
+  }
+  // Reject codes that exceed the dictionary, so a corrupted payload cannot
+  // cause out-of-bounds reads later.
+  BitReader probe(payload.data(), width, count);
+  for (size_t i = 0; i < count; ++i) {
+    if (probe.Get(i) >= dict.size()) {
+      return Status::Corruption("Dict code out of range");
+    }
+  }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  return std::unique_ptr<DictColumn>(
+      new DictColumn(std::move(dict), std::move(bytes), width, count));
+}
+
+size_t DictColumn::SizeBytes() const {
+  return bit_util::CeilDiv(reader_.size() * reader_.bit_width(), 8) +
+         dict_.size() * sizeof(int64_t);
+}
+
+void DictColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
+  const int64_t* dict = dict_.data();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i] = dict[reader_.Get(rows[i])];
+  }
+}
+
+void DictColumn::DecodeAll(int64_t* out) const {
+  // Decode codes in bulk, then translate through the dictionary.
+  const size_t n = reader_.size();
+  reader_.DecodeAll(reinterpret_cast<uint64_t*>(out));
+  const int64_t* dict = dict_.data();
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = dict[static_cast<uint64_t>(out[i])];
+  }
+}
+
+void DictColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kDict));
+  writer->WriteInt64Array(dict_);
+  writer->Write<uint8_t>(static_cast<uint8_t>(reader_.bit_width()));
+  writer->Write<uint64_t>(reader_.size());
+  writer->WriteBytes(bytes_);
+}
+
+}  // namespace corra::enc

@@ -1,0 +1,74 @@
+// EncodedColumn: the common interface of every compressed column.
+//
+// An encoded column answers point lookups (Get), batched selective
+// materialization (Gather), and full decompression (DecodeAll), reports its
+// compressed footprint (SizeBytes — the quantity in the paper's Table 2),
+// and serializes itself into the self-contained block format.
+//
+// Horizontal (correlation-aware) columns additionally declare which sibling
+// columns they reference; the owning Block resolves those references after
+// deserialization via BindReferences.
+
+#ifndef CORRA_ENCODING_ENCODED_COLUMN_H_
+#define CORRA_ENCODING_ENCODED_COLUMN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "encoding/scheme.h"
+
+namespace corra::enc {
+
+class EncodedColumn {
+ public:
+  virtual ~EncodedColumn() = default;
+
+  EncodedColumn(const EncodedColumn&) = delete;
+  EncodedColumn& operator=(const EncodedColumn&) = delete;
+
+  /// Which encoding this column uses.
+  virtual Scheme scheme() const = 0;
+
+  /// Number of rows.
+  virtual size_t size() const = 0;
+
+  /// Compressed footprint in bytes: packed payload plus scheme metadata
+  /// (dictionaries, offsets arrays, outlier stores). Excludes alignment
+  /// padding so the number is directly comparable to the paper's Table 2.
+  virtual size_t SizeBytes() const = 0;
+
+  /// The logical value at `row` (precondition: row < size()).
+  virtual int64_t Get(size_t row) const = 0;
+
+  /// Materializes the values at the given sorted row positions into `out`
+  /// (which must hold rows.size() values). Default: loop over Get.
+  virtual void Gather(std::span<const uint32_t> rows, int64_t* out) const;
+
+  /// Decompresses the whole column into `out` (size() values).
+  /// Default: loop over Get; schemes override with sequential fast paths.
+  virtual void DecodeAll(int64_t* out) const;
+
+  /// Appends the full wire representation (scheme byte first).
+  virtual void Serialize(BufferWriter* writer) const = 0;
+
+  /// Block-local indices of the columns this one references (empty for
+  /// vertical schemes). Order matches BindReferences.
+  virtual std::vector<uint32_t> ReferenceIndices() const { return {}; }
+
+  /// Wires the resolved reference columns (same order as
+  /// ReferenceIndices). Vertical schemes accept only an empty span.
+  virtual Status BindReferences(
+      std::span<const EncodedColumn* const> references);
+
+ protected:
+  EncodedColumn() = default;
+};
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_ENCODED_COLUMN_H_

@@ -1,0 +1,56 @@
+// Frame-of-Reference encoding: store min(values) once and bit-pack the
+// non-negative offsets to it. Together with Dict this forms the paper's
+// single-column baseline ("FOR- or Dict-encoding schemes, followed by a
+// bit-packing"), chosen for its O(1) random access.
+
+#ifndef CORRA_ENCODING_FOR_H_
+#define CORRA_ENCODING_FOR_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bit_stream.h"
+#include "encoding/encoded_column.h"
+
+namespace corra::enc {
+
+class ForColumn final : public EncodedColumn {
+ public:
+  /// Encodes `values` relative to their minimum. Fails only when the value
+  /// range does not fit in an unsigned 64-bit delta (e.g. INT64_MIN mixed
+  /// with INT64_MAX).
+  static Result<std::unique_ptr<ForColumn>> Encode(
+      std::span<const int64_t> values);
+
+  /// Compressed size `values` would have (payload + base), without
+  /// encoding. SIZE_MAX when inapplicable.
+  static size_t EstimateSizeBytes(std::span<const int64_t> values);
+
+  static Result<std::unique_ptr<ForColumn>> Deserialize(BufferReader* reader);
+
+  Scheme scheme() const override { return Scheme::kFor; }
+  size_t size() const override { return reader_.size(); }
+  size_t SizeBytes() const override;
+  int64_t Get(size_t row) const override {
+    return base_ + static_cast<int64_t>(reader_.Get(row));
+  }
+  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void DecodeAll(int64_t* out) const override;
+  void Serialize(BufferWriter* writer) const override;
+
+  int64_t base() const { return base_; }
+  int bit_width() const { return reader_.bit_width(); }
+
+ private:
+  ForColumn(int64_t base, std::vector<uint8_t> bytes, int bit_width,
+            size_t count);
+
+  int64_t base_ = 0;
+  std::vector<uint8_t> bytes_;
+  BitReader reader_;
+};
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_FOR_H_

@@ -1,0 +1,134 @@
+#include "encoding/rle.h"
+
+#include "common/bit_util.h"
+
+namespace corra::enc {
+
+RleColumn::RleColumn(std::vector<int64_t> run_values,
+                     std::vector<uint32_t> run_ends,
+                     std::vector<uint32_t> checkpoints, size_t count)
+    : run_values_(std::move(run_values)),
+      run_ends_(std::move(run_ends)),
+      checkpoints_(std::move(checkpoints)),
+      count_(count) {}
+
+Result<std::unique_ptr<RleColumn>> RleColumn::Encode(
+    std::span<const int64_t> values) {
+  if (values.size() > UINT32_MAX) {
+    return Status::InvalidArgument("RLE column limited to 2^32-1 rows");
+  }
+  std::vector<int64_t> run_values;
+  std::vector<uint32_t> run_ends;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) {
+      ++j;
+    }
+    run_values.push_back(values[i]);
+    run_ends.push_back(static_cast<uint32_t>(j));
+    i = j;
+  }
+  // Checkpoint: run index containing row k * interval.
+  std::vector<uint32_t> checkpoints;
+  size_t run = 0;
+  for (size_t row = 0; row < values.size(); row += kCheckpointInterval) {
+    while (run_ends[run] <= row) {
+      ++run;
+    }
+    checkpoints.push_back(static_cast<uint32_t>(run));
+  }
+  return std::unique_ptr<RleColumn>(
+      new RleColumn(std::move(run_values), std::move(run_ends),
+                    std::move(checkpoints), values.size()));
+}
+
+size_t RleColumn::EstimateSizeBytes(std::span<const int64_t> values) {
+  size_t runs = 0;
+  for (size_t i = 0; i < values.size();) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) {
+      ++j;
+    }
+    ++runs;
+    i = j;
+  }
+  const size_t checkpoints =
+      values.empty() ? 0 : (values.size() - 1) / kCheckpointInterval + 1;
+  return runs * (sizeof(int64_t) + sizeof(uint32_t)) +
+         checkpoints * sizeof(uint32_t);
+}
+
+Result<std::unique_ptr<RleColumn>> RleColumn::Deserialize(
+    BufferReader* reader) {
+  std::vector<int64_t> run_values;
+  std::vector<uint32_t> run_ends;
+  std::vector<uint32_t> checkpoints;
+  uint64_t count = 0;
+  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&run_values));
+  CORRA_RETURN_NOT_OK(reader->ReadUint32Array(&run_ends));
+  CORRA_RETURN_NOT_OK(reader->ReadUint32Array(&checkpoints));
+  CORRA_RETURN_NOT_OK(reader->Read(&count));
+  if (run_values.size() != run_ends.size()) {
+    return Status::Corruption("RLE run arrays disagree");
+  }
+  // Run ends must be strictly increasing and finish exactly at count.
+  uint32_t prev = 0;
+  for (uint32_t end : run_ends) {
+    if (end <= prev) {
+      return Status::Corruption("RLE run ends not increasing");
+    }
+    prev = end;
+  }
+  if (!run_ends.empty() && run_ends.back() != count) {
+    return Status::Corruption("RLE runs do not cover the column");
+  }
+  if (run_ends.empty() && count != 0) {
+    return Status::Corruption("RLE missing runs");
+  }
+  const size_t expected_checkpoints =
+      count == 0 ? 0 : (count - 1) / kCheckpointInterval + 1;
+  if (checkpoints.size() != expected_checkpoints) {
+    return Status::Corruption("RLE checkpoint count mismatch");
+  }
+  for (uint32_t c : checkpoints) {
+    if (c >= run_values.size()) {
+      return Status::Corruption("RLE checkpoint out of range");
+    }
+  }
+  return std::unique_ptr<RleColumn>(
+      new RleColumn(std::move(run_values), std::move(run_ends),
+                    std::move(checkpoints), count));
+}
+
+size_t RleColumn::SizeBytes() const {
+  return run_values_.size() * (sizeof(int64_t) + sizeof(uint32_t)) +
+         checkpoints_.size() * sizeof(uint32_t);
+}
+
+int64_t RleColumn::Get(size_t row) const {
+  size_t run = checkpoints_[row / kCheckpointInterval];
+  while (run_ends_[run] <= row) {
+    ++run;
+  }
+  return run_values_[run];
+}
+
+void RleColumn::DecodeAll(int64_t* out) const {
+  size_t row = 0;
+  for (size_t run = 0; run < run_values_.size(); ++run) {
+    const int64_t v = run_values_[run];
+    for (; row < run_ends_[run]; ++row) {
+      out[row] = v;
+    }
+  }
+}
+
+void RleColumn::Serialize(BufferWriter* writer) const {
+  writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kRle));
+  writer->WriteInt64Array(run_values_);
+  writer->WriteUint32Array(run_ends_);
+  writer->WriteUint32Array(checkpoints_);
+  writer->Write<uint64_t>(count_);
+}
+
+}  // namespace corra::enc

@@ -1,0 +1,54 @@
+// Identifiers for every encoding scheme in the library: the vertical
+// (single-column) substrate the paper uses as its baseline, the horizontal
+// Corra schemes (the paper's contribution), and the C3 schemes from the
+// independent work of Glas et al. used in Table 3.
+
+#ifndef CORRA_ENCODING_SCHEME_H_
+#define CORRA_ENCODING_SCHEME_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace corra::enc {
+
+/// Wire-stable identifiers (serialized as one byte in the block format).
+enum class Scheme : uint8_t {
+  // Vertical schemes (prior work; Corra's baseline pool).
+  kPlain = 0,        // Raw 64-bit values.
+  kBitPack = 1,      // Fixed-width packing of non-negative values.
+  kFor = 2,          // Frame-of-reference + bit-packing.
+  kDict = 3,         // Dictionary + bit-packed codes.
+  kDelta = 4,        // Deltas to predecessor, checkpointed random access.
+  kRle = 5,          // Run-length, checkpointed random access.
+
+  // Horizontal schemes (Corra, this paper).
+  kDiff = 16,          // Non-hierarchical diff encoding (Sec. 2.1).
+  kHierarchical = 17,  // Hierarchical encoding (Sec. 2.2).
+  kMultiRef = 18,      // Multiple reference columns + outliers (Sec. 2.3).
+
+  // C3 schemes (Glas et al., reimplemented for Table 3).
+  kC3Dfor = 32,       // Diff column compressed with FOR.
+  kC3Numerical = 33,  // Affine generalization of diff encoding.
+  kC3OneToOne = 34,   // Target derivable 1-to-1 from the reference.
+};
+
+/// Human-readable scheme name for reports and error messages.
+std::string_view SchemeToString(Scheme scheme);
+
+/// True for schemes that express a column in terms of other columns and
+/// therefore need reference binding inside a block.
+constexpr bool IsHorizontal(Scheme scheme) {
+  return scheme == Scheme::kDiff || scheme == Scheme::kHierarchical ||
+         scheme == Scheme::kMultiRef || scheme == Scheme::kC3Dfor ||
+         scheme == Scheme::kC3Numerical || scheme == Scheme::kC3OneToOne;
+}
+
+/// True for schemes whose Get() is O(1) without checkpoints. The paper's
+/// baseline restricts itself to these (Sec. 3, "Baseline").
+constexpr bool HasConstantTimeAccess(Scheme scheme) {
+  return scheme != Scheme::kDelta && scheme != Scheme::kRle;
+}
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_SCHEME_H_

@@ -1,0 +1,69 @@
+#include "encoding/selector.h"
+
+#include <algorithm>
+
+#include "encoding/bitpack.h"
+#include "encoding/delta.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "encoding/plain.h"
+#include "encoding/rle.h"
+
+namespace corra::enc {
+
+std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
+                                            SelectionPolicy policy) {
+  std::vector<SchemeEstimate> estimates;
+  estimates.push_back(
+      {Scheme::kPlain, values.size() * sizeof(int64_t)});
+  estimates.push_back(
+      {Scheme::kBitPack, BitPackColumn::EstimateSizeBytes(values)});
+  estimates.push_back({Scheme::kFor, ForColumn::EstimateSizeBytes(values)});
+  estimates.push_back(
+      {Scheme::kDict, DictColumn::EstimateSizeBytes(values)});
+  if (policy == SelectionPolicy::kAllowCheckpointedSchemes) {
+    estimates.push_back(
+        {Scheme::kDelta, DeltaColumn::EstimateSizeBytes(values)});
+    estimates.push_back(
+        {Scheme::kRle, RleColumn::EstimateSizeBytes(values)});
+  }
+  return estimates;
+}
+
+Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
+    std::span<const int64_t> values, SelectionPolicy policy) {
+  const auto estimates = EstimateSchemes(values, policy);
+  const auto best = std::min_element(
+      estimates.begin(), estimates.end(),
+      [](const SchemeEstimate& a, const SchemeEstimate& b) {
+        return a.size_bytes < b.size_bytes;
+      });
+  switch (best->scheme) {
+    case Scheme::kPlain:
+      return std::unique_ptr<EncodedColumn>(PlainColumn::Encode(values));
+    case Scheme::kBitPack: {
+      CORRA_ASSIGN_OR_RETURN(auto col, BitPackColumn::Encode(values));
+      return std::unique_ptr<EncodedColumn>(std::move(col));
+    }
+    case Scheme::kFor: {
+      CORRA_ASSIGN_OR_RETURN(auto col, ForColumn::Encode(values));
+      return std::unique_ptr<EncodedColumn>(std::move(col));
+    }
+    case Scheme::kDict: {
+      CORRA_ASSIGN_OR_RETURN(auto col, DictColumn::Encode(values));
+      return std::unique_ptr<EncodedColumn>(std::move(col));
+    }
+    case Scheme::kDelta: {
+      CORRA_ASSIGN_OR_RETURN(auto col, DeltaColumn::Encode(values));
+      return std::unique_ptr<EncodedColumn>(std::move(col));
+    }
+    case Scheme::kRle: {
+      CORRA_ASSIGN_OR_RETURN(auto col, RleColumn::Encode(values));
+      return std::unique_ptr<EncodedColumn>(std::move(col));
+    }
+    default:
+      return Status::Internal("selector produced non-vertical scheme");
+  }
+}
+
+}  // namespace corra::enc

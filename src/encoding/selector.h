@@ -1,0 +1,50 @@
+// Best-single-scheme selector: the paper's baseline.
+//
+// "We compare Corra to a baseline that employs the best single-column
+//  encoding scheme for each column. We use FOR- or Dict-encoding schemes,
+//  followed by a bit-packing. We chose these because they allow for fast
+//  random access into the compressed column; both RLE and Delta require
+//  checkpoints." (Sec. 3)
+//
+// SelectBestScheme estimates the compressed size under every applicable
+// scheme and encodes with the cheapest one. By default only O(1)-access
+// schemes compete (the paper's rule); pass kAllowCheckpointedSchemes to add
+// Delta and RLE to the pool (used by the ablation bench).
+
+#ifndef CORRA_ENCODING_SELECTOR_H_
+#define CORRA_ENCODING_SELECTOR_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "encoding/encoded_column.h"
+
+namespace corra::enc {
+
+/// Candidate pool policy for SelectBestScheme.
+enum class SelectionPolicy {
+  /// FOR, Dict, BitPack, Plain — fast random access only (paper baseline).
+  kConstantTimeAccessOnly,
+  /// Additionally consider Delta and RLE.
+  kAllowCheckpointedSchemes,
+};
+
+/// Estimated compressed footprint of one candidate scheme.
+struct SchemeEstimate {
+  Scheme scheme;
+  size_t size_bytes;  // SIZE_MAX if the scheme is inapplicable.
+};
+
+/// Estimates all candidate sizes for `values` without encoding.
+std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
+                                            SelectionPolicy policy);
+
+/// Encodes `values` with the smallest applicable scheme under `policy`.
+Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
+    std::span<const int64_t> values,
+    SelectionPolicy policy = SelectionPolicy::kConstantTimeAccessOnly);
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_SELECTOR_H_

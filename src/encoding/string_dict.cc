@@ -1,0 +1,58 @@
+#include "encoding/string_dict.h"
+
+namespace corra::enc {
+
+int64_t StringDictionary::GetOrInsert(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) {
+    return it->second;
+  }
+  const int64_t code = static_cast<int64_t>(size());
+  chars_.insert(chars_.end(), s.begin(), s.end());
+  offsets_.push_back(static_cast<uint32_t>(chars_.size()));
+  index_.emplace(std::string(s), code);
+  return code;
+}
+
+Result<int64_t> StringDictionary::CodeOf(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  if (it == index_.end()) {
+    return Status::NotFound("string not in dictionary: " + std::string(s));
+  }
+  return it->second;
+}
+
+void StringDictionary::Serialize(BufferWriter* writer) const {
+  writer->WriteBytes(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(chars_.data()), chars_.size()));
+  writer->WriteUint32Array(offsets_);
+}
+
+Result<StringDictionary> StringDictionary::Deserialize(BufferReader* reader) {
+  std::span<const uint8_t> chars;
+  CORRA_RETURN_NOT_OK(reader->ReadBytes(&chars));
+  std::vector<uint32_t> offsets;
+  CORRA_RETURN_NOT_OK(reader->ReadUint32Array(&offsets));
+  if (offsets.empty() || offsets.front() != 0 ||
+      offsets.back() != chars.size()) {
+    return Status::Corruption("string dictionary offsets inconsistent");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::Corruption("string dictionary offsets not monotone");
+    }
+  }
+  StringDictionary dict;
+  dict.chars_.assign(chars.begin(), chars.end());
+  dict.offsets_ = std::move(offsets);
+  return dict;
+}
+
+void StringDictionary::RebuildIndex() {
+  index_.clear();
+  for (size_t code = 0; code < size(); ++code) {
+    index_.emplace(std::string((*this)[code]), static_cast<int64_t>(code));
+  }
+}
+
+}  // namespace corra::enc

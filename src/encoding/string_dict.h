@@ -1,0 +1,72 @@
+// StringDictionary: the paper's flattened string storage ("we use Dict
+// encoding and pack the distinct strings into a flattened array").
+//
+// Distinct strings are concatenated into one char buffer; an offsets array
+// delimits them. A string column's logical int64 values are codes into this
+// dictionary, and the dictionary's footprint counts toward the column's
+// compressed size (this is why DMV's (state, city) pair only saves 1.8% —
+// the flattened strings dominate).
+
+#ifndef CORRA_ENCODING_STRING_DICT_H_
+#define CORRA_ENCODING_STRING_DICT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/result.h"
+
+namespace corra::enc {
+
+class StringDictionary {
+ public:
+  StringDictionary() = default;
+
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+  StringDictionary(StringDictionary&&) = default;
+  StringDictionary& operator=(StringDictionary&&) = default;
+
+  /// Returns the code of `s`, inserting it if new. Codes are dense and
+  /// assigned in first-seen order.
+  int64_t GetOrInsert(std::string_view s);
+
+  /// Returns the code of `s`, or an error if absent. Lookup structures are
+  /// available only on dictionaries built via GetOrInsert (not after
+  /// Deserialize) unless RebuildIndex was called.
+  Result<int64_t> CodeOf(std::string_view s) const;
+
+  /// The string for `code` (precondition: code < size()). The view aliases
+  /// internal storage.
+  std::string_view operator[](size_t code) const {
+    return std::string_view(chars_.data() + offsets_[code],
+                            offsets_[code + 1] - offsets_[code]);
+  }
+
+  size_t size() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+  /// Flattened footprint: characters plus offsets.
+  size_t SizeBytes() const {
+    return chars_.size() + offsets_.size() * sizeof(uint32_t);
+  }
+
+  void Serialize(BufferWriter* writer) const;
+  static Result<StringDictionary> Deserialize(BufferReader* reader);
+
+  /// Rebuilds the string -> code hash index (needed for CodeOf after
+  /// deserialization).
+  void RebuildIndex();
+
+ private:
+  std::vector<char> chars_;
+  std::vector<uint32_t> offsets_ = {0};  // size()+1 entries.
+  std::unordered_map<std::string, int64_t> index_;
+};
+
+}  // namespace corra::enc
+
+#endif  // CORRA_ENCODING_STRING_DICT_H_

@@ -1,0 +1,120 @@
+#include "query/aggregate.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "encoding/bitpack.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+
+namespace corra::query {
+
+namespace {
+
+// Chunked decode-and-fold fallback.
+template <typename Fold>
+void FoldGeneric(const enc::EncodedColumn& column, Fold&& fold) {
+  constexpr size_t kChunk = 4096;
+  const size_t n = column.size();
+  std::vector<uint32_t> positions(kChunk);
+  std::vector<int64_t> values(kChunk);
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    const size_t len = std::min(kChunk, n - begin);
+    for (size_t i = 0; i < len; ++i) {
+      positions[i] = static_cast<uint32_t>(begin + i);
+    }
+    column.Gather(std::span<const uint32_t>(positions.data(), len),
+                  values.data());
+    for (size_t i = 0; i < len; ++i) {
+      fold(values[i]);
+    }
+  }
+}
+
+// Histogram of dictionary code usage (small dictionaries only).
+std::vector<uint64_t> CodeHistogram(const enc::DictColumn& column) {
+  std::vector<uint64_t> counts(column.dictionary().size(), 0);
+  const size_t n = column.size();
+  for (size_t i = 0; i < n; ++i) {
+    ++counts[column.GetCode(i)];
+  }
+  return counts;
+}
+
+constexpr size_t kSmallDict = 1 << 16;
+
+}  // namespace
+
+int64_t SumColumn(const enc::EncodedColumn& column) {
+  const size_t n = column.size();
+  if (n == 0) {
+    return 0;
+  }
+  if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&column)) {
+    // sum = n * base + sum of packed offsets.
+    uint64_t offsets = 0;
+    for (size_t i = 0; i < n; ++i) {
+      offsets += static_cast<uint64_t>(fr->Get(i)) -
+                 static_cast<uint64_t>(fr->base());
+    }
+    return static_cast<int64_t>(
+        static_cast<uint64_t>(fr->base()) * n + offsets);
+  }
+  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column);
+      dict != nullptr && dict->dictionary().size() <= kSmallDict) {
+    const auto counts = CodeHistogram(*dict);
+    uint64_t sum = 0;
+    for (size_t code = 0; code < counts.size(); ++code) {
+      sum += counts[code] * static_cast<uint64_t>(dict->dictionary()[code]);
+    }
+    return static_cast<int64_t>(sum);
+  }
+  uint64_t sum = 0;
+  FoldGeneric(column, [&sum](int64_t v) {
+    sum += static_cast<uint64_t>(v);
+  });
+  return static_cast<int64_t>(sum);
+}
+
+std::optional<int64_t> MinColumn(const enc::EncodedColumn& column) {
+  const size_t n = column.size();
+  if (n == 0) {
+    return std::nullopt;
+  }
+  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column)) {
+    // The dictionary is sorted; the smallest *used* code gives the min.
+    // Every dictionary entry produced by Encode is used, so code 0 works;
+    // after deserialization that invariant is unchecked, so scan codes.
+    uint64_t min_code = ~uint64_t{0};
+    for (size_t i = 0; i < n; ++i) {
+      min_code = std::min(min_code, dict->GetCode(i));
+    }
+    return dict->dictionary()[min_code];
+  }
+  int64_t min_value = column.Get(0);
+  FoldGeneric(column, [&min_value](int64_t v) {
+    min_value = std::min(min_value, v);
+  });
+  return min_value;
+}
+
+std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column) {
+  const size_t n = column.size();
+  if (n == 0) {
+    return std::nullopt;
+  }
+  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column)) {
+    uint64_t max_code = 0;
+    for (size_t i = 0; i < n; ++i) {
+      max_code = std::max(max_code, dict->GetCode(i));
+    }
+    return dict->dictionary()[max_code];
+  }
+  int64_t max_value = column.Get(0);
+  FoldGeneric(column, [&max_value](int64_t v) {
+    max_value = std::max(max_value, v);
+  });
+  return max_value;
+}
+
+}  // namespace corra::query

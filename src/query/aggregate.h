@@ -1,0 +1,33 @@
+// Aggregate pushdown over encoded columns: SUM / MIN / MAX evaluated on
+// the compressed representation where the scheme allows shortcuts.
+//
+//   * FOR / BitPack: sum = n * base + sum(packed offsets); min/max scan
+//     the narrow packed domain without rebasing.
+//   * Dict: min/max are the first/last *used* dictionary entries; sum
+//     uses a per-code histogram when the dictionary is small.
+//   * everything else: chunked decode-and-fold.
+//
+// Sums are computed in unsigned 64-bit arithmetic (wrap-around), which is
+// exact modulo 2^64 and matches what a fold over the decoded values
+// produces.
+
+#ifndef CORRA_QUERY_AGGREGATE_H_
+#define CORRA_QUERY_AGGREGATE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "encoding/encoded_column.h"
+
+namespace corra::query {
+
+/// Sum of all values (wrap-around int64). 0 for an empty column.
+int64_t SumColumn(const enc::EncodedColumn& column);
+
+/// Minimum / maximum value; nullopt for an empty column.
+std::optional<int64_t> MinColumn(const enc::EncodedColumn& column);
+std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_AGGREGATE_H_

@@ -1,0 +1,117 @@
+#include "query/filter.h"
+
+#include <algorithm>
+
+#include "encoding/bitpack.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "encoding/plain.h"
+
+namespace corra::query {
+
+namespace {
+
+// Generic decode-and-compare in chunks (works for every scheme,
+// including horizontal ones whose references are bound).
+template <typename Emit>
+void FilterGeneric(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
+                   Emit&& emit) {
+  constexpr size_t kChunk = 4096;
+  const size_t n = column.size();
+  std::vector<uint32_t> positions(kChunk);
+  std::vector<int64_t> values(kChunk);
+  for (size_t begin = 0; begin < n; begin += kChunk) {
+    const size_t len = std::min(kChunk, n - begin);
+    for (size_t i = 0; i < len; ++i) {
+      positions[i] = static_cast<uint32_t>(begin + i);
+    }
+    column.Gather(std::span<const uint32_t>(positions.data(), len),
+                  values.data());
+    for (size_t i = 0; i < len; ++i) {
+      if (values[i] >= lo && values[i] <= hi) {
+        emit(static_cast<uint32_t>(begin + i));
+      }
+    }
+  }
+}
+
+// FOR fast path: compare in the packed unsigned domain.
+template <typename Emit>
+void FilterFor(const enc::ForColumn& column, int64_t lo, int64_t hi,
+               Emit&& emit) {
+  const int64_t base = column.base();
+  if (hi < base) {
+    return;  // Entire column is >= base.
+  }
+  const uint64_t packed_lo =
+      lo <= base ? 0
+                 : static_cast<uint64_t>(lo) - static_cast<uint64_t>(base);
+  const uint64_t packed_hi =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(base);
+  const size_t n = column.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t packed =
+        static_cast<uint64_t>(column.Get(i)) -
+        static_cast<uint64_t>(base);
+    if (packed >= packed_lo && packed <= packed_hi) {
+      emit(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+// Dict fast path: translate the value range into a code range once.
+template <typename Emit>
+void FilterDict(const enc::DictColumn& column, int64_t lo, int64_t hi,
+                Emit&& emit) {
+  const auto dict = column.dictionary();
+  const auto begin_it = std::lower_bound(dict.begin(), dict.end(), lo);
+  const auto end_it = std::upper_bound(dict.begin(), dict.end(), hi);
+  if (begin_it >= end_it) {
+    return;
+  }
+  const uint64_t code_lo = static_cast<uint64_t>(begin_it - dict.begin());
+  const uint64_t code_hi = static_cast<uint64_t>(end_it - dict.begin()) - 1;
+  const size_t n = column.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t code = column.GetCode(i);
+    if (code >= code_lo && code <= code_hi) {
+      emit(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+template <typename Emit>
+void FilterDispatch(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
+                    Emit&& emit) {
+  if (lo > hi) {
+    return;
+  }
+  if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&column)) {
+    FilterFor(*fr, lo, hi, emit);
+  } else if (const auto* dict =
+                 dynamic_cast<const enc::DictColumn*>(&column)) {
+    FilterDict(*dict, lo, hi, emit);
+  } else {
+    FilterGeneric(column, lo, hi, emit);
+  }
+}
+
+}  // namespace
+
+std::vector<uint32_t> FilterToSelection(const enc::EncodedColumn& column,
+                                        int64_t lo, int64_t hi) {
+  std::vector<uint32_t> rows;
+  FilterDispatch(column, lo, hi, [&rows](uint32_t row) {
+    rows.push_back(row);
+  });
+  return rows;
+}
+
+size_t CountInRange(const enc::EncodedColumn& column, int64_t lo,
+                    int64_t hi) {
+  size_t count = 0;
+  FilterDispatch(column, lo, hi, [&count](uint32_t) { ++count; });
+  return count;
+}
+
+}  // namespace corra::query

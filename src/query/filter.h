@@ -1,0 +1,34 @@
+// Range-predicate evaluation over encoded columns (filter pushdown).
+//
+// Evaluates `lo <= value <= hi` directly on the compressed
+// representation, with per-scheme fast paths:
+//   * FOR / BitPack: the bounds translate into the packed unsigned
+//     domain, so the scan compares codes without rebasing each value;
+//   * Dict: the sorted dictionary turns the value range into a code
+//     range via two binary searches — the scan never touches values;
+//   * anything else (including horizontal schemes): a generic
+//     decode-and-compare over chunks.
+//
+// Results are selection vectors compatible with query/scan.h.
+
+#ifndef CORRA_QUERY_FILTER_H_
+#define CORRA_QUERY_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "encoding/encoded_column.h"
+
+namespace corra::query {
+
+/// Rows of `column` whose value lies in [lo, hi], ascending.
+std::vector<uint32_t> FilterToSelection(const enc::EncodedColumn& column,
+                                        int64_t lo, int64_t hi);
+
+/// Number of rows of `column` whose value lies in [lo, hi].
+size_t CountInRange(const enc::EncodedColumn& column, int64_t lo,
+                    int64_t hi);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_FILTER_H_

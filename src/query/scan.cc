@@ -1,0 +1,34 @@
+#include "query/scan.h"
+
+#include "core/horizontal.h"
+
+namespace corra::query {
+
+void ScanColumn(const Block& block, size_t col,
+                std::span<const uint32_t> rows, int64_t* out) {
+  block.column(col).Gather(rows, out);
+}
+
+void ScanPair(const Block& block, size_t ref_col, size_t target_col,
+              std::span<const uint32_t> rows, int64_t* out_ref,
+              int64_t* out_target) {
+  block.column(ref_col).Gather(rows, out_ref);
+  if (const auto* horizontal =
+          dynamic_cast<const SingleRefColumn*>(&block.column(target_col));
+      horizontal != nullptr && horizontal->ref_index() == ref_col) {
+    // Reuse the already materialized reference values: the paper's
+    // "query on both columns" fast path.
+    horizontal->GatherWithReference(rows, out_ref, out_target);
+    return;
+  }
+  block.column(target_col).Gather(rows, out_target);
+}
+
+std::vector<int64_t> ScanColumn(const Block& block, size_t col,
+                                std::span<const uint32_t> rows) {
+  std::vector<int64_t> out(rows.size());
+  ScanColumn(block, col, rows, out.data());
+  return out;
+}
+
+}  // namespace corra::query

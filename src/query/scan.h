@@ -1,0 +1,44 @@
+// Materializing scans over encoded blocks — the query kernel of the
+// paper's latency experiments (Fig. 5-8).
+//
+// Two access patterns matter:
+//  * ScanColumn: materialize one column at the selected positions. For a
+//    horizontal column this transparently fetches the reference too —
+//    the overhead the paper measures as "query on diff-encoded column".
+//  * ScanPair: materialize the reference *and* the target. The scan
+//    gathers the reference once and feeds it to GatherWithReference, so
+//    the reference access is shared — the paper's "query on both columns"
+//    case, where Corra's overhead (mostly) vanishes.
+
+#ifndef CORRA_QUERY_SCAN_H_
+#define CORRA_QUERY_SCAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/block.h"
+
+namespace corra::query {
+
+/// Materializes column `col` of `block` at the sorted positions `rows`
+/// into `out` (rows.size() values).
+void ScanColumn(const Block& block, size_t col,
+                std::span<const uint32_t> rows, int64_t* out);
+
+/// Materializes a (reference, target) pair at the sorted positions
+/// `rows`. When `target_col` is a single-reference horizontal column whose
+/// reference is `ref_col`, the reference values gathered into `out_ref`
+/// are reused to decode the target (no second reference fetch).
+void ScanPair(const Block& block, size_t ref_col, size_t target_col,
+              std::span<const uint32_t> rows, int64_t* out_ref,
+              int64_t* out_target);
+
+/// Convenience wrappers returning vectors.
+std::vector<int64_t> ScanColumn(const Block& block, size_t col,
+                                std::span<const uint32_t> rows);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_SCAN_H_

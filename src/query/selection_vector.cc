@@ -1,0 +1,58 @@
+#include "query/selection_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace corra::query {
+
+std::vector<uint32_t> GenerateSelectionVector(size_t num_rows,
+                                              double selectivity, Rng* rng) {
+  selectivity = std::clamp(selectivity, 0.0, 1.0);
+  const size_t k = static_cast<size_t>(
+      std::llround(selectivity * static_cast<double>(num_rows)));
+  if (k == 0) {
+    return {};
+  }
+  if (k == num_rows) {
+    std::vector<uint32_t> all(num_rows);
+    for (size_t i = 0; i < num_rows; ++i) {
+      all[i] = static_cast<uint32_t>(i);
+    }
+    return all;
+  }
+  // Bitmap-based sampling without replacement: O(num_rows) bits, then one
+  // sweep to emit positions in sorted order. Rejection stays cheap because
+  // we sample the complement when k > n/2.
+  const bool invert = k > num_rows / 2;
+  const size_t draws = invert ? num_rows - k : k;
+  std::vector<bool> picked(num_rows, false);
+  size_t remaining = draws;
+  while (remaining > 0) {
+    const size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(num_rows) - 1));
+    if (!picked[pos]) {
+      picked[pos] = true;
+      --remaining;
+    }
+  }
+  std::vector<uint32_t> rows;
+  rows.reserve(k);
+  for (size_t i = 0; i < num_rows; ++i) {
+    if (picked[i] != invert) {
+      rows.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::vector<uint32_t>> GenerateSelectionVectors(
+    size_t num_rows, double selectivity, size_t count, Rng* rng) {
+  std::vector<std::vector<uint32_t>> vectors;
+  vectors.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    vectors.push_back(GenerateSelectionVector(num_rows, selectivity, rng));
+  }
+  return vectors;
+}
+
+}  // namespace corra::query

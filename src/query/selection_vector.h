@@ -1,0 +1,33 @@
+// Uniform random selection vectors — the paper's query workload:
+// "When measuring query latency, we generate 10 uniform random selection
+//  vectors for each individual selectivity (as done, e.g., in Lang et
+//  al.). In the experiment, we decompress and materialize the values at
+//  the specified positions." (Sec. 3)
+//
+// A selection vector is a sorted list of unique row positions.
+
+#ifndef CORRA_QUERY_SELECTION_VECTOR_H_
+#define CORRA_QUERY_SELECTION_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace corra::query {
+
+/// Draws round(selectivity * num_rows) distinct row positions uniformly at
+/// random from [0, num_rows), returned sorted ascending. `selectivity` is
+/// clamped to [0, 1].
+std::vector<uint32_t> GenerateSelectionVector(size_t num_rows,
+                                              double selectivity, Rng* rng);
+
+/// The `count` selection vectors per selectivity used by the latency
+/// experiments (the paper uses count = 10).
+std::vector<std::vector<uint32_t>> GenerateSelectionVectors(
+    size_t num_rows, double selectivity, size_t count, Rng* rng);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_SELECTION_VECTOR_H_

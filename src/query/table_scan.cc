@@ -1,0 +1,87 @@
+#include "query/table_scan.h"
+
+#include "query/scan.h"
+
+namespace corra::query {
+
+namespace {
+
+// Splits sorted global rows into per-block local selections. Returns the
+// (block, local rows, output offset) work list.
+struct BlockWork {
+  size_t block;
+  size_t out_offset;
+  std::vector<uint32_t> local_rows;
+};
+
+Result<std::vector<BlockWork>> SplitByBlock(
+    const CompressedTable& table, std::span<const uint32_t> rows) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i] < rows[i - 1]) {
+      return Status::InvalidArgument("selection not sorted");
+    }
+  }
+  std::vector<BlockWork> work;
+  size_t block = 0;
+  uint64_t block_begin = 0;
+  uint64_t block_end = table.num_blocks() > 0 ? table.block(0).rows() : 0;
+  for (size_t i = 0; i < rows.size();) {
+    while (block < table.num_blocks() && rows[i] >= block_end) {
+      ++block;
+      block_begin = block_end;
+      block_end += block < table.num_blocks() ? table.block(block).rows()
+                                              : 0;
+    }
+    if (block >= table.num_blocks()) {
+      return Status::OutOfRange("selection position beyond table");
+    }
+    BlockWork w;
+    w.block = block;
+    w.out_offset = i;
+    while (i < rows.size() && rows[i] < block_end) {
+      w.local_rows.push_back(
+          static_cast<uint32_t>(rows[i] - block_begin));
+      ++i;
+    }
+    work.push_back(std::move(w));
+  }
+  return work;
+}
+
+}  // namespace
+
+Result<std::vector<int64_t>> ScanTableColumn(const CompressedTable& table,
+                                             size_t col,
+                                             std::span<const uint32_t> rows) {
+  if (col >= table.schema().num_fields()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  CORRA_ASSIGN_OR_RETURN(auto work, SplitByBlock(table, rows));
+  std::vector<int64_t> out(rows.size());
+  for (const BlockWork& w : work) {
+    ScanColumn(table.block(w.block), col, w.local_rows,
+               out.data() + w.out_offset);
+  }
+  return out;
+}
+
+Result<TablePair> ScanTablePair(const CompressedTable& table,
+                                size_t ref_col, size_t target_col,
+                                std::span<const uint32_t> rows) {
+  if (ref_col >= table.schema().num_fields() ||
+      target_col >= table.schema().num_fields()) {
+    return Status::InvalidArgument("column index out of range");
+  }
+  CORRA_ASSIGN_OR_RETURN(auto work, SplitByBlock(table, rows));
+  TablePair out;
+  out.reference.resize(rows.size());
+  out.target.resize(rows.size());
+  for (const BlockWork& w : work) {
+    ScanPair(table.block(w.block), ref_col, target_col, w.local_rows,
+             out.reference.data() + w.out_offset,
+             out.target.data() + w.out_offset);
+  }
+  return out;
+}
+
+}  // namespace corra::query

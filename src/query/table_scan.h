@@ -1,0 +1,35 @@
+// Multi-block scans: materialize selections spanning a whole
+// CompressedTable by routing global row positions to the owning blocks.
+
+#ifndef CORRA_QUERY_TABLE_SCAN_H_
+#define CORRA_QUERY_TABLE_SCAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace corra::query {
+
+/// Materializes column `col` of `table` at the sorted global positions
+/// `rows` (each < table.num_rows()). Fails on out-of-range positions.
+Result<std::vector<int64_t>> ScanTableColumn(const CompressedTable& table,
+                                             size_t col,
+                                             std::span<const uint32_t> rows);
+
+/// Materializes a (reference, target) column pair at sorted global
+/// positions, sharing the reference fetch inside each block (the paper's
+/// "query on both columns" path).
+struct TablePair {
+  std::vector<int64_t> reference;
+  std::vector<int64_t> target;
+};
+Result<TablePair> ScanTablePair(const CompressedTable& table,
+                                size_t ref_col, size_t target_col,
+                                std::span<const uint32_t> rows);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_TABLE_SCAN_H_

@@ -1,0 +1,87 @@
+#include "storage/column.h"
+
+#include <cstdio>
+
+#include "common/date.h"
+
+namespace corra {
+
+Column Column::Int64(std::string name, std::vector<int64_t> values) {
+  return Column(std::move(name), LogicalType::kInt64, std::move(values),
+                nullptr);
+}
+
+Column Column::Date(std::string name, std::vector<int64_t> days) {
+  return Column(std::move(name), LogicalType::kDate, std::move(days),
+                nullptr);
+}
+
+Column Column::Timestamp(std::string name, std::vector<int64_t> seconds) {
+  return Column(std::move(name), LogicalType::kTimestamp, std::move(seconds),
+                nullptr);
+}
+
+Column Column::Money(std::string name, std::vector<int64_t> cents) {
+  return Column(std::move(name), LogicalType::kMoney, std::move(cents),
+                nullptr);
+}
+
+Column Column::String(std::string name,
+                      std::span<const std::string> strings) {
+  auto dict = std::make_shared<enc::StringDictionary>();
+  std::vector<int64_t> codes;
+  codes.reserve(strings.size());
+  for (const std::string& s : strings) {
+    codes.push_back(dict->GetOrInsert(s));
+  }
+  return Column(std::move(name), LogicalType::kString, std::move(codes),
+                std::move(dict));
+}
+
+Result<Column> Column::StringFromCodes(
+    std::string name, std::vector<int64_t> codes,
+    std::shared_ptr<const enc::StringDictionary> dict) {
+  if (dict == nullptr) {
+    return Status::InvalidArgument("string column needs a dictionary");
+  }
+  for (int64_t code : codes) {
+    if (code < 0 || static_cast<size_t>(code) >= dict->size()) {
+      return Status::InvalidArgument("string code out of dictionary range");
+    }
+  }
+  return Column(std::move(name), LogicalType::kString, std::move(codes),
+                std::move(dict));
+}
+
+std::string Column::Render(size_t row) const {
+  const int64_t v = values_[row];
+  switch (type_) {
+    case LogicalType::kInt64:
+      return std::to_string(v);
+    case LogicalType::kDate:
+      return FormatDate(v);
+    case LogicalType::kTimestamp: {
+      // Date + seconds-of-day, sufficient for diagnostics.
+      const int64_t days = v >= 0 ? v / 86400 : (v - 86399) / 86400;
+      const int64_t sod = v - days * 86400;
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %02d:%02d:%02d",
+                    static_cast<int>(sod / 3600),
+                    static_cast<int>((sod / 60) % 60),
+                    static_cast<int>(sod % 60));
+      return FormatDate(days) + buf;
+    }
+    case LogicalType::kMoney: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld.%02lld",
+                    static_cast<long long>(v / 100),
+                    static_cast<long long>(v < 0 ? -(v % 100) : v % 100));
+      return buf;
+    }
+    case LogicalType::kString:
+      return std::string((*dict_)[static_cast<size_t>(v)]);
+  }
+  return std::to_string(v);
+}
+
+}  // namespace corra

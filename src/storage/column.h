@@ -1,0 +1,71 @@
+// In-memory (uncompressed) column: name, logical type, int64 logical
+// values, and — for string columns — the shared dictionary mapping codes
+// back to strings.
+
+#ifndef CORRA_STORAGE_COLUMN_H_
+#define CORRA_STORAGE_COLUMN_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "encoding/string_dict.h"
+#include "storage/schema.h"
+
+namespace corra {
+
+class Column {
+ public:
+  /// Typed factories.
+  static Column Int64(std::string name, std::vector<int64_t> values);
+  static Column Date(std::string name, std::vector<int64_t> days);
+  static Column Timestamp(std::string name, std::vector<int64_t> seconds);
+  static Column Money(std::string name, std::vector<int64_t> cents);
+
+  /// Builds a string column: values become dictionary codes in first-seen
+  /// order.
+  static Column String(std::string name,
+                       std::span<const std::string> strings);
+
+  /// A string column from pre-computed codes and a shared dictionary.
+  /// Fails if any code is out of the dictionary's range.
+  static Result<Column> StringFromCodes(
+      std::string name, std::vector<int64_t> codes,
+      std::shared_ptr<const enc::StringDictionary> dict);
+
+  const std::string& name() const { return name_; }
+  LogicalType type() const { return type_; }
+  size_t size() const { return values_.size(); }
+  std::span<const int64_t> values() const { return values_; }
+
+  /// The dictionary backing a string column (null otherwise).
+  const std::shared_ptr<const enc::StringDictionary>& dictionary() const {
+    return dict_;
+  }
+
+  /// Renders the value at `row` as text (dates formatted, money in
+  /// dollars, strings resolved through the dictionary).
+  std::string Render(size_t row) const;
+
+  Field field() const { return Field{name_, type_}; }
+
+ private:
+  Column(std::string name, LogicalType type, std::vector<int64_t> values,
+         std::shared_ptr<const enc::StringDictionary> dict)
+      : name_(std::move(name)),
+        type_(type),
+        values_(std::move(values)),
+        dict_(std::move(dict)) {}
+
+  std::string name_;
+  LogicalType type_;
+  std::vector<int64_t> values_;
+  std::shared_ptr<const enc::StringDictionary> dict_;
+};
+
+}  // namespace corra
+
+#endif  // CORRA_STORAGE_COLUMN_H_

@@ -1,0 +1,204 @@
+#include "storage/file_io.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/buffer.h"
+
+namespace corra {
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0x46524F43;  // "CORF" little-endian.
+constexpr uint8_t kFileVersion = 1;
+
+// RAII stdio handle.
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+Status WriteAll(std::FILE* file, const std::vector<uint8_t>& bytes) {
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), file) != bytes.size()) {
+    return Status::InvalidArgument("short write");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadRange(std::FILE* file, uint64_t offset,
+                                       uint64_t length) {
+  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::Corruption("seek failed");
+  }
+  std::vector<uint8_t> bytes(length);
+  if (length > 0 && std::fread(bytes.data(), 1, length, file) != length) {
+    return Status::Corruption("short read");
+  }
+  return bytes;
+}
+
+// Header + directory bytes for a table about to be written.
+std::vector<uint8_t> BuildHeader(const Schema& schema,
+                                 const std::vector<uint64_t>& offsets,
+                                 const std::vector<uint64_t>& lengths) {
+  BufferWriter writer;
+  writer.Write<uint32_t>(kFileMagic);
+  writer.Write<uint8_t>(kFileVersion);
+  writer.Write<uint32_t>(static_cast<uint32_t>(schema.num_fields()));
+  for (const Field& field : schema.fields()) {
+    writer.WriteString(field.name);
+    writer.Write<uint8_t>(static_cast<uint8_t>(field.type));
+  }
+  writer.Write<uint32_t>(static_cast<uint32_t>(offsets.size()));
+  for (size_t b = 0; b < offsets.size(); ++b) {
+    writer.Write<uint64_t>(offsets[b]);
+    writer.Write<uint64_t>(lengths[b]);
+  }
+  return std::move(writer).Finish();
+}
+
+Result<FileInfo> ParseHeader(std::FILE* file) {
+  // Headers are small; read a generous prefix.
+  if (std::fseek(file, 0, SEEK_END) != 0) {
+    return Status::Corruption("seek failed");
+  }
+  const long file_size = std::ftell(file);
+  if (file_size < 0) {
+    return Status::Corruption("cannot determine file size");
+  }
+  constexpr long kMaxHeader = 1 << 20;
+  CORRA_ASSIGN_OR_RETURN(
+      auto prefix,
+      ReadRange(file, 0,
+                static_cast<uint64_t>(std::min(file_size, kMaxHeader))));
+
+  BufferReader reader(prefix);
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  CORRA_RETURN_NOT_OK(reader.Read(&magic));
+  if (magic != kFileMagic) {
+    return Status::Corruption("not a Corra file (bad magic)");
+  }
+  CORRA_RETURN_NOT_OK(reader.Read(&version));
+  if (version != kFileVersion) {
+    return Status::Corruption("unsupported Corra file version");
+  }
+  uint32_t field_count = 0;
+  CORRA_RETURN_NOT_OK(reader.Read(&field_count));
+  FileInfo info;
+  for (uint32_t i = 0; i < field_count; ++i) {
+    std::string name;
+    uint8_t type = 0;
+    CORRA_RETURN_NOT_OK(reader.ReadString(&name));
+    CORRA_RETURN_NOT_OK(reader.Read(&type));
+    if (type > static_cast<uint8_t>(LogicalType::kString)) {
+      return Status::Corruption("unknown logical type in schema");
+    }
+    CORRA_RETURN_NOT_OK(info.schema.AddField(
+        Field{std::move(name), static_cast<LogicalType>(type)}));
+  }
+  uint32_t block_count = 0;
+  CORRA_RETURN_NOT_OK(reader.Read(&block_count));
+  info.num_blocks = block_count;
+  for (uint32_t b = 0; b < block_count; ++b) {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    CORRA_RETURN_NOT_OK(reader.Read(&offset));
+    CORRA_RETURN_NOT_OK(reader.Read(&length));
+    if (offset > static_cast<uint64_t>(file_size) ||
+        length > static_cast<uint64_t>(file_size) - offset) {
+      return Status::Corruption("block directory entry out of bounds");
+    }
+    info.block_offsets.push_back(offset);
+    info.block_lengths.push_back(length);
+  }
+  return info;
+}
+
+}  // namespace
+
+Status WriteCompressedTable(const CompressedTable& table,
+                            const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot create file: " + path);
+  }
+  // Serialize blocks first to learn their lengths.
+  std::vector<std::vector<uint8_t>> payloads;
+  payloads.reserve(table.num_blocks());
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    payloads.push_back(table.block(b).Serialize());
+  }
+  std::vector<uint64_t> offsets(payloads.size());
+  std::vector<uint64_t> lengths(payloads.size());
+  // Two-pass: header size depends only on counts and name lengths, so
+  // build it with dummy offsets to learn its size, then fill in.
+  std::vector<uint8_t> header =
+      BuildHeader(table.schema(), offsets, lengths);
+  uint64_t cursor = header.size();
+  for (size_t b = 0; b < payloads.size(); ++b) {
+    offsets[b] = cursor;
+    lengths[b] = payloads[b].size();
+    cursor += payloads[b].size();
+  }
+  header = BuildHeader(table.schema(), offsets, lengths);
+
+  CORRA_RETURN_NOT_OK(WriteAll(file.get(), header));
+  for (const auto& payload : payloads) {
+    CORRA_RETURN_NOT_OK(WriteAll(file.get(), payload));
+  }
+  if (std::fflush(file.get()) != 0) {
+    return Status::InvalidArgument("flush failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<FileInfo> ReadFileInfo(const std::string& path) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  return ParseHeader(file.get());
+}
+
+Result<Block> ReadBlock(const std::string& path, size_t block_index,
+                        bool verify) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  CORRA_ASSIGN_OR_RETURN(FileInfo info, ParseHeader(file.get()));
+  if (block_index >= info.num_blocks) {
+    return Status::OutOfRange("block index out of range");
+  }
+  CORRA_ASSIGN_OR_RETURN(
+      auto bytes, ReadRange(file.get(), info.block_offsets[block_index],
+                            info.block_lengths[block_index]));
+  return Block::Deserialize(bytes, verify);
+}
+
+Result<CompressedTable> ReadCompressedTable(const std::string& path,
+                                            bool verify) {
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  CORRA_ASSIGN_OR_RETURN(FileInfo info, ParseHeader(file.get()));
+  std::vector<Block> blocks;
+  blocks.reserve(info.num_blocks);
+  for (size_t b = 0; b < info.num_blocks; ++b) {
+    CORRA_ASSIGN_OR_RETURN(
+        auto bytes, ReadRange(file.get(), info.block_offsets[b],
+                              info.block_lengths[b]));
+    CORRA_ASSIGN_OR_RETURN(Block block, Block::Deserialize(bytes, verify));
+    blocks.push_back(std::move(block));
+  }
+  return CompressedTable(std::move(info.schema), std::move(blocks));
+}
+
+}  // namespace corra

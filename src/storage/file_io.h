@@ -1,0 +1,50 @@
+// File persistence for compressed tables.
+//
+// Layout ("CORF" format, version 1):
+//   header   : magic, version, schema (names + types), block count
+//   directory: per block, the byte offset and length of its payload
+//   payloads : the self-contained block byte streams (Block::Serialize)
+//   footer   : total file length (truncation tripwire)
+//
+// Blocks remain individually loadable: ReadBlock seeks one directory
+// entry and deserializes a single block without touching the others —
+// the on-disk analogue of the paper's self-contained 1M-tuple blocks.
+
+#ifndef CORRA_STORAGE_FILE_IO_H_
+#define CORRA_STORAGE_FILE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace corra {
+
+/// Writes `table` to `path` (overwriting). Fails with an IO-flavoured
+/// InvalidArgument if the file cannot be created or written.
+Status WriteCompressedTable(const CompressedTable& table,
+                            const std::string& path);
+
+/// Reads a whole compressed table back. With `verify`, blocks get the
+/// O(n) integrity checks of Block::Deserialize.
+Result<CompressedTable> ReadCompressedTable(const std::string& path,
+                                            bool verify = false);
+
+/// Metadata obtained without loading any block payload.
+struct FileInfo {
+  Schema schema;
+  size_t num_blocks = 0;
+  std::vector<uint64_t> block_offsets;
+  std::vector<uint64_t> block_lengths;
+};
+
+/// Reads only the header and directory of `path`.
+Result<FileInfo> ReadFileInfo(const std::string& path);
+
+/// Loads a single block (0-based index) from `path`.
+Result<Block> ReadBlock(const std::string& path, size_t block_index,
+                        bool verify = false);
+
+}  // namespace corra
+
+#endif  // CORRA_STORAGE_FILE_IO_H_

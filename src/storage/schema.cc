@@ -1,0 +1,53 @@
+#include "storage/schema.h"
+
+namespace corra {
+
+std::string_view LogicalTypeToString(LogicalType type) {
+  switch (type) {
+    case LogicalType::kInt64:
+      return "int64";
+    case LogicalType::kDate:
+      return "date";
+    case LogicalType::kTimestamp:
+      return "timestamp";
+    case LogicalType::kMoney:
+      return "money";
+    case LogicalType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Status Schema::AddField(Field field) {
+  for (const Field& existing : fields_) {
+    if (existing.name == field.name) {
+      return Status::InvalidArgument("duplicate field name: " + field.name);
+    }
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+Result<size_t> Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) {
+      return i;
+    }
+  }
+  return Status::NotFound("no field named " + std::string(name));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += fields_[i].name;
+    out += ":";
+    out += LogicalTypeToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace corra

@@ -1,0 +1,64 @@
+// Logical schema: column names and logical types.
+//
+// Every column materializes to int64 logical values (the unit the encoding
+// schemes operate on); the logical type records how those values map back
+// to domain values: days since epoch for dates, seconds for timestamps,
+// cents for money, dictionary codes for strings.
+
+#ifndef CORRA_STORAGE_SCHEMA_H_
+#define CORRA_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace corra {
+
+enum class LogicalType : uint8_t {
+  kInt64 = 0,
+  kDate = 1,       // Days since 1970-01-01.
+  kTimestamp = 2,  // Seconds since 1970-01-01 00:00:00 UTC.
+  kMoney = 3,      // Cents.
+  kString = 4,     // Codes into the column's StringDictionary.
+};
+
+std::string_view LogicalTypeToString(LogicalType type);
+
+struct Field {
+  std::string name;
+  LogicalType type;
+
+  friend bool operator==(const Field&, const Field&) = default;
+};
+
+/// An ordered list of fields with unique names.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Appends a field; fails on duplicate names.
+  Status AddField(Field field);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`.
+  Result<size_t> FieldIndex(std::string_view name) const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema&, const Schema&) = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace corra
+
+#endif  // CORRA_STORAGE_SCHEMA_H_

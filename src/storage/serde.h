@@ -1,0 +1,22 @@
+// Scheme dispatch for deserializing encoded columns from the block format.
+
+#ifndef CORRA_STORAGE_SERDE_H_
+#define CORRA_STORAGE_SERDE_H_
+
+#include <memory>
+
+#include "common/buffer.h"
+#include "common/result.h"
+#include "encoding/encoded_column.h"
+
+namespace corra {
+
+/// Reads one encoded column (scheme byte + payload) from `reader`,
+/// dispatching to the matching scheme's Deserialize. Horizontal columns
+/// come back unbound; the caller (Block::Deserialize) wires references.
+Result<std::unique_ptr<enc::EncodedColumn>> DeserializeEncodedColumn(
+    BufferReader* reader);
+
+}  // namespace corra
+
+#endif  // CORRA_STORAGE_SERDE_H_

@@ -1,0 +1,72 @@
+#include "storage/table.h"
+
+namespace corra {
+
+Status Table::AddColumn(Column column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument("column row count mismatch: " +
+                                   column.name());
+  }
+  for (const Column& existing : columns_) {
+    if (existing.name() == column.name()) {
+      return Status::InvalidArgument("duplicate column name: " +
+                                     column.name());
+    }
+  }
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Result<size_t> Table::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name() == name) {
+      return i;
+    }
+  }
+  return Status::NotFound("no column named " + std::string(name));
+}
+
+Schema Table::schema() const {
+  Schema schema;
+  for (const Column& c : columns_) {
+    // Names are unique by construction, so AddField cannot fail.
+    (void)schema.AddField(c.field());
+  }
+  return schema;
+}
+
+size_t CompressedTable::num_rows() const {
+  size_t rows = 0;
+  for (const Block& b : blocks_) {
+    rows += b.rows();
+  }
+  return rows;
+}
+
+size_t CompressedTable::ColumnSizeBytes(size_t i) const {
+  size_t bytes = 0;
+  for (const Block& b : blocks_) {
+    bytes += b.ColumnSizeBytes(i);
+  }
+  return bytes;
+}
+
+size_t CompressedTable::TotalSizeBytes() const {
+  size_t bytes = 0;
+  for (const Block& b : blocks_) {
+    bytes += b.SizeBytes();
+  }
+  return bytes;
+}
+
+std::vector<int64_t> CompressedTable::DecodeColumn(size_t i) const {
+  std::vector<int64_t> out(num_rows());
+  size_t offset = 0;
+  for (const Block& b : blocks_) {
+    b.column(i).DecodeAll(out.data() + offset);
+    offset += b.rows();
+  }
+  return out;
+}
+
+}  // namespace corra

@@ -1,0 +1,75 @@
+// Table (uncompressed columns) and CompressedTable (schema + blocks).
+
+#ifndef CORRA_STORAGE_TABLE_H_
+#define CORRA_STORAGE_TABLE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "storage/block.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+
+namespace corra {
+
+/// An in-memory table of uncompressed columns with equal row counts.
+class Table {
+ public:
+  Table() = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  /// Appends a column; fails on duplicate names or row-count mismatch.
+  Status AddColumn(Column column);
+
+  size_t num_columns() const { return columns_.size(); }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  const Column& column(size_t i) const { return columns_[i]; }
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  Schema schema() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// The output of CorraCompressor: a schema plus self-contained blocks.
+class CompressedTable {
+ public:
+  CompressedTable(Schema schema, std::vector<Block> blocks)
+      : schema_(std::move(schema)), blocks_(std::move(blocks)) {}
+
+  CompressedTable(CompressedTable&&) = default;
+  CompressedTable& operator=(CompressedTable&&) = default;
+  CompressedTable(const CompressedTable&) = delete;
+  CompressedTable& operator=(const CompressedTable&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_blocks() const { return blocks_.size(); }
+  const Block& block(size_t b) const { return blocks_[b]; }
+
+  size_t num_rows() const;
+
+  /// Compressed footprint of column `i` summed over all blocks
+  /// (the paper's Table 2 metric).
+  size_t ColumnSizeBytes(size_t i) const;
+
+  /// Total compressed footprint.
+  size_t TotalSizeBytes() const;
+
+  /// Decompresses column `i` across all blocks into a vector
+  /// (integration-test convenience).
+  std::vector<int64_t> DecodeColumn(size_t i) const;
+
+ private:
+  Schema schema_;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace corra
+
+#endif  // CORRA_STORAGE_TABLE_H_

@@ -1,0 +1,124 @@
+#include "common/bit_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+
+namespace corra {
+namespace {
+
+std::vector<uint64_t> RandomValues(size_t count, int width, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t mask =
+      width == 0 ? 0 : (width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1);
+  std::vector<uint64_t> values(count);
+  for (auto& v : values) {
+    v = rng.Next() & mask;
+  }
+  return values;
+}
+
+TEST(BitStreamTest, EmptyStream) {
+  BitWriter writer(13);
+  auto bytes = std::move(writer).Finish();
+  BitReader reader(bytes.data(), 13, 0);
+  EXPECT_EQ(reader.size(), 0u);
+}
+
+TEST(BitStreamTest, WidthZeroStoresNothingButCounts) {
+  BitWriter writer(0);
+  for (int i = 0; i < 100; ++i) {
+    writer.Append(0);
+  }
+  EXPECT_EQ(writer.size(), 100u);
+  auto bytes = std::move(writer).Finish();
+  BitReader reader(bytes.data(), 0, 100);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(reader.Get(i), 0u);
+  }
+  std::vector<uint64_t> decoded(100, 123);
+  reader.DecodeAll(decoded.data());
+  for (uint64_t v : decoded) {
+    EXPECT_EQ(v, 0u);
+  }
+}
+
+// Round-trip sweep over every bit width including the >57-bit straddle
+// cases and several sizes that exercise partial trailing bytes.
+class BitStreamRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(BitStreamRoundTrip, GetMatches) {
+  const auto [width, count] = GetParam();
+  const auto values = RandomValues(count, width, 17 * width + count);
+  BitWriter writer(width);
+  writer.AppendAll(values);
+  auto bytes = std::move(writer).Finish();
+  ASSERT_GE(bytes.size(), bit_util::PackedBytes(count, width));
+  BitReader reader(bytes.data(), width, count);
+  for (size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(reader.Get(i), values[i]) << "width " << width << " i " << i;
+  }
+}
+
+TEST_P(BitStreamRoundTrip, DecodeAllMatches) {
+  const auto [width, count] = GetParam();
+  const auto values = RandomValues(count, width, 31 * width + count);
+  BitWriter writer(width);
+  writer.AppendAll(values);
+  auto bytes = std::move(writer).Finish();
+  BitReader reader(bytes.data(), width, count);
+  std::vector<uint64_t> decoded(count);
+  reader.DecodeAll(decoded.data());
+  EXPECT_EQ(decoded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWidths, BitStreamRoundTrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7, 8, 12, 13, 16, 17,
+                                         23, 31, 32, 33, 40, 47, 53, 57, 58,
+                                         59, 63, 64),
+                       ::testing::Values(size_t{1}, size_t{7}, size_t{64},
+                                         size_t{1000})),
+    [](const auto& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(BitStreamTest, MaxValuesAtEveryWidth) {
+  for (int width = 1; width <= 64; ++width) {
+    const uint64_t max =
+        width == 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+    BitWriter writer(width);
+    for (int i = 0; i < 9; ++i) {
+      writer.Append(max);
+    }
+    auto bytes = std::move(writer).Finish();
+    BitReader reader(bytes.data(), width, 9);
+    for (size_t i = 0; i < 9; ++i) {
+      ASSERT_EQ(reader.Get(i), max) << "width " << width;
+    }
+  }
+}
+
+TEST(BitStreamTest, InterleavedPattern) {
+  // Alternating all-ones / all-zeros detects cross-value bit bleed.
+  constexpr int kWidth = 11;
+  constexpr uint64_t kOnes = (uint64_t{1} << kWidth) - 1;
+  BitWriter writer(kWidth);
+  for (int i = 0; i < 500; ++i) {
+    writer.Append(i % 2 == 0 ? kOnes : 0);
+  }
+  auto bytes = std::move(writer).Finish();
+  BitReader reader(bytes.data(), kWidth, 500);
+  for (size_t i = 0; i < 500; ++i) {
+    ASSERT_EQ(reader.Get(i), i % 2 == 0 ? kOnes : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace corra

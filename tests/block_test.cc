@@ -1,0 +1,233 @@
+// Self-contained blocks: build, bind, serialize, reload, reject damage.
+
+#include "storage/block.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/diff_encoding.h"
+#include "core/hierarchical_encoding.h"
+#include "encoding/for.h"
+#include "encoding/plain.h"
+
+namespace corra {
+namespace {
+
+// Builds a two-column block: FOR reference + diff-encoded target.
+Result<Block> MakeDiffBlock(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> reference(n);
+  std::vector<int64_t> target(n);
+  for (size_t i = 0; i < n; ++i) {
+    reference[i] = rng.Uniform(8035, 10591);
+    target[i] = reference[i] + rng.Uniform(1, 30);
+  }
+  std::vector<BlockColumn> columns(2);
+  CORRA_ASSIGN_OR_RETURN(columns[0].encoded,
+                         enc::ForColumn::Encode(reference));
+  CORRA_ASSIGN_OR_RETURN(
+      columns[1].encoded,
+      DiffEncodedColumn::Encode(target, reference, /*ref_index=*/0));
+  return Block::Build(std::move(columns));
+}
+
+TEST(BlockTest, BuildBindsDiffColumn) {
+  auto block = MakeDiffBlock(1000, 1);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_EQ(block.value().num_columns(), 2u);
+  EXPECT_EQ(block.value().rows(), 1000u);
+  // The diff column's Get works => the reference was bound.
+  const int64_t ref = block.value().column(0).Get(5);
+  const int64_t target = block.value().column(1).Get(5);
+  EXPECT_GE(target - ref, 1);
+  EXPECT_LE(target - ref, 30);
+}
+
+TEST(BlockTest, RejectsEmpty) {
+  EXPECT_FALSE(Block::Build({}).ok());
+}
+
+TEST(BlockTest, RejectsRowCountMismatch) {
+  std::vector<BlockColumn> columns(2);
+  columns[0].encoded = enc::PlainColumn::Encode(std::vector<int64_t>{1, 2});
+  columns[1].encoded = enc::PlainColumn::Encode(std::vector<int64_t>{1});
+  EXPECT_FALSE(Block::Build(std::move(columns)).ok());
+}
+
+TEST(BlockTest, RejectsOutOfRangeReference) {
+  const std::vector<int64_t> values = {1, 2, 3};
+  std::vector<BlockColumn> columns(1);
+  auto diff = DiffEncodedColumn::Encode(values, values, /*ref_index=*/5);
+  ASSERT_TRUE(diff.ok());
+  columns[0].encoded = std::move(diff).value();
+  EXPECT_FALSE(Block::Build(std::move(columns)).ok());
+}
+
+TEST(BlockTest, RejectsSelfReference) {
+  const std::vector<int64_t> values = {1, 2, 3};
+  std::vector<BlockColumn> columns(1);
+  auto diff = DiffEncodedColumn::Encode(values, values, /*ref_index=*/0);
+  ASSERT_TRUE(diff.ok());
+  columns[0].encoded = std::move(diff).value();
+  EXPECT_FALSE(Block::Build(std::move(columns)).ok());
+}
+
+TEST(BlockTest, RejectsReferenceCycle) {
+  const std::vector<int64_t> values = {1, 2, 3};
+  std::vector<BlockColumn> columns(2);
+  auto d0 = DiffEncodedColumn::Encode(values, values, /*ref_index=*/1);
+  auto d1 = DiffEncodedColumn::Encode(values, values, /*ref_index=*/0);
+  ASSERT_TRUE(d0.ok());
+  ASSERT_TRUE(d1.ok());
+  columns[0].encoded = std::move(d0).value();
+  columns[1].encoded = std::move(d1).value();
+  auto block = Block::Build(std::move(columns));
+  ASSERT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsCorruption());
+}
+
+TEST(BlockTest, ChainedReferencesBindInOrder) {
+  // c -> b -> a: allowed by the binder (the optimizer's chain extension).
+  Rng rng(2);
+  const size_t n = 500;
+  std::vector<int64_t> a(n);
+  std::vector<int64_t> b(n);
+  std::vector<int64_t> c(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Uniform(0, 100000);
+    b[i] = a[i] + rng.Uniform(0, 7);
+    c[i] = b[i] + rng.Uniform(0, 7);
+  }
+  std::vector<BlockColumn> columns(3);
+  auto ca = enc::ForColumn::Encode(a);
+  auto cb = DiffEncodedColumn::Encode(b, a, 0);
+  auto cc = DiffEncodedColumn::Encode(c, b, 1);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  ASSERT_TRUE(cc.ok());
+  columns[0].encoded = std::move(ca).value();
+  columns[1].encoded = std::move(cb).value();
+  columns[2].encoded = std::move(cc).value();
+  auto block = Block::Build(std::move(columns));
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  for (size_t i = 0; i < n; i += 37) {
+    EXPECT_EQ(block.value().column(2).Get(i), c[i]);
+  }
+}
+
+TEST(BlockTest, SerializeDeserializeRoundTrip) {
+  auto block = MakeDiffBlock(2000, 3);
+  ASSERT_TRUE(block.ok());
+  const auto bytes = block.value().Serialize();
+  auto reloaded = Block::Deserialize(bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  ASSERT_EQ(reloaded.value().num_columns(), 2u);
+  ASSERT_EQ(reloaded.value().rows(), 2000u);
+  for (size_t i = 0; i < 2000; i += 13) {
+    EXPECT_EQ(reloaded.value().column(0).Get(i),
+              block.value().column(0).Get(i));
+    EXPECT_EQ(reloaded.value().column(1).Get(i),
+              block.value().column(1).Get(i));
+  }
+  EXPECT_EQ(reloaded.value().SizeBytes(), block.value().SizeBytes());
+}
+
+TEST(BlockTest, DeserializedBlockIsSelfContained) {
+  // Decoding must need nothing beyond the serialized bytes: destroy the
+  // original block before using the reloaded one.
+  std::vector<uint8_t> bytes;
+  {
+    auto block = MakeDiffBlock(500, 4);
+    ASSERT_TRUE(block.ok());
+    bytes = block.value().Serialize();
+  }
+  auto reloaded = Block::Deserialize(bytes);
+  ASSERT_TRUE(reloaded.ok());
+  std::vector<int64_t> decoded(500);
+  reloaded.value().column(1).DecodeAll(decoded.data());
+  for (size_t i = 0; i < 500; ++i) {
+    const int64_t diff = decoded[i] - reloaded.value().column(0).Get(i);
+    EXPECT_GE(diff, 1);
+    EXPECT_LE(diff, 30);
+  }
+}
+
+TEST(BlockTest, StringDictionaryTravelsWithBlock) {
+  enc::StringDictionary dict;
+  std::vector<int64_t> codes;
+  for (const char* s : {"NYC", "Naples", "NYC", "Cortland"}) {
+    codes.push_back(dict.GetOrInsert(s));
+  }
+  auto shared = std::make_shared<enc::StringDictionary>(std::move(dict));
+  std::vector<BlockColumn> columns(1);
+  auto encoded = enc::ForColumn::Encode(codes);
+  ASSERT_TRUE(encoded.ok());
+  columns[0].encoded = std::move(encoded).value();
+  columns[0].dict = shared;
+  auto block = Block::Build(std::move(columns));
+  ASSERT_TRUE(block.ok());
+  // Dict contributes to the column footprint.
+  EXPECT_EQ(block.value().ColumnSizeBytes(0),
+            block.value().column(0).SizeBytes() + shared->SizeBytes());
+
+  const auto bytes = block.value().Serialize();
+  auto reloaded = Block::Deserialize(bytes);
+  ASSERT_TRUE(reloaded.ok());
+  ASSERT_NE(reloaded.value().dictionary(0), nullptr);
+  EXPECT_EQ((*reloaded.value().dictionary(0))[0], "NYC");
+  EXPECT_EQ((*reloaded.value().dictionary(0))[1], "Naples");
+  EXPECT_EQ((*reloaded.value().dictionary(0))[2], "Cortland");
+}
+
+TEST(BlockTest, BadMagicRejected) {
+  auto block = MakeDiffBlock(100, 5);
+  ASSERT_TRUE(block.ok());
+  auto bytes = block.value().Serialize();
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(Block::Deserialize(bytes).ok());
+}
+
+TEST(BlockTest, BadVersionRejected) {
+  auto block = MakeDiffBlock(100, 6);
+  ASSERT_TRUE(block.ok());
+  auto bytes = block.value().Serialize();
+  bytes[4] = 99;
+  EXPECT_FALSE(Block::Deserialize(bytes).ok());
+}
+
+TEST(BlockTest, TruncationAnywhereRejected) {
+  auto block = MakeDiffBlock(64, 7);
+  ASSERT_TRUE(block.ok());
+  const auto bytes = block.value().Serialize();
+  for (size_t cut = 0; cut < bytes.size(); cut += 11) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(Block::Deserialize(truncated).ok()) << "cut " << cut;
+  }
+}
+
+TEST(BlockTest, VerifyModeChecksHierarchicalIntegrity) {
+  // Valid hierarchical block passes verify.
+  Rng rng(8);
+  const size_t n = 300;
+  std::vector<int64_t> city(n);
+  std::vector<int64_t> zip(n);
+  for (size_t i = 0; i < n; ++i) {
+    city[i] = rng.Uniform(0, 9);
+    zip[i] = city[i] * 10 + rng.Uniform(0, 3);
+  }
+  std::vector<BlockColumn> columns(2);
+  auto ref = enc::ForColumn::Encode(city);
+  auto hier = HierarchicalColumn::Encode(zip, city, 0);
+  ASSERT_TRUE(ref.ok());
+  ASSERT_TRUE(hier.ok());
+  columns[0].encoded = std::move(ref).value();
+  columns[1].encoded = std::move(hier).value();
+  auto block = Block::Build(std::move(columns));
+  ASSERT_TRUE(block.ok());
+  const auto bytes = block.value().Serialize();
+  EXPECT_TRUE(Block::Deserialize(bytes, /*verify=*/true).ok());
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,171 @@
+#include "common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace corra {
+namespace {
+
+TEST(BufferTest, PrimitiveRoundTrip) {
+  BufferWriter writer;
+  writer.Write<uint8_t>(0xAB);
+  writer.Write<uint32_t>(0xDEADBEEF);
+  writer.Write<int64_t>(-42);
+  writer.Write<uint64_t>(~uint64_t{0});
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  int64_t i64 = 0;
+  uint64_t u64 = 0;
+  ASSERT_TRUE(reader.Read(&u8).ok());
+  ASSERT_TRUE(reader.Read(&u32).ok());
+  ASSERT_TRUE(reader.Read(&i64).ok());
+  ASSERT_TRUE(reader.Read(&u64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(u64, ~uint64_t{0});
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BufferTest, BytesRoundTrip) {
+  BufferWriter writer;
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  writer.WriteBytes(payload);
+  writer.WriteBytes({});  // Empty blob.
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  std::span<const uint8_t> got;
+  ASSERT_TRUE(reader.ReadBytes(&got).ok());
+  EXPECT_EQ(std::vector<uint8_t>(got.begin(), got.end()), payload);
+  ASSERT_TRUE(reader.ReadBytes(&got).ok());
+  EXPECT_TRUE(got.empty());
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(BufferTest, StringRoundTrip) {
+  BufferWriter writer;
+  writer.WriteString("hello");
+  writer.WriteString("");
+  writer.WriteString(std::string("with\0null", 9));
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  std::string s;
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(s, "hello");
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(s, "");
+  ASSERT_TRUE(reader.ReadString(&s).ok());
+  EXPECT_EQ(s, std::string("with\0null", 9));
+}
+
+TEST(BufferTest, Int64ArrayRoundTrip) {
+  BufferWriter writer;
+  const std::vector<int64_t> values = {-1, 0, 1, INT64_MAX, INT64_MIN};
+  writer.WriteInt64Array(values);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  std::vector<int64_t> got;
+  ASSERT_TRUE(reader.ReadInt64Array(&got).ok());
+  EXPECT_EQ(got, values);
+}
+
+TEST(BufferTest, Uint32ArrayRoundTrip) {
+  BufferWriter writer;
+  const std::vector<uint32_t> values = {0, 1, UINT32_MAX};
+  writer.WriteUint32Array(values);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  std::vector<uint32_t> got;
+  ASSERT_TRUE(reader.ReadUint32Array(&got).ok());
+  EXPECT_EQ(got, values);
+}
+
+TEST(BufferTest, TruncatedPrimitiveIsCorruption) {
+  BufferWriter writer;
+  writer.Write<uint8_t>(1);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  uint64_t big = 0;
+  Status s = reader.Read(&big);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(BufferTest, TruncatedBlobIsCorruption) {
+  BufferWriter writer;
+  writer.WriteBytes(std::vector<uint8_t>(100, 7));
+  auto bytes = std::move(writer).Finish();
+  bytes.resize(50);  // Chop the payload.
+
+  BufferReader reader(bytes);
+  std::span<const uint8_t> got;
+  EXPECT_TRUE(reader.ReadBytes(&got).IsCorruption());
+}
+
+TEST(BufferTest, LyingLengthPrefixIsCorruption) {
+  // A length prefix claiming more elements than bytes remain must be
+  // rejected before any allocation happens.
+  BufferWriter writer;
+  writer.Write<uint64_t>(~uint64_t{0});  // Absurd element count.
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  std::vector<int64_t> got;
+  EXPECT_TRUE(reader.ReadInt64Array(&got).IsCorruption());
+}
+
+TEST(BufferTest, EmptyReaderIsExhausted) {
+  BufferReader reader(std::span<const uint8_t>{});
+  EXPECT_TRUE(reader.exhausted());
+  EXPECT_EQ(reader.remaining(), 0u);
+  uint8_t b = 0;
+  EXPECT_TRUE(reader.Read(&b).IsCorruption());
+}
+
+TEST(BufferTest, PositionTracksConsumption) {
+  BufferWriter writer;
+  writer.Write<uint32_t>(1);
+  writer.Write<uint32_t>(2);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  EXPECT_EQ(reader.position(), 0u);
+  uint32_t v = 0;
+  ASSERT_TRUE(reader.Read(&v).ok());
+  EXPECT_EQ(reader.position(), 4u);
+  EXPECT_EQ(reader.remaining(), 4u);
+}
+
+TEST(BufferTest, MixedSequenceRoundTrip) {
+  BufferWriter writer;
+  writer.Write<uint8_t>(3);
+  writer.WriteString("col");
+  writer.WriteInt64Array({{10, 20, 30}});
+  writer.Write<uint64_t>(99);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  uint8_t tag = 0;
+  std::string name;
+  std::vector<int64_t> values;
+  uint64_t tail = 0;
+  ASSERT_TRUE(reader.Read(&tag).ok());
+  ASSERT_TRUE(reader.ReadString(&name).ok());
+  ASSERT_TRUE(reader.ReadInt64Array(&values).ok());
+  ASSERT_TRUE(reader.Read(&tail).ok());
+  EXPECT_EQ(tag, 3);
+  EXPECT_EQ(name, "col");
+  EXPECT_EQ(values, (std::vector<int64_t>{10, 20, 30}));
+  EXPECT_EQ(tail, 99u);
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,220 @@
+// The Fig. 2 greedy diff-encoding configuration search.
+
+#include "core/config_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/tpch.h"
+
+namespace corra {
+namespace {
+
+TEST(ConfigOptimizerTest, RejectsDegenerateInputs) {
+  const std::vector<int64_t> a = {1, 2, 3};
+  std::vector<CandidateColumn> one = {{"a", a}};
+  EXPECT_FALSE(OptimizeDiffConfig(one).ok());
+
+  const std::vector<int64_t> b = {1, 2};
+  std::vector<CandidateColumn> mismatched = {{"a", a}, {"b", b}};
+  EXPECT_FALSE(OptimizeDiffConfig(mismatched).ok());
+
+  const std::vector<int64_t> c = {4, 5, 6};
+  std::vector<CandidateColumn> two = {{"a", a}, {"c", c}};
+  OptimizerOptions bad;
+  bad.max_chain_depth = 0;
+  EXPECT_FALSE(OptimizeDiffConfig(two, bad).ok());
+}
+
+TEST(ConfigOptimizerTest, TpchDatesSelectShipdateAsReference) {
+  // The paper's Fig. 2: shipdate becomes the reference for both
+  // commitdate and receiptdate.
+  const auto dates = datagen::GenerateLineitemDates(200000, 42);
+  std::vector<CandidateColumn> candidates = {
+      {"l_shipdate", dates.shipdate},
+      {"l_commitdate", dates.commitdate},
+      {"l_receiptdate", dates.receiptdate},
+  };
+  auto result = OptimizeDiffConfig(candidates);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const DiffConfig& config = result.value();
+
+  EXPECT_EQ(config.assignments[0].role, ColumnRole::kReference);
+  EXPECT_EQ(config.assignments[1].role, ColumnRole::kDiffEncoded);
+  EXPECT_EQ(config.assignments[1].reference, 0);
+  EXPECT_EQ(config.assignments[2].role, ColumnRole::kDiffEncoded);
+  EXPECT_EQ(config.assignments[2].reference, 0);
+  EXPECT_GT(config.saving_bytes(), 0u);
+}
+
+TEST(ConfigOptimizerTest, TpchSavingIsRoughlyPaperRatio) {
+  // Paper: 82.5 MB saved over 270 MB of bit-packed dates (~30.5%).
+  const auto dates = datagen::GenerateLineitemDates(200000, 1);
+  std::vector<CandidateColumn> candidates = {
+      {"l_shipdate", dates.shipdate},
+      {"l_commitdate", dates.commitdate},
+      {"l_receiptdate", dates.receiptdate},
+  };
+  auto result = OptimizeDiffConfig(candidates);
+  ASSERT_TRUE(result.ok());
+  const double saving_rate =
+      static_cast<double>(result.value().saving_bytes()) /
+      static_cast<double>(result.value().total_vertical_bytes);
+  EXPECT_NEAR(saving_rate, 0.305, 0.04);
+}
+
+TEST(ConfigOptimizerTest, EdgeMatrixIsComplete) {
+  const auto dates = datagen::GenerateLineitemDates(50000, 2);
+  std::vector<CandidateColumn> candidates = {
+      {"ship", dates.shipdate},
+      {"commit", dates.commitdate},
+      {"receipt", dates.receiptdate},
+  };
+  auto result = OptimizeDiffConfig(candidates);
+  ASSERT_TRUE(result.ok());
+  const auto& edges = result.value().edge_sizes;
+  ASSERT_EQ(edges.size(), 3u);
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 0; b < 3; ++b) {
+      if (a == b) {
+        EXPECT_EQ(edges[a][b], SIZE_MAX);
+      } else {
+        EXPECT_NE(edges[a][b], SIZE_MAX);
+        EXPECT_GT(edges[a][b], 0u);
+      }
+    }
+  }
+  // receipt -> ship must be the cheapest edge out of receipt (1..30 day
+  // diffs beat diffs against commit, which span more).
+  EXPECT_LT(edges[2][0], edges[2][1]);
+}
+
+TEST(ConfigOptimizerTest, UncorrelatedColumnsStayVertical) {
+  Rng rng(3);
+  std::vector<int64_t> a(20000);
+  std::vector<int64_t> b(20000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(0, 255);           // 8 bits vertical.
+    b[i] = rng.Uniform(-(1 << 20), 1 << 20);  // Unrelated wide column.
+  }
+  std::vector<CandidateColumn> candidates = {{"a", a}, {"b", b}};
+  auto result = OptimizeDiffConfig(candidates);
+  ASSERT_TRUE(result.ok());
+  // Diffing a against b yields a wider column than a alone; no edge wins.
+  EXPECT_EQ(result.value().assignments[0].role, ColumnRole::kVertical);
+  EXPECT_EQ(result.value().assignments[1].role, ColumnRole::kVertical);
+  EXPECT_EQ(result.value().saving_bytes(), 0u);
+}
+
+TEST(ConfigOptimizerTest, AssignedNeverWorseThanVertical) {
+  const auto dates = datagen::GenerateLineitemDates(30000, 4);
+  std::vector<CandidateColumn> candidates = {
+      {"ship", dates.shipdate},
+      {"commit", dates.commitdate},
+      {"receipt", dates.receiptdate},
+      {"order", dates.orderdate},
+  };
+  auto result = OptimizeDiffConfig(candidates);
+  ASSERT_TRUE(result.ok());
+  for (const auto& a : result.value().assignments) {
+    EXPECT_LE(a.assigned_size, a.vertical_size);
+  }
+  EXPECT_LE(result.value().total_assigned_bytes,
+            result.value().total_vertical_bytes);
+}
+
+TEST(ConfigOptimizerTest, PaperModeForbidsChains) {
+  // Construct a chain-shaped correlation: b ~ a, c ~ b (c is far from a).
+  Rng rng(5);
+  std::vector<int64_t> a(20000);
+  std::vector<int64_t> b(20000);
+  std::vector<int64_t> c(20000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(0, 1 << 26);
+    b[i] = a[i] + rng.Uniform(0, 15);
+    c[i] = b[i] + rng.Uniform(0, 15);
+  }
+  std::vector<CandidateColumn> candidates = {{"a", a}, {"b", b}, {"c", c}};
+  OptimizerOptions paper;
+  paper.max_chain_depth = 1;
+  auto result = OptimizeDiffConfig(candidates, paper);
+  ASSERT_TRUE(result.ok());
+  // c ~ a also has bounded diffs (0..30), so with depth 1 both b and c
+  // hang off a; no diff-encoded column serves as a reference.
+  for (size_t i = 0; i < 3; ++i) {
+    const auto& assignment = result.value().assignments[i];
+    if (assignment.role == ColumnRole::kDiffEncoded) {
+      const auto& ref = result.value()
+                            .assignments[static_cast<size_t>(
+                                assignment.reference)];
+      EXPECT_NE(ref.role, ColumnRole::kDiffEncoded);
+      EXPECT_EQ(assignment.chain_depth, 1);
+    }
+  }
+}
+
+TEST(ConfigOptimizerTest, ChainModeAllowsDeeperReferences) {
+  // b ~ a tightly; c ~ b tightly; c ~ a loosely. With chains allowed the
+  // optimizer may pick c -> b even though b is diff-encoded.
+  Rng rng(6);
+  std::vector<int64_t> a(20000);
+  std::vector<int64_t> b(20000);
+  std::vector<int64_t> c(20000);
+  std::vector<int64_t> walk(20000);
+  int64_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    acc += rng.Uniform(-1000000, 1000000);
+    a[i] = acc;
+    b[i] = a[i] + rng.Uniform(0, 7);
+    c[i] = b[i] + rng.Uniform(0, 7);
+  }
+  std::vector<CandidateColumn> candidates = {{"a", a}, {"b", b}, {"c", c}};
+  OptimizerOptions chain;
+  chain.max_chain_depth = 2;
+  auto chained = OptimizeDiffConfig(candidates, chain);
+  ASSERT_TRUE(chained.ok());
+  OptimizerOptions paper;
+  auto flat = OptimizeDiffConfig(candidates, paper);
+  ASSERT_TRUE(flat.ok());
+  // Chains can only improve the estimated total.
+  EXPECT_LE(chained.value().total_assigned_bytes,
+            flat.value().total_assigned_bytes);
+  // Depth bound respected.
+  for (const auto& assignment : chained.value().assignments) {
+    EXPECT_LE(assignment.chain_depth, 2);
+  }
+}
+
+TEST(ConfigOptimizerTest, RoleToString) {
+  EXPECT_EQ(ColumnRoleToString(ColumnRole::kVertical), "vertical");
+  EXPECT_EQ(ColumnRoleToString(ColumnRole::kReference), "reference");
+  EXPECT_EQ(ColumnRoleToString(ColumnRole::kDiffEncoded), "diff-encoded");
+}
+
+TEST(ConfigOptimizerTest, SamplingMatchesFullComputation) {
+  const auto dates = datagen::GenerateLineitemDates(100000, 7);
+  std::vector<CandidateColumn> candidates = {
+      {"ship", dates.shipdate},
+      {"receipt", dates.receiptdate},
+  };
+  OptimizerOptions sampled;
+  sampled.sample_limit = 4096;
+  OptimizerOptions full;
+  full.sample_limit = 0;
+  auto with_sample = OptimizeDiffConfig(candidates, sampled);
+  auto with_full = OptimizeDiffConfig(candidates, full);
+  ASSERT_TRUE(with_sample.ok());
+  ASSERT_TRUE(with_full.ok());
+  // Roles must agree; sizes agree within sampling noise (+-15%).
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(with_sample.value().assignments[i].role,
+              with_full.value().assignments[i].role);
+  }
+  const double ratio =
+      static_cast<double>(with_sample.value().total_assigned_bytes) /
+      static_cast<double>(with_full.value().total_assigned_bytes);
+  EXPECT_NEAR(ratio, 1.0, 0.15);
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,128 @@
+// Automatic correlation detection (the paper's future-work extension).
+
+#include "core/correlation_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/tpch.h"
+
+namespace corra {
+namespace {
+
+TEST(DetectorTest, RejectsDegenerateInputs) {
+  const std::vector<int64_t> a = {1, 2, 3};
+  std::vector<CandidateColumn> one = {{"a", a}};
+  EXPECT_FALSE(DetectCorrelations(one).ok());
+
+  const std::vector<int64_t> b = {1};
+  std::vector<CandidateColumn> mismatched = {{"a", a}, {"b", b}};
+  EXPECT_FALSE(DetectCorrelations(mismatched).ok());
+}
+
+TEST(DetectorTest, FindsTpchDiffPairs) {
+  const auto dates = datagen::GenerateLineitemDates(50000, 1);
+  std::vector<CandidateColumn> columns = {
+      {"l_shipdate", dates.shipdate},
+      {"l_commitdate", dates.commitdate},
+      {"l_receiptdate", dates.receiptdate},
+  };
+  auto result = DetectCorrelations(columns);
+  ASSERT_TRUE(result.ok());
+  const auto& suggestions = result.value();
+  ASSERT_FALSE(suggestions.empty());
+
+  // (receiptdate w.r.t. shipdate) must appear with a diff-flavoured
+  // scheme and a saving near the paper's 58%.
+  bool found = false;
+  for (const auto& s : suggestions) {
+    if (s.target == 2 && s.reference == 0) {
+      found = true;
+      EXPECT_GT(s.saving_rate, 0.4);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DetectorTest, RankedByDescendingSaving) {
+  const auto dates = datagen::GenerateLineitemDates(30000, 2);
+  std::vector<CandidateColumn> columns = {
+      {"ship", dates.shipdate},
+      {"commit", dates.commitdate},
+      {"receipt", dates.receiptdate},
+  };
+  auto result = DetectCorrelations(columns);
+  ASSERT_TRUE(result.ok());
+  const auto& suggestions = result.value();
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].saving_rate, suggestions[i].saving_rate);
+  }
+}
+
+TEST(DetectorTest, FindsHierarchicalPairs) {
+  Rng rng(3);
+  std::vector<int64_t> city(40000);
+  std::vector<int64_t> zip(40000);
+  for (size_t i = 0; i < city.size(); ++i) {
+    city[i] = rng.Uniform(0, 299);
+    // Wide, scattered zips: FOR and Dict are expensive, hierarchy cheap.
+    zip[i] = city[i] * 100000 + rng.Uniform(0, 20) * 977;
+  }
+  std::vector<CandidateColumn> columns = {{"city", city}, {"zip", zip}};
+  auto result = DetectCorrelations(columns);
+  ASSERT_TRUE(result.ok());
+  bool found_hier = false;
+  for (const auto& s : result.value()) {
+    if (s.target == 1 && s.reference == 0 &&
+        s.scheme == enc::Scheme::kHierarchical) {
+      found_hier = true;
+    }
+  }
+  EXPECT_TRUE(found_hier);
+}
+
+TEST(DetectorTest, UncorrelatedColumnsYieldNothing) {
+  Rng rng(4);
+  std::vector<int64_t> a(20000);
+  std::vector<int64_t> b(20000);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.Uniform(0, 1 << 30);
+    b[i] = rng.Uniform(0, 1 << 30);
+  }
+  std::vector<CandidateColumn> columns = {{"a", a}, {"b", b}};
+  DetectorOptions options;
+  options.min_saving_rate = 0.05;
+  auto result = DetectCorrelations(columns, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(DetectorTest, SchemeTogglesRespected) {
+  const auto dates = datagen::GenerateLineitemDates(20000, 5);
+  std::vector<CandidateColumn> columns = {
+      {"ship", dates.shipdate},
+      {"receipt", dates.receiptdate},
+  };
+  DetectorOptions no_diff;
+  no_diff.consider_diff = false;
+  no_diff.consider_hierarchical = false;
+  auto result = DetectCorrelations(columns, no_diff);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(DetectorTest, MinSavingThresholdFilters) {
+  const auto dates = datagen::GenerateLineitemDates(20000, 6);
+  std::vector<CandidateColumn> columns = {
+      {"ship", dates.shipdate},
+      {"receipt", dates.receiptdate},
+  };
+  DetectorOptions strict;
+  strict.min_saving_rate = 0.99;  // Nothing saves 99%.
+  auto result = DetectCorrelations(columns, strict);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,295 @@
+// Generator invariants: the synthetic datasets must exhibit exactly the
+// correlation structure the paper's experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/date.h"
+#include "datagen/distributions.h"
+#include "datagen/dmv.h"
+#include "datagen/ldbc.h"
+#include "datagen/taxi.h"
+#include "datagen/tpch.h"
+
+namespace corra::datagen {
+namespace {
+
+// ---- Distributions -------------------------------------------------------
+
+TEST(ZipfTest, RanksInBounds) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Sample(&rng), 100u);
+  }
+}
+
+TEST(ZipfTest, HeadIsHeavierThanTail) {
+  ZipfDistribution zipf(1000, 1.0);
+  Rng rng(2);
+  size_t head = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    head += zipf.Sample(&rng) < 10 ? 1 : 0;
+  }
+  // Under Zipf(1.0, n=1000), the top-10 ranks hold ~39% of the mass.
+  EXPECT_GT(head, kDraws / 4);
+}
+
+TEST(DiscreteTest, RespectsWeights) {
+  DiscreteDistribution dist({0.5, 0.3, 0.2});
+  Rng rng(3);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[dist.Sample(&rng)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.2, 0.01);
+}
+
+TEST(LogNormalTest, MedianNearExpMu) {
+  Rng rng(4);
+  std::vector<double> samples(20001);
+  for (auto& s : samples) {
+    s = SampleLogNormal(&rng, 6.5, 0.75);
+  }
+  std::nth_element(samples.begin(), samples.begin() + 10000, samples.end());
+  EXPECT_NEAR(samples[10000], std::exp(6.5), std::exp(6.5) * 0.05);
+}
+
+// ---- TPC-H ----------------------------------------------------------------
+
+TEST(TpchTest, DbgenDateRules) {
+  const auto dates = GenerateLineitemDates(50000, 42);
+  const int64_t start = ToDays(CivilDate{1992, 1, 1});
+  const int64_t end = ToDays(CivilDate{1998, 12, 31});
+  for (size_t i = 0; i < dates.orderdate.size(); ++i) {
+    ASSERT_GE(dates.orderdate[i], start);
+    ASSERT_LE(dates.orderdate[i], end - 151);
+    const int64_t ship_delta = dates.shipdate[i] - dates.orderdate[i];
+    ASSERT_GE(ship_delta, 1);
+    ASSERT_LE(ship_delta, 121);
+    const int64_t commit_delta = dates.commitdate[i] - dates.orderdate[i];
+    ASSERT_GE(commit_delta, 30);
+    ASSERT_LE(commit_delta, 90);
+    const int64_t receipt_delta = dates.receiptdate[i] - dates.shipdate[i];
+    ASSERT_GE(receipt_delta, 1);
+    ASSERT_LE(receipt_delta, 30);
+  }
+}
+
+TEST(TpchTest, CommitMinusShipSpans181Values) {
+  const auto dates = GenerateLineitemDates(200000, 1);
+  int64_t lo = 1000;
+  int64_t hi = -1000;
+  for (size_t i = 0; i < dates.commitdate.size(); ++i) {
+    const int64_t d = dates.commitdate[i] - dates.shipdate[i];
+    lo = std::min(lo, d);
+    hi = std::max(hi, d);
+  }
+  // Theoretical range [-91, 89]: 8 bits after FOR, as in Table 2.
+  EXPECT_GE(lo, -91);
+  EXPECT_LE(hi, 89);
+  EXPECT_LT(lo, -80);  // The generator actually reaches the extremes.
+  EXPECT_GT(hi, 80);
+}
+
+TEST(TpchTest, Deterministic) {
+  const auto a = GenerateLineitemDates(1000, 7);
+  const auto b = GenerateLineitemDates(1000, 7);
+  EXPECT_EQ(a.shipdate, b.shipdate);
+  EXPECT_EQ(a.receiptdate, b.receiptdate);
+}
+
+TEST(TpchTest, TableHasFourDateColumns) {
+  auto table = MakeLineitemTable(100, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().num_columns(), 4u);
+  EXPECT_EQ(table.value().column(1).name(), "l_shipdate");
+  EXPECT_EQ(table.value().column(1).type(), LogicalType::kDate);
+}
+
+// ---- DMV -------------------------------------------------------------------
+
+TEST(DmvTest, CityDeterminesState) {
+  const auto data = GenerateDmv(50000, 42);
+  std::unordered_map<std::string, std::string> state_of;
+  for (size_t i = 0; i < data.city.size(); ++i) {
+    auto [it, inserted] = state_of.emplace(data.city[i], data.state[i]);
+    ASSERT_EQ(it->second, data.state[i])
+        << "city " << data.city[i] << " in two states";
+  }
+}
+
+TEST(DmvTest, ZipsPerCityBounded) {
+  const auto data = GenerateDmv(100000, 42);
+  std::unordered_map<std::string, std::unordered_set<int64_t>> zips;
+  for (size_t i = 0; i < data.city.size(); ++i) {
+    zips[data.city[i]].insert(data.zip[i]);
+  }
+  size_t max_zips = 0;
+  for (const auto& [city, set] : zips) {
+    max_zips = std::max(max_zips, set.size());
+  }
+  // <= 63 keeps the hierarchical local index at 6 bits (Table 2 calib).
+  EXPECT_LE(max_zips, 63u);
+  EXPECT_GT(max_zips, 12u);  // Hierarchy is non-trivial.
+}
+
+TEST(DmvTest, FiveDigitZips) {
+  const auto data = GenerateDmv(20000, 42);
+  for (int64_t zip : data.zip) {
+    ASSERT_GE(zip, 10000);
+    ASSERT_LE(zip, 99999);
+  }
+}
+
+TEST(DmvTest, NyDominates) {
+  const auto data = GenerateDmv(50000, 42);
+  size_t ny = 0;
+  for (const auto& s : data.state) {
+    ny += s == "NY" ? 1 : 0;
+  }
+  EXPECT_GT(ny, data.state.size() / 3);
+}
+
+TEST(DmvTest, TableSchema) {
+  auto table = MakeDmvTable(1000, 1);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().num_columns(), 3u);
+  EXPECT_EQ(table.value().column(0).type(), LogicalType::kString);
+  EXPECT_EQ(table.value().column(1).type(), LogicalType::kString);
+  EXPECT_EQ(table.value().column(2).type(), LogicalType::kInt64);
+}
+
+// ---- LDBC ------------------------------------------------------------------
+
+TEST(LdbcTest, CountryIdsDense) {
+  const auto data = GenerateLdbcMessages(100000, 42);
+  for (int64_t c : data.countryid) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 111);
+  }
+}
+
+TEST(LdbcTest, IpSubordinateToCountry) {
+  // Every IP value must map to exactly one country.
+  const auto data = GenerateLdbcMessages(200000, 42);
+  std::unordered_map<int64_t, int64_t> country_of_ip;
+  for (size_t i = 0; i < data.ip.size(); ++i) {
+    auto [it, inserted] =
+        country_of_ip.emplace(data.ip[i], data.countryid[i]);
+    ASSERT_EQ(it->second, data.countryid[i]);
+  }
+}
+
+TEST(LdbcTest, PerCountryUniquesBelow16Bits) {
+  const auto data = GenerateLdbcMessages(500000, 42);
+  std::unordered_map<int64_t, std::unordered_set<int64_t>> ips;
+  for (size_t i = 0; i < data.ip.size(); ++i) {
+    ips[data.countryid[i]].insert(data.ip[i]);
+  }
+  for (const auto& [country, set] : ips) {
+    ASSERT_LE(set.size(), 60000u);  // 16-bit local codes (Table 2 calib).
+  }
+}
+
+// ---- Taxi ------------------------------------------------------------------
+
+TEST(TaxiTest, DropoffAfterPickupBounded) {
+  const auto trips = GenerateTaxiTrips(100000, 42);
+  for (size_t i = 0; i < trips.pickup.size(); ++i) {
+    const int64_t d = trips.dropoff[i] - trips.pickup[i];
+    ASSERT_GE(d, 1);
+    ASSERT_LT(d, int64_t{1} << 20);  // The 20-bit diff bound.
+  }
+}
+
+TEST(TaxiTest, FormulaMixMatchesTable1) {
+  const auto trips = GenerateTaxiTrips(200000, 42);
+  size_t counts[5] = {0, 0, 0, 0, 0};
+  for (size_t i = 0; i < trips.total_amount.size(); ++i) {
+    const int64_t a = trips.mta_tax[i] + trips.fare_amount[i] +
+                      trips.improvement_surcharge[i] + trips.extra[i] +
+                      trips.tip_amount[i] + trips.tolls_amount[i];
+    const int64_t b = 250;
+    const int64_t c = 175;
+    const int64_t t = trips.total_amount[i];
+    if (t == a) {
+      ++counts[0];
+    } else if (t == a + b) {
+      ++counts[1];
+    } else if (t == a + c) {
+      ++counts[2];
+    } else if (t == a + b + c) {
+      ++counts[3];
+    } else {
+      ++counts[4];
+    }
+  }
+  const double n = static_cast<double>(trips.total_amount.size());
+  EXPECT_NEAR(counts[0] / n, 0.3119, 0.01);  // A
+  EXPECT_NEAR(counts[1] / n, 0.6244, 0.01);  // A + B
+  EXPECT_NEAR(counts[2] / n, 0.0269, 0.005);  // A + C
+  EXPECT_NEAR(counts[3] / n, 0.0333, 0.005);  // A + B + C
+  EXPECT_NEAR(counts[4] / n, 0.0032, 0.002);  // Outliers
+}
+
+TEST(TaxiTest, MoneyWithinCleaningBounds) {
+  // The paper removes rows outside [0, $100]; the generator must produce
+  // only in-bound totals (14-bit cents).
+  const auto trips = GenerateTaxiTrips(100000, 42);
+  for (int64_t t : trips.total_amount) {
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, 16384);  // 14 bits, ~$163 ceiling as in Table 2.
+  }
+}
+
+TEST(TaxiTest, GroupColumnsNonNegative) {
+  const auto trips = GenerateTaxiTrips(50000, 42);
+  for (size_t i = 0; i < trips.fare_amount.size(); ++i) {
+    ASSERT_GE(trips.fare_amount[i], 0);
+    ASSERT_GE(trips.tip_amount[i], 0);
+    ASSERT_GE(trips.tolls_amount[i], 0);
+    ASSERT_GE(trips.congestion_surcharge[i], 0);
+    ASSERT_GE(trips.airport_fee[i], 0);
+  }
+}
+
+TEST(TaxiTest, TableColumnIndices) {
+  auto table = MakeTaxiTable(100, 1);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table.value().num_columns(), 11u);
+  EXPECT_EQ(table.value().column(TaxiColumns::kPickup).name(), "pickup");
+  EXPECT_EQ(table.value().column(TaxiColumns::kTotalAmount).name(),
+            "total_amount");
+  EXPECT_EQ(table.value().column(TaxiColumns::kAirportFee).name(),
+            "airport_fee");
+}
+
+TEST(TaxiTest, CustomProbabilitiesRespected) {
+  TaxiFormulaProbabilities probs;
+  probs.a = 1.0;
+  probs.a_b = 0.0;
+  probs.a_c = 0.0;
+  probs.a_b_c = 0.0;
+  probs.outlier = 0.0;
+  const auto trips = GenerateTaxiTrips(10000, 42, probs);
+  for (size_t i = 0; i < trips.total_amount.size(); ++i) {
+    const int64_t a = trips.mta_tax[i] + trips.fare_amount[i] +
+                      trips.improvement_surcharge[i] + trips.extra[i] +
+                      trips.tip_amount[i] + trips.tolls_amount[i];
+    ASSERT_EQ(trips.total_amount[i], a);
+    ASSERT_EQ(trips.congestion_surcharge[i], 0);
+    ASSERT_EQ(trips.airport_fee[i], 0);
+  }
+}
+
+}  // namespace
+}  // namespace corra::datagen

@@ -1,0 +1,96 @@
+#include "common/date.h"
+
+#include <gtest/gtest.h>
+
+namespace corra {
+namespace {
+
+TEST(DateTest, EpochIsZero) {
+  EXPECT_EQ(ToDays(CivilDate{1970, 1, 1}), 0);
+  EXPECT_EQ(FromDays(0), (CivilDate{1970, 1, 1}));
+}
+
+TEST(DateTest, KnownDates) {
+  EXPECT_EQ(ToDays(CivilDate{1970, 1, 2}), 1);
+  EXPECT_EQ(ToDays(CivilDate{1969, 12, 31}), -1);
+  EXPECT_EQ(ToDays(CivilDate{2000, 3, 1}), 11017);
+  EXPECT_EQ(ToDays(CivilDate{1992, 1, 1}), 8035);   // TPC-H start date.
+  EXPECT_EQ(ToDays(CivilDate{1998, 12, 31}), 10591);  // TPC-H end date.
+}
+
+TEST(DateTest, RoundTripWideRange) {
+  // Every ~7th day over several centuries, plus both epoch sides.
+  for (int64_t days = -200000; days <= 200000; days += 7) {
+    const CivilDate d = FromDays(days);
+    EXPECT_EQ(ToDays(d), days) << FormatDate(days);
+  }
+}
+
+TEST(DateTest, RoundTripAllDaysOfTpchRange) {
+  for (int64_t days = ToDays(CivilDate{1992, 1, 1});
+       days <= ToDays(CivilDate{1998, 12, 31}); ++days) {
+    EXPECT_EQ(ToDays(FromDays(days)), days);
+  }
+}
+
+TEST(LeapYearTest, Rules) {
+  EXPECT_TRUE(IsLeapYear(2000));   // Divisible by 400.
+  EXPECT_FALSE(IsLeapYear(1900));  // Divisible by 100 only.
+  EXPECT_TRUE(IsLeapYear(1996));   // Divisible by 4.
+  EXPECT_FALSE(IsLeapYear(1997));
+}
+
+TEST(DaysInMonthTest, FebruaryAndOthers) {
+  EXPECT_EQ(DaysInMonth(1996, 2), 29);
+  EXPECT_EQ(DaysInMonth(1997, 2), 28);
+  EXPECT_EQ(DaysInMonth(1997, 1), 31);
+  EXPECT_EQ(DaysInMonth(1997, 4), 30);
+  EXPECT_EQ(DaysInMonth(1997, 12), 31);
+}
+
+TEST(DateTest, LeapDayRoundTrip) {
+  const int64_t leap = ToDays(CivilDate{1996, 2, 29});
+  EXPECT_EQ(FromDays(leap), (CivilDate{1996, 2, 29}));
+  EXPECT_EQ(FromDays(leap + 1), (CivilDate{1996, 3, 1}));
+}
+
+TEST(ParseDateTest, Valid) {
+  auto r = ParseDate("1992-01-02");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(FromDays(r.value()), (CivilDate{1992, 1, 2}));
+}
+
+TEST(ParseDateTest, FormatRoundTrip) {
+  for (const char* text :
+       {"1970-01-01", "1992-03-10", "1998-12-01", "2024-06-08",
+        "2000-02-29"}) {
+    auto r = ParseDate(text);
+    ASSERT_TRUE(r.ok()) << text;
+    EXPECT_EQ(FormatDate(r.value()), text);
+  }
+}
+
+TEST(ParseDateTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseDate("").ok());
+  EXPECT_FALSE(ParseDate("1992/01/02").ok());
+  EXPECT_FALSE(ParseDate("92-01-02").ok());
+  EXPECT_FALSE(ParseDate("1992-1-2").ok());
+  EXPECT_FALSE(ParseDate("1992-01-0a").ok());
+  EXPECT_FALSE(ParseDate("1992-01-023").ok());
+}
+
+TEST(ParseDateTest, RejectsInvalidCalendarDates) {
+  EXPECT_FALSE(ParseDate("1992-13-01").ok());
+  EXPECT_FALSE(ParseDate("1992-00-01").ok());
+  EXPECT_FALSE(ParseDate("1992-01-32").ok());
+  EXPECT_FALSE(ParseDate("1992-01-00").ok());
+  EXPECT_FALSE(ParseDate("1997-02-29").ok());  // Not a leap year.
+  EXPECT_TRUE(ParseDate("1996-02-29").ok());   // Leap year.
+}
+
+TEST(FormatDateTest, PadsComponents) {
+  EXPECT_EQ(FormatDate(ToDays(CivilDate{2001, 2, 3})), "2001-02-03");
+}
+
+}  // namespace
+}  // namespace corra

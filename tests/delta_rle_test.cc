@@ -1,0 +1,165 @@
+// Delta and RLE: the checkpointed schemes the paper's baseline excludes.
+
+#include <gtest/gtest.h>
+
+#include "encoding/delta.h"
+#include "encoding/rle.h"
+#include "test_util.h"
+
+namespace corra::enc {
+namespace {
+
+using test::Dist;
+using test::ExpectColumnMatches;
+using test::MakeValues;
+using test::SerializeRoundTrip;
+
+class CheckpointedSchemeTest
+    : public ::testing::TestWithParam<std::tuple<Dist, size_t>> {
+ protected:
+  std::vector<int64_t> Values() const {
+    const auto [dist, n] = GetParam();
+    return MakeValues(dist, n, 0xBEEF);
+  }
+};
+
+TEST_P(CheckpointedSchemeTest, DeltaRoundTrip) {
+  const auto values = Values();
+  auto result = DeltaColumn::Encode(values);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->scheme(), Scheme::kDelta);
+  ExpectColumnMatches(*result.value(), values);
+  auto reloaded = SerializeRoundTrip(*result.value());
+  ASSERT_NE(reloaded, nullptr);
+  ExpectColumnMatches(*reloaded, values);
+}
+
+TEST_P(CheckpointedSchemeTest, RleRoundTrip) {
+  const auto values = Values();
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->scheme(), Scheme::kRle);
+  ExpectColumnMatches(*result.value(), values);
+  auto reloaded = SerializeRoundTrip(*result.value());
+  ASSERT_NE(reloaded, nullptr);
+  ExpectColumnMatches(*reloaded, values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, CheckpointedSchemeTest,
+    ::testing::Combine(
+        ::testing::Values(Dist::kConstant, Dist::kSmallRange,
+                          Dist::kNegative, Dist::kLowCard, Dist::kSorted,
+                          Dist::kRunHeavy, Dist::kExtremes),
+        ::testing::Values(size_t{1}, size_t{127}, size_t{128}, size_t{129},
+                          size_t{5000})),
+    [](const auto& info) {
+      return test::DistName(std::get<0>(info.param)) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DeltaTest, SortedDataUsesNarrowDeltas) {
+  const auto values = MakeValues(Dist::kSorted, 10000, 3);
+  auto result = DeltaColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  // Steps are in [0, 5]; zig-zag needs at most 4 bits.
+  EXPECT_LE(result.value()->bit_width(), 4);
+  // Much smaller than the 8 bytes/value of Plain.
+  EXPECT_LT(result.value()->SizeBytes(), values.size() * 2);
+}
+
+TEST(DeltaTest, GetCrossesCheckpointBoundaries) {
+  const auto values = MakeValues(Dist::kSorted, 1000, 7);
+  auto result = DeltaColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  const auto& col = *result.value();
+  for (size_t row : {size_t{0}, size_t{127}, size_t{128}, size_t{129},
+                     size_t{255}, size_t{256}, size_t{999}}) {
+    EXPECT_EQ(col.Get(row), values[row]) << row;
+  }
+}
+
+TEST(DeltaTest, CheckpointCountMismatchRejected) {
+  const auto values = MakeValues(Dist::kSorted, 500, 9);
+  auto result = DeltaColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  BufferWriter writer;
+  result.value()->Serialize(&writer);
+  auto bytes = std::move(writer).Finish();
+  // Lower the checkpoint array length prefix (first 8 bytes after the
+  // scheme byte) from 4 to 3 entries — structurally valid but wrong count.
+  bytes[1] = 3;
+  BufferReader reader(bytes);
+  auto reloaded = DeserializeEncodedColumn(&reader);
+  EXPECT_FALSE(reloaded.ok());
+}
+
+TEST(RleTest, RunHeavyDataCompressesWell) {
+  const auto values = MakeValues(Dist::kRunHeavy, 100000, 5);
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result.value()->run_count(), values.size() / 10);
+  EXPECT_LT(result.value()->SizeBytes(), values.size());
+}
+
+TEST(RleTest, SingleRunColumn) {
+  const std::vector<int64_t> values(10000, 42);
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->run_count(), 1u);
+  ExpectColumnMatches(*result.value(), values);
+}
+
+TEST(RleTest, AlternatingWorstCase) {
+  std::vector<int64_t> values(2000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i % 2);
+  }
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->run_count(), values.size());
+  ExpectColumnMatches(*result.value(), values);
+}
+
+TEST(RleTest, GetAtRunBoundaries) {
+  std::vector<int64_t> values;
+  for (int run = 0; run < 50; ++run) {
+    for (int i = 0; i < 60; ++i) {
+      values.push_back(run);
+    }
+  }
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  const auto& col = *result.value();
+  for (size_t row : {size_t{0}, size_t{59}, size_t{60}, size_t{119},
+                     size_t{120}, values.size() - 1}) {
+    EXPECT_EQ(col.Get(row), values[row]) << row;
+  }
+}
+
+TEST(RleTest, NonIncreasingRunEndsRejected) {
+  const std::vector<int64_t> values = {1, 1, 2, 2};
+  auto result = RleColumn::Encode(values);
+  ASSERT_TRUE(result.ok());
+  BufferWriter writer;
+  result.value()->Serialize(&writer);
+  auto bytes = std::move(writer).Finish();
+  // run_values: len 8B + 2*8B; run_ends length prefix at 25, entries at 33.
+  // Set both run ends to the same value.
+  const size_t run_ends_data = 1 + 8 + 16 + 8;
+  std::memcpy(bytes.data() + run_ends_data, "\x02\x00\x00\x00", 4);
+  std::memcpy(bytes.data() + run_ends_data + 4, "\x02\x00\x00\x00", 4);
+  BufferReader reader(bytes);
+  auto reloaded = DeserializeEncodedColumn(&reader);
+  EXPECT_FALSE(reloaded.ok());
+}
+
+TEST(RleTest, EstimateTracksRunCount) {
+  const auto run_heavy = MakeValues(Dist::kRunHeavy, 10000, 1);
+  const auto noisy = MakeValues(Dist::kWideRange, 10000, 1);
+  EXPECT_LT(RleColumn::EstimateSizeBytes(run_heavy),
+            RleColumn::EstimateSizeBytes(noisy));
+}
+
+}  // namespace
+}  // namespace corra::enc

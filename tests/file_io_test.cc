@@ -1,0 +1,180 @@
+// File persistence: write/read round-trips, partial block loads,
+// corruption rejection.
+
+#include "storage/file_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/random.h"
+#include "core/corra_compressor.h"
+
+namespace corra {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "corra_file_io_test.corf";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // A 3-block compressed table with a diff-encoded column.
+  CompressedTable MakeTable(size_t rows = 2500) {
+    Rng rng(7);
+    std::vector<int64_t> ship(rows);
+    std::vector<int64_t> receipt(rows);
+    for (size_t i = 0; i < rows; ++i) {
+      ship[i] = rng.Uniform(8035, 10591);
+      receipt[i] = ship[i] + rng.Uniform(1, 30);
+    }
+    ship_ = ship;
+    receipt_ = receipt;
+    Table table;
+    EXPECT_TRUE(table.AddColumn(Column::Date("ship", ship)).ok());
+    EXPECT_TRUE(table.AddColumn(Column::Date("receipt", receipt)).ok());
+    CompressionPlan plan = CompressionPlan::AllAuto(2);
+    plan.block_rows = 1000;
+    plan.columns[1].auto_vertical = false;
+    plan.columns[1].scheme = enc::Scheme::kDiff;
+    plan.columns[1].reference = 0;
+    return CorraCompressor::Compress(table, plan).value();
+  }
+
+  std::string path_;
+  std::vector<int64_t> ship_;
+  std::vector<int64_t> receipt_;
+};
+
+TEST_F(FileIoTest, WriteReadRoundTrip) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto reloaded = ReadCompressedTable(path_, /*verify=*/true);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().num_blocks(), 3u);
+  EXPECT_EQ(reloaded.value().num_rows(), 2500u);
+  EXPECT_EQ(reloaded.value().schema(), table.schema());
+  EXPECT_EQ(reloaded.value().DecodeColumn(1), receipt_);
+}
+
+TEST_F(FileIoTest, FileInfoWithoutPayload) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().num_blocks, 3u);
+  EXPECT_EQ(info.value().schema.num_fields(), 2u);
+  EXPECT_EQ(info.value().schema.field(1).name, "receipt");
+  // Directory entries are contiguous and ordered.
+  for (size_t b = 1; b < info.value().num_blocks; ++b) {
+    EXPECT_EQ(info.value().block_offsets[b],
+              info.value().block_offsets[b - 1] +
+                  info.value().block_lengths[b - 1]);
+  }
+}
+
+TEST_F(FileIoTest, SingleBlockLoad) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto block = ReadBlock(path_, 1, /*verify=*/true);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_EQ(block.value().rows(), 1000u);
+  // Block 1 covers global rows 1000..1999.
+  for (size_t i = 0; i < 1000; i += 97) {
+    EXPECT_EQ(block.value().column(1).Get(i), receipt_[1000 + i]);
+  }
+}
+
+TEST_F(FileIoTest, BlockIndexOutOfRange) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  auto block = ReadBlock(path_, 3);
+  EXPECT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsOutOfRange());
+}
+
+TEST_F(FileIoTest, MissingFileIsNotFound) {
+  auto result = ReadCompressedTable(path_ + ".does-not-exist");
+  EXPECT_TRUE(result.status().IsNotFound());
+  EXPECT_TRUE(ReadFileInfo(path_ + ".nope").status().IsNotFound());
+}
+
+TEST_F(FileIoTest, BadMagicRejected) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(0);
+    f.write("XXXX", 4);
+  }
+  EXPECT_TRUE(ReadCompressedTable(path_).status().IsCorruption());
+}
+
+TEST_F(FileIoTest, TruncatedFileRejected) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  // Cut the last block's payload short.
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(),
+            static_cast<long>(contents.size() - 100));
+  out.close();
+  auto result = ReadCompressedTable(path_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FileIoTest, CorruptedBlockPayloadRejected) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok());
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<long>(info.value().block_offsets[1]));
+    f.write("\xFF\xFF\xFF\xFF", 4);  // Smash block 1's magic.
+  }
+  EXPECT_FALSE(ReadBlock(path_, 1).ok());
+  EXPECT_TRUE(ReadBlock(path_, 0).ok());  // Other blocks unaffected.
+}
+
+TEST_F(FileIoTest, OverwriteReplacesContents) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(2500), path_).ok());
+  // Rebuild with different data; the file must reflect the second write.
+  Rng rng(99);
+  std::vector<int64_t> values(100);
+  for (auto& v : values) {
+    v = rng.Uniform(0, 9);
+  }
+  Table small;
+  ASSERT_TRUE(small.AddColumn(Column::Int64("only", values)).ok());
+  auto compressed =
+      CorraCompressor::Compress(small, CompressionPlan::AllAuto(1));
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_TRUE(WriteCompressedTable(compressed.value(), path_).ok());
+  auto reloaded = ReadCompressedTable(path_);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(reloaded.value().num_rows(), 100u);
+  EXPECT_EQ(reloaded.value().schema().field(0).name, "only");
+}
+
+TEST_F(FileIoTest, StringDictionariesSurviveFile) {
+  const std::vector<std::string> strings = {"NY", "CA", "NY", "TX"};
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::String("state", strings)).ok());
+  auto compressed =
+      CorraCompressor::Compress(table, CompressionPlan::AllAuto(1));
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_TRUE(WriteCompressedTable(compressed.value(), path_).ok());
+  auto reloaded = ReadCompressedTable(path_);
+  ASSERT_TRUE(reloaded.ok());
+  const auto* dict = reloaded.value().block(0).dictionary(0);
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ((*dict)[0], "NY");
+  EXPECT_EQ((*dict)[1], "CA");
+  EXPECT_EQ((*dict)[2], "TX");
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,207 @@
+// End-to-end pipeline on all four (synthetic) datasets:
+// generate -> plan -> compress -> serialize -> reload -> query -> verify,
+// checking both exactness and that Corra's savings materialize.
+
+#include <gtest/gtest.h>
+
+#include "core/corra_compressor.h"
+#include "datagen/dmv.h"
+#include "datagen/ldbc.h"
+#include "datagen/taxi.h"
+#include "datagen/tpch.h"
+#include "query/scan.h"
+#include "query/selection_vector.h"
+
+namespace corra {
+namespace {
+
+constexpr size_t kRows = 60000;
+constexpr size_t kBlockRows = 25000;  // Forces multiple blocks.
+
+// Serializes every block and reloads the table from bytes only.
+CompressedTable Reload(const CompressedTable& table) {
+  std::vector<Block> blocks;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    const auto bytes = table.block(b).Serialize();
+    auto block = Block::Deserialize(bytes, /*verify=*/true);
+    EXPECT_TRUE(block.ok()) << block.status().ToString();
+    blocks.push_back(std::move(block).value());
+  }
+  return CompressedTable(table.schema(), std::move(blocks));
+}
+
+void ExpectColumnsEqual(const Table& table, const CompressedTable& got) {
+  ASSERT_EQ(got.num_rows(), table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EXPECT_EQ(got.DecodeColumn(c),
+              std::vector<int64_t>(table.column(c).values().begin(),
+                                   table.column(c).values().end()))
+        << "column " << table.column(c).name();
+  }
+}
+
+void ExpectQueriesMatch(const Table& table, const CompressedTable& got,
+                        size_t column) {
+  Rng rng(99);
+  for (double sel : {0.001, 0.05, 0.5}) {
+    for (size_t b = 0; b < got.num_blocks(); ++b) {
+      const size_t base = b * kBlockRows;
+      const auto rows =
+          query::GenerateSelectionVector(got.block(b).rows(), sel, &rng);
+      const auto out = query::ScanColumn(got.block(b), column, rows);
+      for (size_t i = 0; i < rows.size(); ++i) {
+        ASSERT_EQ(out[i], table.column(column).values()[base + rows[i]])
+            << "block " << b << " sel " << sel;
+      }
+    }
+  }
+}
+
+TEST(IntegrationTest, TpchLineitemDates) {
+  auto table = datagen::MakeLineitemTable(kRows, 11);
+  ASSERT_TRUE(table.ok());
+  // Paper config: commit and receipt diff-encoded against ship.
+  CompressionPlan plan = CompressionPlan::AllAuto(4);
+  plan.block_rows = kBlockRows;
+  for (size_t target : {size_t{2}, size_t{3}}) {
+    plan.columns[target].auto_vertical = false;
+    plan.columns[target].scheme = enc::Scheme::kDiff;
+    plan.columns[target].reference = 1;
+  }
+  auto compressed = CorraCompressor::Compress(table.value(), plan);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto baseline = CorraCompressor::Compress(
+      table.value(), [&] {
+        CompressionPlan p = CompressionPlan::AllAuto(4);
+        p.block_rows = kBlockRows;
+        return p;
+      }());
+  ASSERT_TRUE(baseline.ok());
+
+  // Table 2 ratios: receipt ~58% saving, commit ~33%.
+  const double receipt_saving =
+      1.0 - static_cast<double>(compressed.value().ColumnSizeBytes(3)) /
+                static_cast<double>(baseline.value().ColumnSizeBytes(3));
+  const double commit_saving =
+      1.0 - static_cast<double>(compressed.value().ColumnSizeBytes(2)) /
+                static_cast<double>(baseline.value().ColumnSizeBytes(2));
+  EXPECT_NEAR(receipt_saving, 0.583, 0.03);
+  EXPECT_NEAR(commit_saving, 0.333, 0.03);
+
+  const CompressedTable reloaded = Reload(compressed.value());
+  ExpectColumnsEqual(table.value(), reloaded);
+  ExpectQueriesMatch(table.value(), reloaded, 3);
+}
+
+TEST(IntegrationTest, DmvHierarchy) {
+  auto table = datagen::MakeDmvTable(kRows, 12);
+  ASSERT_TRUE(table.ok());
+  // zip hierarchical w.r.t. city; city hierarchical w.r.t. state.
+  CompressionPlan plan = CompressionPlan::AllAuto(3);
+  plan.block_rows = kBlockRows;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kHierarchical;
+  plan.columns[1].reference = 0;
+  plan.columns[2].auto_vertical = false;
+  plan.columns[2].scheme = enc::Scheme::kHierarchical;
+  plan.columns[2].reference = 1;
+  auto compressed = CorraCompressor::Compress(table.value(), plan);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto baseline = CorraCompressor::Compress(
+      table.value(), [&] {
+        CompressionPlan p = CompressionPlan::AllAuto(3);
+        p.block_rows = kBlockRows;
+        return p;
+      }());
+  ASSERT_TRUE(baseline.ok());
+  // zip must shrink (paper: 53.7% at full scale). At this tiny test scale
+  // the baseline dictionary gets unrealistically narrow codes and the
+  // hierarchical metadata amortizes over few rows, so only a positive
+  // saving is asserted; the calibrated full-scale check lives in the
+  // Table 2 bench.
+  EXPECT_LT(compressed.value().ColumnSizeBytes(2),
+            baseline.value().ColumnSizeBytes(2));
+
+  const CompressedTable reloaded = Reload(compressed.value());
+  ExpectColumnsEqual(table.value(), reloaded);
+  ExpectQueriesMatch(table.value(), reloaded, 2);
+}
+
+TEST(IntegrationTest, LdbcMessages) {
+  auto table = datagen::MakeLdbcTable(kRows, 13);
+  ASSERT_TRUE(table.ok());
+  CompressionPlan plan = CompressionPlan::AllAuto(2);
+  plan.block_rows = kBlockRows;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kHierarchical;
+  plan.columns[1].reference = 0;
+  auto compressed = CorraCompressor::Compress(table.value(), plan);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+
+  const CompressedTable reloaded = Reload(compressed.value());
+  ExpectColumnsEqual(table.value(), reloaded);
+  ExpectQueriesMatch(table.value(), reloaded, 1);
+}
+
+TEST(IntegrationTest, TaxiMultiRef) {
+  auto table = datagen::MakeTaxiTable(kRows, 14);
+  ASSERT_TRUE(table.ok());
+  using C = datagen::TaxiColumns;
+  CompressionPlan plan = CompressionPlan::AllAuto(11);
+  plan.block_rows = kBlockRows;
+  // dropoff diff-encoded against pickup (Sec. 2.1 pair).
+  plan.columns[C::kDropoff].auto_vertical = false;
+  plan.columns[C::kDropoff].scheme = enc::Scheme::kDiff;
+  plan.columns[C::kDropoff].reference = C::kPickup;
+  // total_amount via multi-ref (Sec. 2.3).
+  auto& total = plan.columns[C::kTotalAmount];
+  total.auto_vertical = false;
+  total.scheme = enc::Scheme::kMultiRef;
+  total.formulas.groups = {
+      {C::kMtaTax, C::kFareAmount, C::kImprovementSurcharge, C::kExtra,
+       C::kTipAmount, C::kTollsAmount},
+      {C::kCongestionSurcharge},
+      {C::kAirportFee}};
+  total.formulas.formulas = {0b001, 0b011, 0b101, 0b111};
+  total.formulas.code_bits = 2;
+  total.max_outlier_fraction = 0.02;
+
+  auto compressed = CorraCompressor::Compress(table.value(), plan);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto baseline = CorraCompressor::Compress(
+      table.value(), [&] {
+        CompressionPlan p = CompressionPlan::AllAuto(11);
+        p.block_rows = kBlockRows;
+        return p;
+      }());
+  ASSERT_TRUE(baseline.ok());
+  // Paper: 85.16% saving on total_amount.
+  const double total_saving =
+      1.0 -
+      static_cast<double>(
+          compressed.value().ColumnSizeBytes(C::kTotalAmount)) /
+          static_cast<double>(
+              baseline.value().ColumnSizeBytes(C::kTotalAmount));
+  EXPECT_GT(total_saving, 0.75);
+
+  const CompressedTable reloaded = Reload(compressed.value());
+  ExpectColumnsEqual(table.value(), reloaded);
+  ExpectQueriesMatch(table.value(), reloaded, C::kTotalAmount);
+}
+
+TEST(IntegrationTest, OptimizerDrivenPipeline) {
+  // Full automation: detector-free optimizer plan on the TPC-H dates.
+  auto table = datagen::MakeLineitemTable(40000, 15);
+  ASSERT_TRUE(table.ok());
+  const std::vector<size_t> candidates = {1, 2, 3};
+  auto plan = CorraCompressor::PlanFromOptimizer(table.value(), candidates);
+  ASSERT_TRUE(plan.ok());
+  plan.value().block_rows = 16384;
+  auto compressed = CorraCompressor::Compress(table.value(), plan.value());
+  ASSERT_TRUE(compressed.ok());
+  const CompressedTable reloaded = Reload(compressed.value());
+  ExpectColumnsEqual(table.value(), reloaded);
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,191 @@
+// Selection vectors and materializing scans.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/corra_compressor.h"
+#include "query/latency.h"
+#include "query/scan.h"
+#include "query/selection_vector.h"
+
+namespace corra::query {
+namespace {
+
+TEST(SelectionVectorTest, SizeTracksSelectivity) {
+  Rng rng(1);
+  for (double sel : {0.0, 0.001, 0.01, 0.1, 0.5, 1.0}) {
+    const auto rows = GenerateSelectionVector(100000, sel, &rng);
+    EXPECT_EQ(rows.size(),
+              static_cast<size_t>(std::llround(sel * 100000)));
+  }
+}
+
+TEST(SelectionVectorTest, SortedAndUnique) {
+  Rng rng(2);
+  for (double sel : {0.01, 0.3, 0.7, 0.99}) {
+    const auto rows = GenerateSelectionVector(50000, sel, &rng);
+    for (size_t i = 1; i < rows.size(); ++i) {
+      ASSERT_LT(rows[i - 1], rows[i]) << "sel " << sel;
+    }
+    ASSERT_TRUE(rows.empty() || rows.back() < 50000);
+  }
+}
+
+TEST(SelectionVectorTest, FullSelectivityIsIdentity) {
+  Rng rng(3);
+  const auto rows = GenerateSelectionVector(1000, 1.0, &rng);
+  ASSERT_EQ(rows.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rows[i], i);
+  }
+}
+
+TEST(SelectionVectorTest, SelectivityClamped) {
+  Rng rng(4);
+  EXPECT_EQ(GenerateSelectionVector(100, -0.5, &rng).size(), 0u);
+  EXPECT_EQ(GenerateSelectionVector(100, 1.5, &rng).size(), 100u);
+}
+
+TEST(SelectionVectorTest, UniformCoverage) {
+  // Positions must cover the whole range, not cluster at one end.
+  Rng rng(5);
+  const auto rows = GenerateSelectionVector(100000, 0.1, &rng);
+  size_t low_half = 0;
+  for (uint32_t r : rows) {
+    low_half += r < 50000 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(low_half) / rows.size(), 0.5, 0.03);
+}
+
+TEST(SelectionVectorTest, BatchGeneratesIndependentVectors) {
+  Rng rng(6);
+  const auto vectors = GenerateSelectionVectors(10000, 0.01, 10, &rng);
+  ASSERT_EQ(vectors.size(), 10u);  // The paper's 10 vectors.
+  std::unordered_set<uint32_t> first(vectors[0].begin(), vectors[0].end());
+  size_t overlap = 0;
+  for (uint32_t r : vectors[1]) {
+    overlap += first.count(r);
+  }
+  // Two independent 1% samples overlap on ~1% of their entries.
+  EXPECT_LT(overlap, vectors[1].size() / 2);
+}
+
+TEST(PaperSweepTest, MatchesPaperGrid) {
+  const auto sweep = PaperSelectivitySweep();
+  // {0.001..0.009, 0.01..0.09, 0.1..1.0} = 9 + 9 + 10 points.
+  ASSERT_EQ(sweep.size(), 28u);
+  EXPECT_DOUBLE_EQ(sweep.front(), 0.001);
+  EXPECT_DOUBLE_EQ(sweep.back(), 1.0);
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i], sweep[i - 1]);
+  }
+}
+
+class ScanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(7);
+    const size_t n = 20000;
+    std::vector<int64_t> ship(n);
+    std::vector<int64_t> receipt(n);
+    for (size_t i = 0; i < n; ++i) {
+      ship[i] = rng.Uniform(8035, 10591);
+      receipt[i] = ship[i] + rng.Uniform(1, 30);
+    }
+    ship_ = ship;
+    receipt_ = receipt;
+    Table table;
+    ASSERT_TRUE(table.AddColumn(Column::Date("ship", ship)).ok());
+    ASSERT_TRUE(table.AddColumn(Column::Date("receipt", receipt)).ok());
+    CompressionPlan plan = CompressionPlan::AllAuto(2);
+    plan.columns[1].auto_vertical = false;
+    plan.columns[1].scheme = enc::Scheme::kDiff;
+    plan.columns[1].reference = 0;
+    auto compressed = CorraCompressor::Compress(table, plan);
+    ASSERT_TRUE(compressed.ok());
+    compressed_.emplace(std::move(compressed).value());
+  }
+
+  std::vector<int64_t> ship_;
+  std::vector<int64_t> receipt_;
+  std::optional<CompressedTable> compressed_;
+};
+
+TEST_F(ScanTest, ScanColumnMaterializesSelection) {
+  Rng rng(8);
+  const auto rows =
+      GenerateSelectionVector(compressed_->block(0).rows(), 0.05, &rng);
+  const auto out = ScanColumn(compressed_->block(0), 1, rows);
+  ASSERT_EQ(out.size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], receipt_[rows[i]]);
+  }
+}
+
+TEST_F(ScanTest, ScanPairSharesReferenceFetch) {
+  Rng rng(9);
+  const auto rows =
+      GenerateSelectionVector(compressed_->block(0).rows(), 0.03, &rng);
+  std::vector<int64_t> out_ref(rows.size());
+  std::vector<int64_t> out_target(rows.size());
+  ScanPair(compressed_->block(0), 0, 1, rows, out_ref.data(),
+           out_target.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out_ref[i], ship_[rows[i]]);
+    EXPECT_EQ(out_target[i], receipt_[rows[i]]);
+  }
+}
+
+TEST_F(ScanTest, ScanPairWithUnrelatedColumnsStillCorrect) {
+  // ScanPair where the "reference" argument is not the target's actual
+  // reference must fall back to independent gathers.
+  Rng rng(10);
+  const auto rows =
+      GenerateSelectionVector(compressed_->block(0).rows(), 0.02, &rng);
+  std::vector<int64_t> out_a(rows.size());
+  std::vector<int64_t> out_b(rows.size());
+  ScanPair(compressed_->block(0), 1, 0, rows, out_a.data(), out_b.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out_a[i], receipt_[rows[i]]);
+    EXPECT_EQ(out_b[i], ship_[rows[i]]);
+  }
+}
+
+TEST_F(ScanTest, EmptySelection) {
+  const std::vector<uint32_t> rows;
+  const auto out = ScanColumn(compressed_->block(0), 1, rows);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(LatencyTest, StopwatchAdvances) {
+  Stopwatch watch;
+  double t1 = watch.ElapsedSeconds();
+  // Burn a little CPU.
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
+  double t2 = watch.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  watch.Reset();
+  EXPECT_LE(watch.ElapsedSeconds(), t2);
+}
+
+TEST(LatencyTest, MeanRunSecondsAveragesBodies) {
+  std::vector<std::vector<uint32_t>> vectors(4, std::vector<uint32_t>{0});
+  size_t calls = 0;
+  const double mean = MeanRunSeconds(
+      vectors, [&calls](std::span<const uint32_t>) { ++calls; });
+  EXPECT_EQ(calls, 4u);
+  EXPECT_GE(mean, 0.0);
+}
+
+TEST(LatencyTest, ZoomSelectivitiesMatchPaper) {
+  EXPECT_EQ(ZoomSelectivities(),
+            (std::vector<double>{0.005, 0.01, 0.05, 0.1}));
+}
+
+}  // namespace
+}  // namespace corra::query

@@ -1,0 +1,115 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace corra {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(RngTest, UniformStaysInBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const int64_t v = rng.Uniform(-17, 42);
+    EXPECT_GE(v, -17);
+    EXPECT_LE(v, 42);
+  }
+}
+
+TEST(RngTest, UniformSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.Uniform(7, 7), 7);
+  }
+}
+
+TEST(RngTest, UniformHitsAllValuesOfSmallRange) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[static_cast<size_t>(rng.Uniform(0, 9))];
+  }
+  for (int c : counts) {
+    // Each bucket should be near 10000; allow generous slack.
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(13);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  const double rate = static_cast<double>(hits) / kTrials;
+  EXPECT_NEAR(rate, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerate) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  constexpr int kSamples = 200000;
+  double sum = 0;
+  double sum_sq = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+  Rng rng(29);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // Must compile and not crash.
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace corra

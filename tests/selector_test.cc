@@ -1,0 +1,135 @@
+// The baseline selector must reproduce the paper's choice: FOR or Dict
+// (with bit-packing) per column, preferring whichever is smaller, and never
+// a checkpointed scheme under the default policy.
+
+#include "encoding/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "test_util.h"
+
+namespace corra::enc {
+namespace {
+
+using test::Dist;
+using test::ExpectColumnMatches;
+using test::MakeValues;
+
+TEST(SelectorTest, DenseRangePicksForOrBitPack) {
+  // Uniform dense values: dictionary wins nothing; FOR/BitPack is minimal.
+  const auto values = MakeValues(Dist::kSmallRange, 4096, 1);
+  auto result = SelectBestScheme(values);
+  ASSERT_TRUE(result.ok());
+  const Scheme s = result.value()->scheme();
+  EXPECT_TRUE(s == Scheme::kFor || s == Scheme::kBitPack)
+      << SchemeToString(s);
+  ExpectColumnMatches(*result.value(), values);
+}
+
+TEST(SelectorTest, LowCardinalityWideValuesPickDict) {
+  // 10 distinct values scattered over a wide range: dict codes take 4
+  // bits/row while FOR needs ~21.
+  const auto values = MakeValues(Dist::kLowCard, 4096, 2);
+  auto result = SelectBestScheme(values);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->scheme(), Scheme::kDict);
+  ExpectColumnMatches(*result.value(), values);
+}
+
+TEST(SelectorTest, DefaultPolicyNeverPicksCheckpointedSchemes) {
+  for (Dist d : {Dist::kConstant, Dist::kSorted, Dist::kRunHeavy,
+                 Dist::kWideRange}) {
+    const auto values = MakeValues(d, 2048, 3);
+    auto result = SelectBestScheme(values);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(HasConstantTimeAccess(result.value()->scheme()))
+        << test::DistName(d);
+  }
+}
+
+TEST(SelectorTest, CheckpointedPolicyPicksRleForRuns) {
+  const auto values = MakeValues(Dist::kRunHeavy, 8192, 4);
+  auto result = SelectBestScheme(
+      values, SelectionPolicy::kAllowCheckpointedSchemes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->scheme(), Scheme::kRle);
+  ExpectColumnMatches(*result.value(), values);
+}
+
+TEST(SelectorTest, CheckpointedPolicyPicksDeltaForSorted) {
+  // Strictly increasing with tiny steps over a huge range: delta beats
+  // FOR (whose width is the full range) and dict (all values distinct).
+  std::vector<int64_t> values;
+  int64_t acc = 0;
+  Rng rng(5);
+  for (int i = 0; i < 8192; ++i) {
+    acc += rng.Uniform(100000, 100007);
+    values.push_back(acc);
+  }
+  auto result = SelectBestScheme(
+      values, SelectionPolicy::kAllowCheckpointedSchemes);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->scheme(), Scheme::kDelta);
+}
+
+TEST(SelectorTest, SelectionNeverWorseThanPlain) {
+  for (Dist d :
+       {Dist::kConstant, Dist::kSmallRange, Dist::kWideRange,
+        Dist::kNegative, Dist::kLowCard, Dist::kSorted, Dist::kRunHeavy,
+        Dist::kExtremes}) {
+    const auto values = MakeValues(d, 2000, 6);
+    auto result = SelectBestScheme(values);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result.value()->SizeBytes(), values.size() * sizeof(int64_t))
+        << test::DistName(d);
+  }
+}
+
+TEST(SelectorTest, EstimatesCoverExpectedSchemes) {
+  const auto values = MakeValues(Dist::kSmallRange, 100, 7);
+  auto fast = EstimateSchemes(values,
+                              SelectionPolicy::kConstantTimeAccessOnly);
+  EXPECT_EQ(fast.size(), 4u);  // Plain, BitPack, FOR, Dict.
+  auto all =
+      EstimateSchemes(values, SelectionPolicy::kAllowCheckpointedSchemes);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(SelectorTest, EstimatesAreAccurate) {
+  // The selector decides from estimates; each estimate must equal the
+  // actual encoded SizeBytes for the applicable schemes.
+  const auto values = MakeValues(Dist::kLowCard, 3000, 8);
+  for (const auto& e :
+       EstimateSchemes(values, SelectionPolicy::kConstantTimeAccessOnly)) {
+    if (e.size_bytes == SIZE_MAX) {
+      continue;
+    }
+    switch (e.scheme) {
+      case Scheme::kFor: {
+        auto col = ForColumn::Encode(values);
+        ASSERT_TRUE(col.ok());
+        EXPECT_EQ(e.size_bytes, col.value()->SizeBytes());
+        break;
+      }
+      case Scheme::kDict: {
+        auto col = DictColumn::Encode(values);
+        ASSERT_TRUE(col.ok());
+        EXPECT_EQ(e.size_bytes, col.value()->SizeBytes());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+TEST(SelectorTest, EmptyColumn) {
+  auto result = SelectBestScheme(std::span<const int64_t>{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace corra::enc

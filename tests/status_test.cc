@@ -1,0 +1,146 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace corra {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryOk) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllCategories) {
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+}
+
+TEST(StatusTest, CategoriesAreDisjoint) {
+  Status s = Status::Corruption("x");
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsOutOfRange());
+  EXPECT_FALSE(s.IsNotImplemented());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.IsNotFound());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Corruption("broken");
+  Status copy = s;  // NOLINT(performance-unnecessary-copy-initialization)
+  EXPECT_TRUE(copy.IsCorruption());
+  EXPECT_EQ(copy.message(), "broken");
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status s = Status::NotFound("gone");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+  EXPECT_EQ(moved.message(), "gone");
+}
+
+TEST(StatusTest, StatusCodeToStringCoversAll) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument),
+            "Invalid argument");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "Out of range");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotImplemented),
+            "Not implemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+}
+
+Status FailingOperation() { return Status::OutOfRange("position 9"); }
+
+Status PropagatingOperation() {
+  CORRA_RETURN_NOT_OK(FailingOperation());
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  Status s = PropagatingOperation();
+  EXPECT_TRUE(s.IsOutOfRange());
+  EXPECT_EQ(s.message(), "position 9");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nothing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  Result<int> ok = 7;
+  Result<int> err = Status::Internal("x");
+  EXPECT_EQ(ok.ValueOr(0), 7);
+  EXPECT_EQ(err.ValueOr(0), 0);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) {
+    return Status::InvalidArgument("not positive");
+  }
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  CORRA_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnHappyPath) {
+  Result<int> r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  Result<int> r = Doubled(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(ResultDeathTest, AccessingErrorValueAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH({ (void)r.value(); }, "boom");
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,130 @@
+#include "encoding/string_dict.h"
+
+#include <gtest/gtest.h>
+
+namespace corra::enc {
+namespace {
+
+TEST(StringDictTest, EmptyDictionary) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  EXPECT_EQ(dict.SizeBytes(), sizeof(uint32_t));  // The single 0 offset.
+  EXPECT_TRUE(dict.CodeOf("anything").status().IsNotFound());
+}
+
+TEST(StringDictTest, InsertAssignsDenseCodes) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert("NYC"), 0);
+  EXPECT_EQ(dict.GetOrInsert("Naples"), 1);
+  EXPECT_EQ(dict.GetOrInsert("Cortland"), 2);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(StringDictTest, RepeatedInsertReturnsSameCode) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert("Naples"), 0);
+  EXPECT_EQ(dict.GetOrInsert("Naples"), 0);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(StringDictTest, LookupByCode) {
+  StringDictionary dict;
+  dict.GetOrInsert("alpha");
+  dict.GetOrInsert("beta");
+  EXPECT_EQ(dict[0], "alpha");
+  EXPECT_EQ(dict[1], "beta");
+}
+
+TEST(StringDictTest, CodeOfFindsInserted) {
+  StringDictionary dict;
+  dict.GetOrInsert("x");
+  dict.GetOrInsert("y");
+  auto r = dict.CodeOf("y");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1);
+}
+
+TEST(StringDictTest, EmptyStringIsValidEntry) {
+  StringDictionary dict;
+  EXPECT_EQ(dict.GetOrInsert(""), 0);
+  EXPECT_EQ(dict.GetOrInsert("nonempty"), 1);
+  EXPECT_EQ(dict[0], "");
+  EXPECT_EQ(dict[1], "nonempty");
+}
+
+TEST(StringDictTest, SizeBytesCountsCharsAndOffsets) {
+  StringDictionary dict;
+  dict.GetOrInsert("abc");   // 3 chars
+  dict.GetOrInsert("defgh"); // 5 chars
+  EXPECT_EQ(dict.SizeBytes(), 8u + 3 * sizeof(uint32_t));
+}
+
+TEST(StringDictTest, SerializeRoundTrip) {
+  StringDictionary dict;
+  dict.GetOrInsert("Cortland");
+  dict.GetOrInsert("Naples");
+  dict.GetOrInsert("NYC");
+  dict.GetOrInsert("");
+
+  BufferWriter writer;
+  dict.Serialize(&writer);
+  auto bytes = std::move(writer).Finish();
+
+  BufferReader reader(bytes);
+  auto result = StringDictionary::Deserialize(&reader);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto& reloaded = result.value();
+  ASSERT_EQ(reloaded.size(), 4u);
+  EXPECT_EQ(reloaded[0], "Cortland");
+  EXPECT_EQ(reloaded[1], "Naples");
+  EXPECT_EQ(reloaded[2], "NYC");
+  EXPECT_EQ(reloaded[3], "");
+}
+
+TEST(StringDictTest, RebuildIndexRestoresLookup) {
+  StringDictionary dict;
+  dict.GetOrInsert("one");
+  dict.GetOrInsert("two");
+  BufferWriter writer;
+  dict.Serialize(&writer);
+  auto bytes = std::move(writer).Finish();
+  BufferReader reader(bytes);
+  auto result = StringDictionary::Deserialize(&reader);
+  ASSERT_TRUE(result.ok());
+  auto& reloaded = result.value();
+  EXPECT_TRUE(reloaded.CodeOf("one").status().IsNotFound());
+  reloaded.RebuildIndex();
+  auto code = reloaded.CodeOf("one");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code.value(), 0);
+}
+
+TEST(StringDictTest, CorruptOffsetsRejected) {
+  StringDictionary dict;
+  dict.GetOrInsert("abc");
+  BufferWriter writer;
+  dict.Serialize(&writer);
+  auto bytes = std::move(writer).Finish();
+  // The offsets array is the last 8 bytes (two uint32: 0 and 3). Flip the
+  // final offset so it disagrees with the char count.
+  bytes[bytes.size() - 4] = 0x7F;
+  BufferReader reader(bytes);
+  auto result = StringDictionary::Deserialize(&reader);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(StringDictTest, ManyStringsStressIndex) {
+  StringDictionary dict;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(dict.GetOrInsert("key" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(dict.size(), 10000u);
+  for (int i = 0; i < 10000; i += 97) {
+    auto code = dict.CodeOf("key" + std::to_string(i));
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(code.value(), i);
+  }
+}
+
+}  // namespace
+}  // namespace corra::enc

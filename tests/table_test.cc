@@ -1,0 +1,159 @@
+// Schema, Column, Table, CompressedTable.
+
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "core/corra_compressor.h"
+
+namespace corra {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"a", LogicalType::kInt64}).ok());
+  ASSERT_TRUE(schema.AddField({"b", LogicalType::kDate}).ok());
+  EXPECT_EQ(schema.num_fields(), 2u);
+  auto idx = schema.FieldIndex("b");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 1u);
+  EXPECT_TRUE(schema.FieldIndex("missing").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"a", LogicalType::kInt64}).ok());
+  EXPECT_FALSE(schema.AddField({"a", LogicalType::kDate}).ok());
+}
+
+TEST(SchemaTest, ToStringListsFields) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddField({"city", LogicalType::kString}).ok());
+  ASSERT_TRUE(schema.AddField({"zip", LogicalType::kInt64}).ok());
+  EXPECT_EQ(schema.ToString(), "city:string, zip:int64");
+}
+
+TEST(LogicalTypeTest, Names) {
+  EXPECT_EQ(LogicalTypeToString(LogicalType::kInt64), "int64");
+  EXPECT_EQ(LogicalTypeToString(LogicalType::kDate), "date");
+  EXPECT_EQ(LogicalTypeToString(LogicalType::kTimestamp), "timestamp");
+  EXPECT_EQ(LogicalTypeToString(LogicalType::kMoney), "money");
+  EXPECT_EQ(LogicalTypeToString(LogicalType::kString), "string");
+}
+
+TEST(ColumnTest, TypedFactories) {
+  auto i = Column::Int64("i", {1, 2});
+  EXPECT_EQ(i.type(), LogicalType::kInt64);
+  auto d = Column::Date("d", {0});
+  EXPECT_EQ(d.type(), LogicalType::kDate);
+  auto t = Column::Timestamp("t", {0});
+  EXPECT_EQ(t.type(), LogicalType::kTimestamp);
+  auto m = Column::Money("m", {100});
+  EXPECT_EQ(m.type(), LogicalType::kMoney);
+}
+
+TEST(ColumnTest, StringColumnBuildsDictionary) {
+  const std::vector<std::string> strings = {"NYC", "Naples", "NYC"};
+  auto col = Column::String("city", strings);
+  EXPECT_EQ(col.type(), LogicalType::kString);
+  ASSERT_NE(col.dictionary(), nullptr);
+  EXPECT_EQ(col.dictionary()->size(), 2u);
+  EXPECT_EQ(col.values()[0], col.values()[2]);  // Same code for "NYC".
+  EXPECT_NE(col.values()[0], col.values()[1]);
+}
+
+TEST(ColumnTest, StringFromCodesValidates) {
+  auto dict = std::make_shared<enc::StringDictionary>();
+  dict->GetOrInsert("x");
+  auto bad = Column::StringFromCodes("s", {0, 1}, dict);  // Code 1 invalid.
+  EXPECT_FALSE(bad.ok());
+  auto good = Column::StringFromCodes("s", {0, 0}, dict);
+  EXPECT_TRUE(good.ok());
+  EXPECT_FALSE(Column::StringFromCodes("s", {0}, nullptr).ok());
+}
+
+TEST(ColumnTest, RenderFormatsByType) {
+  EXPECT_EQ(Column::Int64("i", {42}).Render(0), "42");
+  EXPECT_EQ(Column::Date("d", {ToDays(CivilDate{1992, 1, 2})}).Render(0),
+            "1992-01-02");
+  EXPECT_EQ(Column::Money("m", {12345}).Render(0), "123.45");
+  EXPECT_EQ(Column::Money("m", {5}).Render(0), "0.05");
+  const std::vector<std::string> strings = {"hello"};
+  EXPECT_EQ(Column::String("s", strings).Render(0), "hello");
+  // Timestamp renders date + time of day.
+  const int64_t noon = ToDays(CivilDate{2023, 6, 1}) * 86400 + 12 * 3600;
+  EXPECT_EQ(Column::Timestamp("t", {noon}).Render(0), "2023-06-01 12:00:00");
+}
+
+TEST(TableTest, AddColumnValidations) {
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("a", {1, 2})).ok());
+  EXPECT_FALSE(table.AddColumn(Column::Int64("a", {3, 4})).ok());  // Dup.
+  EXPECT_FALSE(table.AddColumn(Column::Int64("b", {1})).ok());  // Length.
+  ASSERT_TRUE(table.AddColumn(Column::Int64("b", {5, 6})).ok());
+  EXPECT_EQ(table.num_columns(), 2u);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TableTest, ColumnIndexLookup) {
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("x", {1})).ok());
+  auto idx = table.ColumnIndex("x");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(idx.value(), 0u);
+  EXPECT_TRUE(table.ColumnIndex("y").status().IsNotFound());
+}
+
+TEST(TableTest, SchemaReflectsColumns) {
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Date("d", {0})).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Int64("i", {1})).ok());
+  const Schema schema = table.schema();
+  ASSERT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(0).name, "d");
+  EXPECT_EQ(schema.field(0).type, LogicalType::kDate);
+  EXPECT_EQ(schema.field(1).name, "i");
+}
+
+TEST(CompressedTableTest, MultiBlockAccounting) {
+  // 2500 rows with 1000-row blocks -> 3 blocks.
+  std::vector<int64_t> values(2500);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i % 128);
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("v", std::move(values))).ok());
+  CompressionPlan plan = CompressionPlan::AllAuto(1);
+  plan.block_rows = 1000;
+  auto compressed = CorraCompressor::Compress(table, plan);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  EXPECT_EQ(compressed.value().num_blocks(), 3u);
+  EXPECT_EQ(compressed.value().num_rows(), 2500u);
+  EXPECT_EQ(compressed.value().block(0).rows(), 1000u);
+  EXPECT_EQ(compressed.value().block(2).rows(), 500u);
+  // Column size = sum of block column sizes.
+  size_t sum = 0;
+  for (size_t b = 0; b < 3; ++b) {
+    sum += compressed.value().block(b).ColumnSizeBytes(0);
+  }
+  EXPECT_EQ(compressed.value().ColumnSizeBytes(0), sum);
+  EXPECT_EQ(compressed.value().TotalSizeBytes(), sum);
+}
+
+TEST(CompressedTableTest, DecodeColumnSpansBlocks) {
+  std::vector<int64_t> values(2500);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = static_cast<int64_t>(i * 3);
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("v", values)).ok());
+  CompressionPlan plan = CompressionPlan::AllAuto(1);
+  plan.block_rows = 700;
+  auto compressed = CorraCompressor::Compress(table, plan);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_EQ(compressed.value().DecodeColumn(0), values);
+}
+
+}  // namespace
+}  // namespace corra

@@ -1,0 +1,167 @@
+// Shared helpers for Corra's test suite: deterministic value generators
+// covering the distribution shapes the encodings care about, plus
+// round-trip assertion helpers.
+
+#ifndef CORRA_TESTS_TEST_UTIL_H_
+#define CORRA_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/random.h"
+#include "encoding/encoded_column.h"
+#include "storage/serde.h"
+
+namespace corra::test {
+
+/// Named value-distribution shapes for parameterized sweeps.
+enum class Dist {
+  kConstant,      // All values equal.
+  kSmallRange,    // Uniform in [100, 131].
+  kWideRange,     // Uniform in [-1e9, 1e9].
+  kNegative,      // Uniform in [-5000, -4000].
+  kLowCard,       // 10 distinct scattered values.
+  kSorted,        // Strictly increasing with small steps.
+  kRunHeavy,      // Long runs of repeated values.
+  kExtremes,      // Mix including INT64_MIN / INT64_MAX magnitudes.
+};
+
+inline std::string DistName(Dist d) {
+  switch (d) {
+    case Dist::kConstant:
+      return "Constant";
+    case Dist::kSmallRange:
+      return "SmallRange";
+    case Dist::kWideRange:
+      return "WideRange";
+    case Dist::kNegative:
+      return "Negative";
+    case Dist::kLowCard:
+      return "LowCard";
+    case Dist::kSorted:
+      return "Sorted";
+    case Dist::kRunHeavy:
+      return "RunHeavy";
+    case Dist::kExtremes:
+      return "Extremes";
+  }
+  return "Unknown";
+}
+
+inline std::vector<int64_t> MakeValues(Dist dist, size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> values(n);
+  switch (dist) {
+    case Dist::kConstant:
+      for (auto& v : values) {
+        v = 777;
+      }
+      break;
+    case Dist::kSmallRange:
+      for (auto& v : values) {
+        v = rng.Uniform(100, 131);
+      }
+      break;
+    case Dist::kWideRange:
+      for (auto& v : values) {
+        v = rng.Uniform(-1000000000, 1000000000);
+      }
+      break;
+    case Dist::kNegative:
+      for (auto& v : values) {
+        v = rng.Uniform(-5000, -4000);
+      }
+      break;
+    case Dist::kLowCard: {
+      static constexpr int64_t kPool[] = {-900, -1, 0,    3,     17,
+                                          256,  999, 4096, 70000, 1 << 20};
+      for (auto& v : values) {
+        v = kPool[rng.Uniform(0, 9)];
+      }
+      break;
+    }
+    case Dist::kSorted: {
+      int64_t acc = -100;
+      for (auto& v : values) {
+        acc += rng.Uniform(0, 5);
+        v = acc;
+      }
+      break;
+    }
+    case Dist::kRunHeavy: {
+      int64_t current = 0;
+      size_t remaining = 0;
+      for (auto& v : values) {
+        if (remaining == 0) {
+          current = rng.Uniform(-10, 10);
+          remaining = static_cast<size_t>(rng.Uniform(1, 50));
+        }
+        v = current;
+        --remaining;
+      }
+      break;
+    }
+    case Dist::kExtremes: {
+      for (size_t i = 0; i < n; ++i) {
+        switch (i % 4) {
+          case 0:
+            values[i] = INT64_MAX - static_cast<int64_t>(rng.Uniform(0, 9));
+            break;
+          case 1:
+            values[i] = INT64_MIN + static_cast<int64_t>(rng.Uniform(0, 9));
+            break;
+          default:
+            values[i] = rng.Uniform(-3, 3);
+        }
+      }
+      break;
+    }
+  }
+  return values;
+}
+
+/// Asserts Get / DecodeAll / Gather all reproduce `expected`.
+inline void ExpectColumnMatches(const enc::EncodedColumn& column,
+                                const std::vector<int64_t>& expected) {
+  ASSERT_EQ(column.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(column.Get(i), expected[i]) << "Get at row " << i;
+  }
+  std::vector<int64_t> decoded(expected.size());
+  column.DecodeAll(decoded.data());
+  ASSERT_EQ(decoded, expected) << "DecodeAll mismatch";
+  // Gather on a strided subset.
+  std::vector<uint32_t> rows;
+  for (size_t i = 0; i < expected.size(); i += 3) {
+    rows.push_back(static_cast<uint32_t>(i));
+  }
+  std::vector<int64_t> gathered(rows.size());
+  column.Gather(rows, gathered.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    ASSERT_EQ(gathered[i], expected[rows[i]]) << "Gather at " << rows[i];
+  }
+}
+
+/// Serializes `column` and reads it back through the scheme dispatcher.
+inline std::unique_ptr<enc::EncodedColumn> SerializeRoundTrip(
+    const enc::EncodedColumn& column) {
+  BufferWriter writer;
+  column.Serialize(&writer);
+  static thread_local std::vector<uint8_t> bytes;
+  bytes = std::move(writer).Finish();
+  BufferReader reader(bytes);
+  auto result = DeserializeEncodedColumn(&reader);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) {
+    return nullptr;
+  }
+  EXPECT_TRUE(reader.exhausted()) << "trailing bytes after deserialize";
+  return std::move(result).value();
+}
+
+}  // namespace corra::test
+
+#endif  // CORRA_TESTS_TEST_UTIL_H_
