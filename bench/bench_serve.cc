@@ -1,0 +1,179 @@
+// Out-of-core serving: cache hit rate and scan throughput, hot vs cold.
+//
+// Writes a multi-block CORF file, then drives ScanService over a
+// TableReader under two cache configurations:
+//   hot   cache capacity >= file block count (steady state: all hits)
+//   cold  cache capacity = 1 block (every scan thrashes the cache)
+// and for each reports the block-cache hit rate, eviction count, and
+// end-to-end scan throughput, single-client and with 8 concurrent
+// clients sharing the reader.
+//
+// Flags: --rows N (default 2M), --runs N scan repetitions (default 10).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/corra_compressor.h"
+#include "serve/scan_service.h"
+#include "serve/table_reader.h"
+#include "storage/file_io.h"
+
+namespace {
+
+using namespace corra;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kBlockRows = 250000;
+
+double Seconds(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+struct RunStats {
+  double seconds = 0;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  serve::BlockCacheStats cache;
+};
+
+// Runs `runs` filtered scans (rotating predicate ranges) on `clients`
+// threads sharing one reader, against a fresh cache of `capacity`.
+RunStats RunConfig(const std::string& path, size_t capacity_blocks,
+                   size_t runs, size_t clients) {
+  auto cache = std::make_shared<serve::BlockCache>(
+      serve::BlockCacheOptions{.capacity_blocks = capacity_blocks,
+                               .capacity_bytes = 0,
+                               .shards = 4});
+  auto reader = serve::TableReader::Open(path, cache);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reader.status().ToString().c_str());
+    std::exit(1);
+  }
+  serve::ScanService service(
+      serve::ScanService::Options{.num_threads = 4});
+
+  std::vector<uint64_t> scanned(clients, 0);
+  std::vector<uint64_t> matched(clients, 0);
+  const auto run_client = [&](size_t client) {
+    for (size_t r = 0; r < runs; ++r) {
+      serve::ScanRequest request;
+      request.filter_column = 0;
+      request.filter_lo = 8035 + static_cast<int64_t>(
+                                     (client * runs + r) * 97 % 1500);
+      request.filter_hi = request.filter_lo + 600;
+      request.project_columns = {1, 2};
+      auto result = service.Execute(*reader.value(), request);
+      if (!result.ok()) {
+        std::fprintf(stderr, "scan failed: %s\n",
+                     result.status().ToString().c_str());
+        std::exit(1);
+      }
+      scanned[client] += result.value().rows_scanned;
+      matched[client] += result.value().rows_matched;
+    }
+  };
+
+  const auto begin = Clock::now();
+  if (clients <= 1) {
+    run_client(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back(run_client, c);
+    }
+    for (auto& thread : threads) {
+      thread.join();
+    }
+  }
+  RunStats stats;
+  stats.seconds = Seconds(begin, Clock::now());
+  for (size_t c = 0; c < clients; ++c) {
+    stats.rows_scanned += scanned[c];
+    stats.rows_matched += matched[c];
+  }
+  stats.cache = cache->GetStats();
+  return stats;
+}
+
+void PrintRow(const char* config, size_t clients, const RunStats& s) {
+  std::printf("%-6s %8zu %12.1f%% %10llu %10llu %12.1f %14llu\n", config,
+              clients, 100.0 * s.cache.HitRate(),
+              static_cast<unsigned long long>(s.cache.misses),
+              static_cast<unsigned long long>(s.cache.evictions),
+              static_cast<double>(s.rows_scanned) / s.seconds / 1e6,
+              static_cast<unsigned long long>(s.rows_matched));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  const size_t rows = bench::ResolveRows(flags, 8000000, 4);
+  const size_t runs = flags.runs;
+
+  // Correlated shipdate/receiptdate plus a fare column, diff plan.
+  Rng rng(17);
+  std::vector<int64_t> ship(rows);
+  std::vector<int64_t> receipt(rows);
+  std::vector<int64_t> fare(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ship[i] = rng.Uniform(8035, 10591);
+    receipt[i] = ship[i] + rng.Uniform(1, 30);
+    fare[i] = rng.Uniform(100, 25000);
+  }
+  Table table;
+  if (!table.AddColumn(Column::Date("ship", std::move(ship))).ok() ||
+      !table.AddColumn(Column::Date("receipt", std::move(receipt))).ok() ||
+      !table.AddColumn(Column::Money("fare", std::move(fare))).ok()) {
+    return 1;
+  }
+  CompressionPlan plan = CompressionPlan::AllAuto(3);
+  plan.block_rows = kBlockRows;
+  plan.num_threads = 4;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kDiff;
+  plan.columns[1].reference = 0;
+  auto compressed = CorraCompressor::Compress(table, plan);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_blocks = compressed.value().num_blocks();
+  const Block::Stats block_stats = compressed.value().block(0).GetStats();
+  std::printf("block profile: %zu rows x %zu columns, %.2f MB encoded\n",
+              block_stats.rows, block_stats.columns,
+              bench::ToMb(block_stats.encoded_bytes));
+
+  const std::string path = "/tmp/corra_bench_serve.corf";
+  if (!WriteCompressedTable(compressed.value(), path).ok()) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+
+  bench::PrintHeader("Out-of-core serving: ScanService over " +
+                     std::to_string(num_blocks) + " blocks (" +
+                     std::to_string(rows) + " rows, " +
+                     std::to_string(runs) + " scans/client)");
+  std::printf("%-6s %8s %13s %10s %10s %12s %14s\n", "cache", "clients",
+              "hit rate", "misses", "evictions", "Mrows/s", "matched");
+  bench::PrintRule();
+
+  for (size_t clients : {size_t{1}, size_t{8}}) {
+    // Hot: every block fits; after the first pass everything hits.
+    PrintRow("hot", clients,
+             RunConfig(path, num_blocks + 8, runs, clients));
+    // Cold: one resident block; every scan reloads the whole file.
+    PrintRow("cold", clients, RunConfig(path, 1, runs, clients));
+  }
+
+  std::remove(path.c_str());
+  return 0;
+}

@@ -118,7 +118,8 @@ int CmdGen(const std::string& dataset, size_t rows,
 }
 
 int CmdInfo(const std::string& path) {
-  auto table = ReadCompressedTable(path);
+  // info doubles as an integrity check: verify payload checksums.
+  auto table = ReadCompressedTable(path, /*verify=*/true);
   if (!table.ok()) {
     std::fprintf(stderr, "error: %s\n", table.status().ToString().c_str());
     return 1;

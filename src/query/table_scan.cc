@@ -6,49 +6,63 @@ namespace corra::query {
 
 namespace {
 
-// Splits sorted global rows into per-block local selections. Returns the
-// (block, local rows, output offset) work list.
-struct BlockWork {
-  size_t block;
-  size_t out_offset;
-  std::vector<uint32_t> local_rows;
-};
-
-Result<std::vector<BlockWork>> SplitByBlock(
-    const CompressedTable& table, std::span<const uint32_t> rows) {
+// Shared implementation over any unsigned row-index width.
+template <typename RowT>
+Result<std::vector<SelectionSlice>> SplitImpl(
+    std::span<const uint64_t> row_offsets, std::span<const RowT> rows) {
+  if (row_offsets.empty()) {
+    return Status::InvalidArgument("row_offsets needs num_blocks+1 entries");
+  }
   for (size_t i = 1; i < rows.size(); ++i) {
     if (rows[i] < rows[i - 1]) {
       return Status::InvalidArgument("selection not sorted");
     }
   }
-  std::vector<BlockWork> work;
+  const size_t num_blocks = row_offsets.size() - 1;
+  std::vector<SelectionSlice> slices;
   size_t block = 0;
-  uint64_t block_begin = 0;
-  uint64_t block_end = table.num_blocks() > 0 ? table.block(0).rows() : 0;
   for (size_t i = 0; i < rows.size();) {
-    while (block < table.num_blocks() && rows[i] >= block_end) {
+    const uint64_t pos = rows[i];
+    while (block < num_blocks && pos >= row_offsets[block + 1]) {
       ++block;
-      block_begin = block_end;
-      block_end += block < table.num_blocks() ? table.block(block).rows()
-                                              : 0;
     }
-    if (block >= table.num_blocks()) {
+    if (block >= num_blocks) {
       return Status::OutOfRange("selection position beyond table");
     }
-    BlockWork w;
-    w.block = block;
-    w.out_offset = i;
-    while (i < rows.size() && rows[i] < block_end) {
-      w.local_rows.push_back(
-          static_cast<uint32_t>(rows[i] - block_begin));
+    SelectionSlice slice;
+    slice.block = block;
+    slice.out_offset = i;
+    const uint64_t begin = row_offsets[block];
+    const uint64_t end = row_offsets[block + 1];
+    while (i < rows.size() && rows[i] < end) {
+      slice.local_rows.push_back(static_cast<uint32_t>(rows[i] - begin));
       ++i;
     }
-    work.push_back(std::move(w));
+    slices.push_back(std::move(slice));
   }
-  return work;
+  return slices;
+}
+
+// Cumulative row offsets of an in-memory table (num_blocks + 1 entries).
+std::vector<uint64_t> RowOffsets(const CompressedTable& table) {
+  std::vector<uint64_t> offsets(table.num_blocks() + 1, 0);
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    offsets[b + 1] = offsets[b] + table.block(b).rows();
+  }
+  return offsets;
 }
 
 }  // namespace
+
+Result<std::vector<SelectionSlice>> SplitSelectionByBlocks(
+    std::span<const uint64_t> row_offsets, std::span<const uint64_t> rows) {
+  return SplitImpl(row_offsets, rows);
+}
+
+Result<std::vector<SelectionSlice>> SplitSelectionByBlocks(
+    std::span<const uint64_t> row_offsets, std::span<const uint32_t> rows) {
+  return SplitImpl(row_offsets, rows);
+}
 
 Result<std::vector<int64_t>> ScanTableColumn(const CompressedTable& table,
                                              size_t col,
@@ -56,11 +70,12 @@ Result<std::vector<int64_t>> ScanTableColumn(const CompressedTable& table,
   if (col >= table.schema().num_fields()) {
     return Status::InvalidArgument("column index out of range");
   }
-  CORRA_ASSIGN_OR_RETURN(auto work, SplitByBlock(table, rows));
+  CORRA_ASSIGN_OR_RETURN(
+      auto slices, SplitSelectionByBlocks(RowOffsets(table), rows));
   std::vector<int64_t> out(rows.size());
-  for (const BlockWork& w : work) {
-    ScanColumn(table.block(w.block), col, w.local_rows,
-               out.data() + w.out_offset);
+  for (const SelectionSlice& s : slices) {
+    ScanColumn(table.block(s.block), col, s.local_rows,
+               out.data() + s.out_offset);
   }
   return out;
 }
@@ -72,14 +87,15 @@ Result<TablePair> ScanTablePair(const CompressedTable& table,
       target_col >= table.schema().num_fields()) {
     return Status::InvalidArgument("column index out of range");
   }
-  CORRA_ASSIGN_OR_RETURN(auto work, SplitByBlock(table, rows));
+  CORRA_ASSIGN_OR_RETURN(
+      auto slices, SplitSelectionByBlocks(RowOffsets(table), rows));
   TablePair out;
   out.reference.resize(rows.size());
   out.target.resize(rows.size());
-  for (const BlockWork& w : work) {
-    ScanPair(table.block(w.block), ref_col, target_col, w.local_rows,
-             out.reference.data() + w.out_offset,
-             out.target.data() + w.out_offset);
+  for (const SelectionSlice& s : slices) {
+    ScanPair(table.block(s.block), ref_col, target_col, s.local_rows,
+             out.reference.data() + s.out_offset,
+             out.target.data() + s.out_offset);
   }
   return out;
 }

@@ -1,5 +1,10 @@
 // Multi-block scans: materialize selections spanning a whole
 // CompressedTable by routing global row positions to the owning blocks.
+//
+// The routing step is exposed on its own (SplitSelectionByBlocks) so
+// out-of-core readers — which know only the directory's per-block row
+// counts, never a materialized CompressedTable — can route global
+// positions to block indices and fetch exactly the blocks they need.
 
 #ifndef CORRA_QUERY_TABLE_SCAN_H_
 #define CORRA_QUERY_TABLE_SCAN_H_
@@ -12,6 +17,26 @@
 #include "storage/table.h"
 
 namespace corra::query {
+
+/// One block's share of a global selection: the block index, the
+/// block-local row positions, and where in the output the slice's
+/// values land (slices partition the selection in order).
+struct SelectionSlice {
+  size_t block = 0;
+  size_t out_offset = 0;
+  std::vector<uint32_t> local_rows;
+};
+
+/// Routes sorted global positions `rows` to blocks. `row_offsets` holds
+/// the cumulative row counts: row_offsets[b] is the global position of
+/// block b's first row and row_offsets.back() the total row count
+/// (num_blocks + 1 entries). Fails on unsorted selections and positions
+/// at or beyond the total. Only blocks that own at least one selected
+/// row appear in the result.
+Result<std::vector<SelectionSlice>> SplitSelectionByBlocks(
+    std::span<const uint64_t> row_offsets, std::span<const uint64_t> rows);
+Result<std::vector<SelectionSlice>> SplitSelectionByBlocks(
+    std::span<const uint64_t> row_offsets, std::span<const uint32_t> rows);
 
 /// Materializes column `col` of `table` at the sorted global positions
 /// `rows` (each < table.num_rows()). Fails on out-of-range positions.

@@ -1,0 +1,301 @@
+#include "serve/block_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace corra::serve {
+
+// All cache machinery lives here; Handles co-own it so pin release is
+// safe even after the issuing BlockCache is gone.
+struct BlockCache::State {
+  struct Entry {
+    BlockKey key{};
+    std::shared_ptr<const Block> block;
+    size_t bytes = 0;
+    int pins = 0;
+    bool loading = true;
+    // Set by EraseFile on entries it cannot drop yet (pinned or mid
+    // load). The file id is never reused, so no lookup can reach the
+    // entry again; the last unpin erases it instead of re-filing it.
+    bool doomed = false;
+    // Valid only when pins == 0 && !loading (entry sits in the LRU).
+    std::list<Entry*>::iterator lru_it{};
+    bool in_lru = false;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;  // Signals load completions.
+    std::unordered_map<BlockKey, std::unique_ptr<Entry>, BlockKeyHash>
+        entries;
+    std::list<Entry*> lru;  // Front = most recently used, unpinned only.
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t failed_loads = 0;
+  };
+
+  BlockCacheOptions options;
+  // Budgets are enforced globally (per-shard slices would starve the
+  // cache whenever capacity / shards is smaller than a block); a shard
+  // can only evict its own entries, so an overshoot in one shard drains
+  // as soon as that shard sees an unpin or an insert.
+  std::atomic<size_t> total_blocks{0};  // Fully loaded entries.
+  std::atomic<size_t> total_bytes{0};
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::atomic<uint64_t> next_file_id{1};
+
+  Shard& ShardFor(const BlockKey& key) {
+    return *shards[BlockKeyHash{}(key) % shards.size()];
+  }
+  const Shard& ShardFor(const BlockKey& key) const {
+    return *shards[BlockKeyHash{}(key) % shards.size()];
+  }
+
+  // Evicts this shard's LRU-tail entries while the cache exceeds its
+  // global budget. Caller holds shard.mu.
+  void EvictOverflow(Shard& shard) {
+    const auto over = [&] {
+      if (options.capacity_blocks > 0 &&
+          total_blocks.load(std::memory_order_relaxed) >
+              options.capacity_blocks) {
+        return true;
+      }
+      if (options.capacity_bytes > 0 &&
+          total_bytes.load(std::memory_order_relaxed) >
+              options.capacity_bytes) {
+        return true;
+      }
+      return false;
+    };
+    // Only unpinned, fully loaded entries sit in the LRU list; pinned
+    // entries (and residents of other shards) can carry the cache over
+    // budget until their pins drop or their shard sees traffic.
+    while (over() && !shard.lru.empty()) {
+      Entry* victim = shard.lru.back();
+      shard.lru.pop_back();
+      victim->in_lru = false;
+      shard.bytes -= victim->bytes;
+      total_blocks.fetch_sub(1, std::memory_order_relaxed);
+      total_bytes.fetch_sub(victim->bytes, std::memory_order_relaxed);
+      ++shard.evictions;
+      // Copy: erase(key) must not receive a reference into the node it
+      // is destroying.
+      const BlockKey victim_key = victim->key;
+      shard.entries.erase(victim_key);
+    }
+  }
+
+  // Removes the pin added by a Handle; re-files the entry in the LRU.
+  void Unpin(const BlockKey& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      return;  // Entry was erased (EraseFile) while pinned.
+    }
+    Entry* entry = it->second.get();
+    if (--entry->pins > 0) {
+      return;
+    }
+    if (entry->doomed) {
+      // The owning file was erased while this pin was out; the entry is
+      // unreachable (file ids are never reused), so drop it now.
+      shard.bytes -= entry->bytes;
+      total_blocks.fetch_sub(1, std::memory_order_relaxed);
+      total_bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
+      shard.entries.erase(it);
+      return;
+    }
+    // Last pin released: the entry becomes evictable at the MRU
+    // position.
+    shard.lru.push_front(entry);
+    entry->lru_it = shard.lru.begin();
+    entry->in_lru = true;
+    EvictOverflow(shard);
+  }
+};
+
+// --- Handle -----------------------------------------------------------------
+
+BlockCache::Handle::Handle(Handle&& other) noexcept
+    : state_(std::move(other.state_)), key_(other.key_),
+      block_(std::move(other.block_)) {
+  other.state_ = nullptr;
+  other.block_ = nullptr;
+}
+
+BlockCache::Handle& BlockCache::Handle::operator=(Handle&& other) noexcept {
+  if (this != &other) {
+    Release();
+    state_ = std::move(other.state_);
+    key_ = other.key_;
+    block_ = std::move(other.block_);
+    other.state_ = nullptr;
+    other.block_ = nullptr;
+  }
+  return *this;
+}
+
+BlockCache::Handle::~Handle() { Release(); }
+
+void BlockCache::Handle::Release() {
+  if (state_ != nullptr && block_ != nullptr) {
+    state_->Unpin(key_);
+  }
+  state_ = nullptr;
+  block_ = nullptr;
+}
+
+// --- BlockCache -------------------------------------------------------------
+
+BlockCache::BlockCache(BlockCacheOptions options)
+    : state_(std::make_shared<State>()) {
+  state_->options = options;
+  size_t shards = std::max<size_t>(options.shards, 1);
+  if (options.capacity_blocks > 0) {
+    // Never more shards than blocks: a tiny cache degenerates to one
+    // LRU so an insert can always evict the over-budget entry itself.
+    shards = std::min(shards, options.capacity_blocks);
+  }
+  state_->shards.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) {
+    state_->shards.push_back(std::make_unique<State::Shard>());
+  }
+}
+
+uint64_t BlockCache::RegisterFile() {
+  return state_->next_file_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t BlockCache::capacity_blocks() const {
+  return state_->options.capacity_blocks;
+}
+
+size_t BlockCache::capacity_bytes() const {
+  return state_->options.capacity_bytes;
+}
+
+size_t BlockCache::num_shards() const { return state_->shards.size(); }
+
+Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
+                                                 const Loader& loader) {
+  State::Shard& shard = state_->ShardFor(key);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  for (;;) {
+    auto it = shard.entries.find(key);
+    if (it == shard.entries.end()) {
+      break;  // Miss: this caller becomes the loader.
+    }
+    State::Entry* entry = it->second.get();
+    if (!entry->loading) {
+      ++shard.hits;
+      if (entry->in_lru) {
+        shard.lru.erase(entry->lru_it);
+        entry->in_lru = false;
+      }
+      ++entry->pins;
+      return Handle(state_, key, entry->block);
+    }
+    // Another caller is loading this block; wait for it to finish, then
+    // re-check (the entry may be gone if the load failed).
+    shard.cv.wait(lock);
+  }
+
+  auto placeholder = std::make_unique<State::Entry>();
+  placeholder->key = key;
+  State::Entry* entry = placeholder.get();
+  shard.entries.emplace(key, std::move(placeholder));
+  ++shard.misses;
+  lock.unlock();
+
+  Result<std::shared_ptr<const Block>> loaded = loader();
+
+  lock.lock();
+  if (!loaded.ok() || loaded.value() == nullptr) {
+    ++shard.failed_loads;
+    shard.entries.erase(key);
+    shard.cv.notify_all();
+    return loaded.ok()
+               ? Status::Internal("block loader returned null block")
+               : loaded.status();
+  }
+  entry->block = std::move(loaded).value();
+  entry->bytes = entry->block->GetStats().encoded_bytes;
+  entry->loading = false;
+  entry->pins = 1;  // The returned handle's pin; not in the LRU yet.
+  shard.bytes += entry->bytes;
+  state_->total_blocks.fetch_add(1, std::memory_order_relaxed);
+  state_->total_bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
+  shard.cv.notify_all();
+  state_->EvictOverflow(shard);
+  return Handle(state_, key, entry->block);
+}
+
+bool BlockCache::Contains(const BlockKey& key) const {
+  const State::Shard& shard =
+      static_cast<const State&>(*state_).ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  return it != shard.entries.end() && !it->second->loading;
+}
+
+void BlockCache::EraseFile(uint64_t file_id) {
+  for (auto& shard_ptr : state_->shards) {
+    State::Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      State::Entry* entry = it->second.get();
+      if (entry->key.file_id != file_id) {
+        ++it;
+        continue;
+      }
+      if (entry->loading || entry->pins > 0) {
+        // Cannot drop yet; the last unpin (or the loader's handle
+        // release) will erase it instead of re-filing it in the LRU.
+        entry->doomed = true;
+        ++it;
+        continue;
+      }
+      if (entry->in_lru) {
+        shard.lru.erase(entry->lru_it);
+      }
+      shard.bytes -= entry->bytes;
+      state_->total_blocks.fetch_sub(1, std::memory_order_relaxed);
+      state_->total_bytes.fetch_sub(entry->bytes,
+                                    std::memory_order_relaxed);
+      it = shard.entries.erase(it);
+    }
+  }
+}
+
+BlockCacheStats BlockCache::GetStats() const {
+  BlockCacheStats stats;
+  for (const auto& shard_ptr : state_->shards) {
+    const State::Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.failed_loads += shard.failed_loads;
+    stats.cached_bytes += shard.bytes;
+    for (const auto& [key, entry] : shard.entries) {
+      if (entry->loading) {
+        continue;
+      }
+      ++stats.cached_blocks;
+      if (entry->pins > 0) {
+        ++stats.pinned_blocks;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace corra::serve

@@ -1,0 +1,166 @@
+// BlockCache — the memory budget of the out-of-core serving layer.
+//
+// A sharded, capacity-bounded LRU over deserialized Blocks, keyed by
+// (file id, block index). Readers never hold whole tables in memory:
+// they ask the cache for one block at a time, and the cache either hands
+// back a cached copy (hit) or runs the caller's loader exactly once per
+// missing block (misses by concurrent callers for the same block wait
+// for the single in-flight load instead of re-reading the file).
+//
+// Returned blocks are wrapped in a pinning Handle: while at least one
+// handle to a block is alive, the block is exempt from eviction, so a
+// scan in progress can never have its block reclaimed underneath it.
+// Eviction strikes the least-recently-used unpinned entry whenever a
+// shard exceeds its share of the block/byte budget.
+//
+// Sharding bounds lock contention under concurrent scans: each key maps
+// to one shard with its own mutex and LRU list. The block and byte
+// budgets are global — a shard evicts its own LRU tail while the cache
+// as a whole is over budget — so a budget smaller than shard_count
+// blocks still caches, it never degenerates to per-shard slices of less
+// than one block. When the block capacity is smaller than the requested
+// shard count, the shard count shrinks to match (a capacity of one
+// block really caches one block, not one per shard).
+
+#ifndef CORRA_SERVE_BLOCK_CACHE_H_
+#define CORRA_SERVE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/result.h"
+#include "storage/block.h"
+
+namespace corra::serve {
+
+/// Identifies one block of one open file. File ids come from
+/// BlockCache::RegisterFile so two readers of different files sharing a
+/// cache can never collide.
+struct BlockKey {
+  uint64_t file_id = 0;
+  uint64_t block_index = 0;
+
+  friend bool operator==(const BlockKey&, const BlockKey&) = default;
+};
+
+struct BlockKeyHash {
+  size_t operator()(const BlockKey& key) const {
+    // splitmix64-style mix of the two halves.
+    uint64_t x = key.file_id * 0x9E3779B97F4A7C15ull + key.block_index;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ull;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBull;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+struct BlockCacheOptions {
+  /// Maximum cached blocks (0 = unlimited). Pinned blocks may push the
+  /// cache over this bound; it is restored as pins are released.
+  size_t capacity_blocks = 64;
+  /// Optional byte budget over Block::GetStats().encoded_bytes
+  /// (0 = unlimited).
+  size_t capacity_bytes = 0;
+  /// Desired shard count; clamped to capacity_blocks when that is
+  /// smaller, and to at least 1.
+  size_t shards = 8;
+};
+
+struct BlockCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t failed_loads = 0;
+  size_t cached_blocks = 0;
+  size_t cached_bytes = 0;
+  size_t pinned_blocks = 0;
+
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class BlockCache {
+ public:
+  /// Loads a block on a miss. Runs outside any shard lock.
+  using Loader =
+      std::function<Result<std::shared_ptr<const Block>>()>;
+
+  struct State;  // Internal shards + budgets, co-owned by Handles.
+
+  /// RAII pin: keeps the block unevictable while alive. Default
+  /// instances are empty (operator bool is false). A handle co-owns the
+  /// cache's internal state, so it stays valid (and its block readable)
+  /// even if it outlives the BlockCache that issued it.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(Handle&& other) noexcept;
+    Handle& operator=(Handle&& other) noexcept;
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle();
+
+    explicit operator bool() const { return block_ != nullptr; }
+    const Block& operator*() const { return *block_; }
+    const Block* operator->() const { return block_.get(); }
+    const std::shared_ptr<const Block>& block() const { return block_; }
+
+    /// Releases the pin early (idempotent).
+    void Release();
+
+   private:
+    friend class BlockCache;
+    Handle(std::shared_ptr<State> state, BlockKey key,
+           std::shared_ptr<const Block> block)
+        : state_(std::move(state)), key_(key), block_(std::move(block)) {}
+
+    std::shared_ptr<State> state_;
+    BlockKey key_{};
+    std::shared_ptr<const Block> block_;
+  };
+
+  explicit BlockCache(BlockCacheOptions options = {});
+  ~BlockCache() = default;
+  BlockCache(const BlockCache&) = delete;
+  BlockCache& operator=(const BlockCache&) = delete;
+
+  /// Returns a process-unique file id for keying a newly opened file.
+  uint64_t RegisterFile();
+
+  /// Returns a pinned handle for `key`, running `loader` if (and only
+  /// if) the block is not cached and no other caller is already loading
+  /// it. Loader failures are propagated and nothing is cached.
+  Result<Handle> GetOrLoad(const BlockKey& key, const Loader& loader);
+
+  /// True if `key` is resident (does not touch LRU order or stats).
+  bool Contains(const BlockKey& key) const;
+
+  /// Drops every unpinned entry of `file_id` (a closing reader's blocks
+  /// stop occupying budget). Entries still pinned or mid-load are
+  /// dropped when their last pin is released — they never linger as
+  /// unreachable residents.
+  void EraseFile(uint64_t file_id);
+
+  /// Aggregated snapshot across shards.
+  BlockCacheStats GetStats() const;
+
+  size_t capacity_blocks() const;
+  size_t capacity_bytes() const;
+  size_t num_shards() const;
+
+ private:
+  // All mutable cache machinery (shards, budgets, counters) lives in
+  // State, shared between the cache and its outstanding Handles so a
+  // handle released after the cache is destroyed unpins safely.
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace corra::serve
+
+#endif  // CORRA_SERVE_BLOCK_CACHE_H_

@@ -1,0 +1,308 @@
+#include "serve/scan_service.h"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <utility>
+
+#include "query/aggregate.h"
+#include "query/filter.h"
+#include "query/scan.h"
+#include "query/table_scan.h"
+
+namespace corra::serve {
+
+namespace {
+
+// Partial results of one block's share of a request; merged in block
+// order after the pool drains.
+struct BlockPartial {
+  Status status;
+  uint64_t rows_scanned = 0;
+  uint64_t rows_matched = 0;
+  std::vector<uint64_t> positions;
+  std::vector<std::vector<int64_t>> columns;
+  uint64_t agg_sum = 0;  // Wrap-around, like query::SumColumn.
+  std::optional<int64_t> agg_min;
+  std::optional<int64_t> agg_max;
+};
+
+Status ValidateColumns(const TableReader& reader,
+                       const ScanRequest& request) {
+  const size_t fields = reader.schema().num_fields();
+  if (request.filter_column && *request.filter_column >= fields) {
+    return Status::InvalidArgument("filter column out of range");
+  }
+  for (size_t col : request.project_columns) {
+    if (col >= fields) {
+      return Status::InvalidArgument("projected column out of range");
+    }
+  }
+  if (request.aggregate && request.aggregate_column >= fields) {
+    return Status::InvalidArgument("aggregate column out of range");
+  }
+  return Status::OK();
+}
+
+void FoldAggregate(AggregateOp op, std::span<const int64_t> values,
+                   BlockPartial* out) {
+  for (int64_t v : values) {
+    switch (op) {
+      case AggregateOp::kSum:
+        out->agg_sum += static_cast<uint64_t>(v);
+        break;
+      case AggregateOp::kMin:
+        out->agg_min = out->agg_min ? std::min(*out->agg_min, v) : v;
+        break;
+      case AggregateOp::kMax:
+        out->agg_max = out->agg_max ? std::max(*out->agg_max, v) : v;
+        break;
+    }
+  }
+}
+
+// Executes `request` against one pinned block. `base` is the global
+// position of the block's first row.
+void ScanOneBlock(const Block& block, uint64_t base,
+                  const ScanRequest& request, BlockPartial* out) {
+  out->rows_scanned = block.rows();
+
+  // Selection: predicate pushdown, or the whole block.
+  std::vector<uint32_t> selection;
+  const bool all_rows = !request.filter_column.has_value();
+  if (!all_rows) {
+    selection = query::FilterToSelection(
+        block.column(*request.filter_column), request.filter_lo,
+        request.filter_hi);
+    out->rows_matched = selection.size();
+  } else {
+    out->rows_matched = block.rows();
+  }
+
+  if (request.return_positions) {
+    if (all_rows) {
+      out->positions.resize(block.rows());
+      std::iota(out->positions.begin(), out->positions.end(), base);
+    } else {
+      out->positions.reserve(selection.size());
+      for (uint32_t row : selection) {
+        out->positions.push_back(base + row);
+      }
+    }
+  }
+
+  out->columns.reserve(request.project_columns.size());
+  for (size_t col : request.project_columns) {
+    if (all_rows) {
+      std::vector<int64_t> values(block.rows());
+      block.column(col).DecodeAll(values.data());
+      out->columns.push_back(std::move(values));
+    } else {
+      out->columns.push_back(query::ScanColumn(block, col, selection));
+    }
+  }
+
+  if (request.aggregate) {
+    const size_t col = request.aggregate_column;
+    if (all_rows) {
+      // Whole-block aggregates run in the compressed domain.
+      switch (*request.aggregate) {
+        case AggregateOp::kSum:
+          out->agg_sum =
+              static_cast<uint64_t>(query::SumColumn(block.column(col)));
+          break;
+        case AggregateOp::kMin:
+          out->agg_min = query::MinColumn(block.column(col));
+          break;
+        case AggregateOp::kMax:
+          out->agg_max = query::MaxColumn(block.column(col));
+          break;
+      }
+    } else {
+      // Reuse the projection's decode when the aggregate column was
+      // already materialized for this selection.
+      const auto projected = std::find(request.project_columns.begin(),
+                                       request.project_columns.end(), col);
+      if (projected != request.project_columns.end()) {
+        FoldAggregate(
+            *request.aggregate,
+            out->columns[static_cast<size_t>(
+                projected - request.project_columns.begin())],
+            out);
+      } else {
+        const std::vector<int64_t> values =
+            query::ScanColumn(block, col, selection);
+        FoldAggregate(*request.aggregate, values, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ScanService::ScanService() : ScanService(Options{}) {}
+
+ScanService::ScanService(Options options) {
+  workers_.reserve(options.num_threads);
+  for (size_t t = 0; t < options.num_threads; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ScanService::~ScanService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ScanService::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        return;  // stop_ set and queue drained.
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ScanService::RunTasks(std::vector<std::function<void()>> tasks) {
+  if (workers_.empty()) {
+    for (auto& task : tasks) {
+      task();
+    }
+    return;
+  }
+  // Count down completions on a shared latch; the request thread blocks
+  // until its own tasks (and only those) are done.
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) {
+      tasks_.push_back([task = std::move(task), latch] {
+        task();
+        std::lock_guard<std::mutex> task_lock(latch->mu);
+        if (--latch->remaining == 0) {
+          latch->cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+}
+
+Result<ScanResult> ScanService::Execute(const TableReader& reader,
+                                        const ScanRequest& request) {
+  CORRA_RETURN_NOT_OK(ValidateColumns(reader, request));
+  const size_t num_blocks = reader.num_blocks();
+  std::vector<BlockPartial> partials(num_blocks);
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_blocks);
+  for (size_t b = 0; b < num_blocks; ++b) {
+    tasks.push_back([&reader, &request, b, partial = &partials[b]] {
+      auto handle = reader.GetBlock(b);
+      if (!handle.ok()) {
+        partial->status = handle.status();
+        return;
+      }
+      ScanOneBlock(*handle.value(), reader.block_row_offsets()[b],
+                   request, partial);
+    });
+  }
+  RunTasks(std::move(tasks));
+
+  // Merge in block order.
+  ScanResult result;
+  result.columns.resize(request.project_columns.size());
+  uint64_t agg_sum = 0;
+  for (BlockPartial& partial : partials) {
+    CORRA_RETURN_NOT_OK(partial.status);
+    result.rows_scanned += partial.rows_scanned;
+    result.rows_matched += partial.rows_matched;
+    result.positions.insert(result.positions.end(),
+                            partial.positions.begin(),
+                            partial.positions.end());
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      result.columns[c].insert(result.columns[c].end(),
+                               partial.columns[c].begin(),
+                               partial.columns[c].end());
+    }
+    agg_sum += partial.agg_sum;
+    if (partial.agg_min) {
+      result.agg_min = result.agg_min
+                           ? std::min(*result.agg_min, *partial.agg_min)
+                           : partial.agg_min;
+    }
+    if (partial.agg_max) {
+      result.agg_max = result.agg_max
+                           ? std::max(*result.agg_max, *partial.agg_max)
+                           : partial.agg_max;
+    }
+  }
+  result.agg_sum = static_cast<int64_t>(agg_sum);
+  return result;
+}
+
+Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
+    const TableReader& reader, std::span<const size_t> columns,
+    std::span<const uint64_t> rows) {
+  const size_t fields = reader.schema().num_fields();
+  for (size_t col : columns) {
+    if (col >= fields) {
+      return Status::InvalidArgument("gathered column out of range");
+    }
+  }
+  CORRA_ASSIGN_OR_RETURN(
+      auto slices,
+      query::SplitSelectionByBlocks(reader.block_row_offsets(), rows));
+
+  std::vector<std::vector<int64_t>> out(columns.size());
+  for (auto& column : out) {
+    column.resize(rows.size());
+  }
+  std::vector<Status> statuses(slices.size());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(slices.size());
+  for (size_t s = 0; s < slices.size(); ++s) {
+    tasks.push_back([&reader, &columns, &out,
+                     slice = &slices[s], status = &statuses[s]] {
+      auto handle = reader.GetBlock(slice->block);
+      if (!handle.ok()) {
+        *status = handle.status();
+        return;
+      }
+      for (size_t c = 0; c < columns.size(); ++c) {
+        query::ScanColumn(*handle.value(), columns[c], slice->local_rows,
+                          out[c].data() + slice->out_offset);
+      }
+    });
+  }
+  RunTasks(std::move(tasks));
+
+  for (const Status& status : statuses) {
+    CORRA_RETURN_NOT_OK(status);
+  }
+  return out;
+}
+
+}  // namespace corra::serve

@@ -1,0 +1,119 @@
+// ScanService — concurrent out-of-core query execution over CORF files.
+//
+// A small shared worker pool executes scan requests block-by-block:
+// every block task pins its block through the reader's BlockCache, runs
+// the query kernels (query::FilterToSelection, ScanColumn, aggregate
+// pushdown) against the compressed representation, and releases the
+// pin. Per-block partial results are merged in block order, so the
+// output is byte-identical to materializing the whole table and
+// scanning it in memory — without ever holding more than
+// cache-capacity blocks resident.
+//
+// One ScanService instance is meant to be shared by many concurrent
+// clients (Execute and Gather are thread-safe); all of them draw from
+// the same worker pool and, through their readers, the same cache.
+// Requests must come from outside the pool: a block task must not
+// call back into Execute/Gather, or the pool can deadlock on itself.
+
+#ifndef CORRA_SERVE_SCAN_SERVICE_H_
+#define CORRA_SERVE_SCAN_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/table_reader.h"
+
+namespace corra::serve {
+
+enum class AggregateOp { kSum, kMin, kMax };
+
+/// One scan over one table: an optional range predicate, optional
+/// projections, optional positions, optional aggregate — evaluated in a
+/// single pass over each block.
+struct ScanRequest {
+  /// Range predicate filter_lo <= value <= filter_hi on this column;
+  /// absent means every row matches.
+  std::optional<size_t> filter_column;
+  int64_t filter_lo = INT64_MIN;
+  int64_t filter_hi = INT64_MAX;
+
+  /// Columns to materialize at the matching rows.
+  std::vector<size_t> project_columns;
+
+  /// Also return the global row positions of the matching rows.
+  bool return_positions = false;
+
+  /// Aggregate over `aggregate_column` at the matching rows. Without a
+  /// filter this uses the compressed-domain pushdown kernels.
+  std::optional<AggregateOp> aggregate;
+  size_t aggregate_column = 0;
+};
+
+struct ScanResult {
+  uint64_t rows_scanned = 0;  // Rows visited across all blocks.
+  uint64_t rows_matched = 0;  // Rows passing the predicate.
+
+  /// Global row ids of matches (when return_positions), ascending.
+  std::vector<uint64_t> positions;
+
+  /// Materialized values, parallel to ScanRequest::project_columns;
+  /// each vector has rows_matched entries in position order.
+  std::vector<std::vector<int64_t>> columns;
+
+  /// Aggregate outputs (sum wraps around like query::SumColumn).
+  int64_t agg_sum = 0;
+  std::optional<int64_t> agg_min;
+  std::optional<int64_t> agg_max;
+};
+
+class ScanService {
+ public:
+  struct Options {
+    /// Worker threads shared by all requests; 0 runs block tasks inline
+    /// on the calling thread.
+    size_t num_threads = 4;
+  };
+
+  ScanService();  // Default Options.
+  explicit ScanService(Options options);
+  ~ScanService();
+  ScanService(const ScanService&) = delete;
+  ScanService& operator=(const ScanService&) = delete;
+
+  /// Runs `request` over every block of `reader`, fanning blocks out to
+  /// the pool and merging partial results in block order.
+  Result<ScanResult> Execute(const TableReader& reader,
+                             const ScanRequest& request);
+
+  /// Materializes `columns` at the sorted global positions `rows`,
+  /// touching (and caching) only the blocks that own selected rows.
+  /// Returns one value vector per requested column.
+  Result<std::vector<std::vector<int64_t>>> Gather(
+      const TableReader& reader, std::span<const size_t> columns,
+      std::span<const uint64_t> rows);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  // Enqueues all tasks and blocks until every one has run.
+  void RunTasks(std::vector<std::function<void()>> tasks);
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace corra::serve
+
+#endif  // CORRA_SERVE_SCAN_SERVICE_H_

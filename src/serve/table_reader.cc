@@ -1,0 +1,45 @@
+#include "serve/table_reader.h"
+
+namespace corra::serve {
+
+Result<std::unique_ptr<TableReader>> TableReader::Open(
+    const std::string& path, std::shared_ptr<BlockCache> cache,
+    TableReaderOptions options) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("TableReader needs a BlockCache");
+  }
+  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path));
+  const uint64_t file_id = cache->RegisterFile();
+  return std::unique_ptr<TableReader>(new TableReader(
+      std::move(file), std::move(cache), file_id, options));
+}
+
+TableReader::TableReader(CorfFile file, std::shared_ptr<BlockCache> cache,
+                         uint64_t file_id, TableReaderOptions options)
+    : file_(std::move(file)),
+      cache_(std::move(cache)),
+      file_id_(file_id),
+      options_(options) {
+  const FileInfo& info = file_.info();
+  row_offsets_.resize(info.num_blocks + 1, 0);
+  for (size_t b = 0; b < info.num_blocks; ++b) {
+    row_offsets_[b + 1] = row_offsets_[b] + info.block_rows[b];
+  }
+}
+
+TableReader::~TableReader() { cache_->EraseFile(file_id_); }
+
+Result<BlockCache::Handle> TableReader::GetBlock(size_t index) const {
+  if (index >= file_.num_blocks()) {
+    return Status::OutOfRange("block index out of range");
+  }
+  const BlockKey key{file_id_, index};
+  return cache_->GetOrLoad(key, [this, index]()
+                               -> Result<std::shared_ptr<const Block>> {
+    CORRA_ASSIGN_OR_RETURN(Block block,
+                           file_.ReadBlock(index, options_.verify_blocks));
+    return std::make_shared<const Block>(std::move(block));
+  });
+}
+
+}  // namespace corra::serve

@@ -60,6 +60,17 @@ class Block {
   /// Total compressed footprint of the block.
   size_t SizeBytes() const;
 
+  /// Cheap per-block accounting for cache admission and eviction: a
+  /// block cache charges Stats().encoded_bytes against its byte budget.
+  struct Stats {
+    size_t rows = 0;
+    size_t columns = 0;
+    size_t encoded_bytes = 0;
+  };
+  Stats GetStats() const {
+    return Stats{rows(), num_columns(), SizeBytes()};
+  }
+
   /// Serializes the whole block into one self-contained byte buffer.
   std::vector<uint8_t> Serialize() const;
 

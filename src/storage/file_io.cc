@@ -1,7 +1,15 @@
 #include "storage/file_io.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "common/buffer.h"
 
@@ -10,9 +18,26 @@ namespace corra {
 namespace {
 
 constexpr uint32_t kFileMagic = 0x46524F43;  // "CORF" little-endian.
-constexpr uint8_t kFileVersion = 1;
+// Version 2 added per-block row counts and payload checksums to the
+// directory (required by the lazy serving layer).
+constexpr uint8_t kFileVersion = 2;
 
-// RAII stdio handle.
+// First read size when parsing a header; retried with kMaxHeader when a
+// directory does not fit (many thousands of blocks).
+constexpr uint64_t kHeaderProbe = 64 << 10;
+constexpr uint64_t kMaxHeader = 16 << 20;
+
+// FNV-1a 64-bit over a byte span — the directory's payload checksum.
+uint64_t Fnv1a64(std::span<const uint8_t> bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (uint8_t b : bytes) {
+    hash ^= b;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// RAII stdio handle (write path only; reads go through CorfFile's fd).
 struct FileCloser {
   void operator()(std::FILE* f) const {
     if (f != nullptr) {
@@ -30,22 +55,33 @@ Status WriteAll(std::FILE* file, const std::vector<uint8_t>& bytes) {
   return Status::OK();
 }
 
-Result<std::vector<uint8_t>> ReadRange(std::FILE* file, uint64_t offset,
-                                       uint64_t length) {
-  if (std::fseek(file, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::Corruption("seek failed");
+// Positional read of exactly [offset, offset + length), immune to the
+// process-wide file position — safe under concurrency.
+Status PReadExact(int fd, uint64_t offset, uint8_t* dst, size_t length) {
+  size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::pread(fd, dst + done, length - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;  // Interrupted by a signal; the read is retryable.
+      }
+      return Status::Corruption("read failed");
+    }
+    if (n == 0) {
+      return Status::Corruption("short read");
+    }
+    done += static_cast<size_t>(n);
   }
-  std::vector<uint8_t> bytes(length);
-  if (length > 0 && std::fread(bytes.data(), 1, length, file) != length) {
-    return Status::Corruption("short read");
-  }
-  return bytes;
+  return Status::OK();
 }
 
 // Header + directory bytes for a table about to be written.
 std::vector<uint8_t> BuildHeader(const Schema& schema,
                                  const std::vector<uint64_t>& offsets,
-                                 const std::vector<uint64_t>& lengths) {
+                                 const std::vector<uint64_t>& lengths,
+                                 const std::vector<uint64_t>& rows,
+                                 const std::vector<uint64_t>& checksums) {
   BufferWriter writer;
   writer.Write<uint32_t>(kFileMagic);
   writer.Write<uint8_t>(kFileVersion);
@@ -58,69 +94,134 @@ std::vector<uint8_t> BuildHeader(const Schema& schema,
   for (size_t b = 0; b < offsets.size(); ++b) {
     writer.Write<uint64_t>(offsets[b]);
     writer.Write<uint64_t>(lengths[b]);
+    writer.Write<uint64_t>(rows[b]);
+    writer.Write<uint64_t>(checksums[b]);
   }
   return std::move(writer).Finish();
 }
 
-Result<FileInfo> ParseHeader(std::FILE* file) {
-  // Headers are small; read a generous prefix.
-  if (std::fseek(file, 0, SEEK_END) != 0) {
-    return Status::Corruption("seek failed");
-  }
-  const long file_size = std::ftell(file);
-  if (file_size < 0) {
-    return Status::Corruption("cannot determine file size");
-  }
-  constexpr long kMaxHeader = 1 << 20;
-  CORRA_ASSIGN_OR_RETURN(
-      auto prefix,
-      ReadRange(file, 0,
-                static_cast<uint64_t>(std::min(file_size, kMaxHeader))));
+// Bytes per directory entry: offset, length, rows, checksum.
+constexpr uint64_t kDirectoryEntryBytes = 4 * sizeof(uint64_t);
 
-  BufferReader reader(prefix);
+// Parses magic, version, schema, and block count, leaving `reader`
+// positioned at the first directory entry. Fills info.schema and
+// info.num_blocks. On failure, `*retryable` tells whether a larger
+// prefix could change the outcome (semantic failures — wrong magic,
+// version, type — cannot be cured by more bytes).
+Status ParsePreamble(BufferReader* reader, FileInfo* info,
+                     bool* retryable) {
+  *retryable = true;
   uint32_t magic = 0;
   uint8_t version = 0;
-  CORRA_RETURN_NOT_OK(reader.Read(&magic));
+  CORRA_RETURN_NOT_OK(reader->Read(&magic));
   if (magic != kFileMagic) {
+    *retryable = false;
     return Status::Corruption("not a Corra file (bad magic)");
   }
-  CORRA_RETURN_NOT_OK(reader.Read(&version));
+  CORRA_RETURN_NOT_OK(reader->Read(&version));
   if (version != kFileVersion) {
+    *retryable = false;
     return Status::Corruption("unsupported Corra file version");
   }
   uint32_t field_count = 0;
-  CORRA_RETURN_NOT_OK(reader.Read(&field_count));
-  FileInfo info;
+  CORRA_RETURN_NOT_OK(reader->Read(&field_count));
   for (uint32_t i = 0; i < field_count; ++i) {
     std::string name;
     uint8_t type = 0;
-    CORRA_RETURN_NOT_OK(reader.ReadString(&name));
-    CORRA_RETURN_NOT_OK(reader.Read(&type));
+    CORRA_RETURN_NOT_OK(reader->ReadString(&name));
+    CORRA_RETURN_NOT_OK(reader->Read(&type));
     if (type > static_cast<uint8_t>(LogicalType::kString)) {
+      *retryable = false;
       return Status::Corruption("unknown logical type in schema");
     }
-    CORRA_RETURN_NOT_OK(info.schema.AddField(
+    CORRA_RETURN_NOT_OK(info->schema.AddField(
         Field{std::move(name), static_cast<LogicalType>(type)}));
   }
   uint32_t block_count = 0;
-  CORRA_RETURN_NOT_OK(reader.Read(&block_count));
-  info.num_blocks = block_count;
-  for (uint32_t b = 0; b < block_count; ++b) {
+  CORRA_RETURN_NOT_OK(reader->Read(&block_count));
+  info->num_blocks = block_count;
+  return Status::OK();
+}
+
+Status ParseDirectory(BufferReader* reader, uint64_t file_size,
+                      FileInfo* info) {
+  for (size_t b = 0; b < info->num_blocks; ++b) {
     uint64_t offset = 0;
     uint64_t length = 0;
-    CORRA_RETURN_NOT_OK(reader.Read(&offset));
-    CORRA_RETURN_NOT_OK(reader.Read(&length));
-    if (offset > static_cast<uint64_t>(file_size) ||
-        length > static_cast<uint64_t>(file_size) - offset) {
+    uint64_t rows = 0;
+    uint64_t checksum = 0;
+    CORRA_RETURN_NOT_OK(reader->Read(&offset));
+    CORRA_RETURN_NOT_OK(reader->Read(&length));
+    CORRA_RETURN_NOT_OK(reader->Read(&rows));
+    CORRA_RETURN_NOT_OK(reader->Read(&checksum));
+    if (offset > file_size || length > file_size - offset) {
       return Status::Corruption("block directory entry out of bounds");
     }
-    info.block_offsets.push_back(offset);
-    info.block_lengths.push_back(length);
+    info->block_offsets.push_back(offset);
+    info->block_lengths.push_back(length);
+    info->block_rows.push_back(rows);
+    info->block_checksums.push_back(checksum);
   }
+  return Status::OK();
+}
+
+Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
+  // Probe a small prefix: enough for the preamble (magic, version,
+  // schema, block count) of any sane file, and usually for the whole
+  // directory too. Magic/version/schema corruption fails here without
+  // any further read.
+  const uint64_t probe = std::min<uint64_t>(file_size, kHeaderProbe);
+  std::vector<uint8_t> prefix(probe);
+  CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+  FileInfo info;
+  BufferReader reader(prefix);
+  bool retryable = false;
+  Status preamble = ParsePreamble(&reader, &info, &retryable);
+  if (!preamble.ok()) {
+    // A schema larger than the probe is the only curable failure:
+    // retry once with the full header budget. Semantic corruption
+    // stops here without another read.
+    const uint64_t budget = std::min(file_size, kMaxHeader);
+    if (!retryable || prefix.size() >= budget) {
+      return preamble;
+    }
+    prefix.resize(budget);
+    CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+    info = FileInfo{};
+    reader = BufferReader(prefix);
+    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &retryable));
+  }
+
+  // The preamble pins down the exact header size; re-read precisely
+  // that when the directory spills past the probe.
+  const uint64_t header_bytes =
+      reader.position() + info.num_blocks * kDirectoryEntryBytes;
+  if (header_bytes > kMaxHeader) {
+    return Status::Corruption("header implausibly large");
+  }
+  if (header_bytes > prefix.size()) {
+    if (header_bytes > file_size) {
+      return Status::Corruption("file truncated inside block directory");
+    }
+    prefix.resize(header_bytes);
+    CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+    info = FileInfo{};
+    reader = BufferReader(prefix);
+    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &retryable));
+  }
+  CORRA_RETURN_NOT_OK(ParseDirectory(&reader, file_size, &info));
   return info;
 }
 
 }  // namespace
+
+uint64_t FileInfo::TotalRows() const {
+  uint64_t total = 0;
+  for (uint64_t rows : block_rows) {
+    total += rows;
+  }
+  return total;
+}
 
 Status WriteCompressedTable(const CompressedTable& table,
                             const std::string& path) {
@@ -128,25 +229,29 @@ Status WriteCompressedTable(const CompressedTable& table,
   if (file == nullptr) {
     return Status::InvalidArgument("cannot create file: " + path);
   }
-  // Serialize blocks first to learn their lengths.
+  // Serialize blocks first to learn their lengths and checksums.
   std::vector<std::vector<uint8_t>> payloads;
   payloads.reserve(table.num_blocks());
+  std::vector<uint64_t> rows(table.num_blocks());
+  std::vector<uint64_t> checksums(table.num_blocks());
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     payloads.push_back(table.block(b).Serialize());
+    rows[b] = table.block(b).rows();
+    checksums[b] = Fnv1a64(payloads.back());
   }
   std::vector<uint64_t> offsets(payloads.size());
   std::vector<uint64_t> lengths(payloads.size());
   // Two-pass: header size depends only on counts and name lengths, so
   // build it with dummy offsets to learn its size, then fill in.
   std::vector<uint8_t> header =
-      BuildHeader(table.schema(), offsets, lengths);
+      BuildHeader(table.schema(), offsets, lengths, rows, checksums);
   uint64_t cursor = header.size();
   for (size_t b = 0; b < payloads.size(); ++b) {
     offsets[b] = cursor;
     lengths[b] = payloads[b].size();
     cursor += payloads[b].size();
   }
-  header = BuildHeader(table.schema(), offsets, lengths);
+  header = BuildHeader(table.schema(), offsets, lengths, rows, checksums);
 
   CORRA_RETURN_NOT_OK(WriteAll(file.get(), header));
   for (const auto& payload : payloads) {
@@ -158,47 +263,92 @@ Status WriteCompressedTable(const CompressedTable& table,
   return Status::OK();
 }
 
-Result<FileInfo> ReadFileInfo(const std::string& path) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
+Result<CorfFile> CorfFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
     return Status::NotFound("cannot open file: " + path);
   }
-  return ParseHeader(file.get());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::Corruption("cannot determine file size: " + path);
+  }
+  auto info = ParseHeader(fd, static_cast<uint64_t>(st.st_size));
+  if (!info.ok()) {
+    ::close(fd);
+    return info.status();
+  }
+  return CorfFile(fd, path, std::move(info).value());
+}
+
+CorfFile::CorfFile(CorfFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      path_(std::move(other.path_)),
+      info_(std::move(other.info_)) {}
+
+CorfFile& CorfFile::operator=(CorfFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    info_ = std::move(other.info_);
+  }
+  return *this;
+}
+
+CorfFile::~CorfFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<std::vector<uint8_t>> CorfFile::ReadBlockBytes(
+    size_t block_index) const {
+  if (block_index >= info_.num_blocks) {
+    return Status::OutOfRange("block index out of range");
+  }
+  std::vector<uint8_t> bytes(info_.block_lengths[block_index]);
+  CORRA_RETURN_NOT_OK(PReadExact(fd_, info_.block_offsets[block_index],
+                                 bytes.data(), bytes.size()));
+  return bytes;
+}
+
+Result<Block> CorfFile::ReadBlock(size_t block_index, bool verify) const {
+  CORRA_ASSIGN_OR_RETURN(auto bytes, ReadBlockBytes(block_index));
+  if (verify && Fnv1a64(bytes) != info_.block_checksums[block_index]) {
+    return Status::Corruption("block payload checksum mismatch");
+  }
+  CORRA_ASSIGN_OR_RETURN(Block block, Block::Deserialize(bytes, verify));
+  if (block.rows() != info_.block_rows[block_index]) {
+    return Status::Corruption("block row count disagrees with directory");
+  }
+  return block;
+}
+
+Result<FileInfo> ReadFileInfo(const std::string& path) {
+  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path));
+  return file.info();
 }
 
 Result<Block> ReadBlock(const std::string& path, size_t block_index,
                         bool verify) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::NotFound("cannot open file: " + path);
-  }
-  CORRA_ASSIGN_OR_RETURN(FileInfo info, ParseHeader(file.get()));
-  if (block_index >= info.num_blocks) {
-    return Status::OutOfRange("block index out of range");
-  }
-  CORRA_ASSIGN_OR_RETURN(
-      auto bytes, ReadRange(file.get(), info.block_offsets[block_index],
-                            info.block_lengths[block_index]));
-  return Block::Deserialize(bytes, verify);
+  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path));
+  return file.ReadBlock(block_index, verify);
 }
 
 Result<CompressedTable> ReadCompressedTable(const std::string& path,
                                             bool verify) {
-  FilePtr file(std::fopen(path.c_str(), "rb"));
-  if (file == nullptr) {
-    return Status::NotFound("cannot open file: " + path);
-  }
-  CORRA_ASSIGN_OR_RETURN(FileInfo info, ParseHeader(file.get()));
+  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path));
   std::vector<Block> blocks;
-  blocks.reserve(info.num_blocks);
-  for (size_t b = 0; b < info.num_blocks; ++b) {
-    CORRA_ASSIGN_OR_RETURN(
-        auto bytes, ReadRange(file.get(), info.block_offsets[b],
-                              info.block_lengths[b]));
-    CORRA_ASSIGN_OR_RETURN(Block block, Block::Deserialize(bytes, verify));
+  blocks.reserve(file.num_blocks());
+  for (size_t b = 0; b < file.num_blocks(); ++b) {
+    CORRA_ASSIGN_OR_RETURN(Block block, file.ReadBlock(b, verify));
     blocks.push_back(std::move(block));
   }
-  return CompressedTable(std::move(info.schema), std::move(blocks));
+  Schema schema = file.info().schema;
+  return CompressedTable(std::move(schema), std::move(blocks));
 }
 
 }  // namespace corra

@@ -1,14 +1,22 @@
 // File persistence for compressed tables.
 //
-// Layout ("CORF" format, version 1):
+// Layout ("CORF" format, version 2):
 //   header   : magic, version, schema (names + types), block count
-//   directory: per block, the byte offset and length of its payload
+//   directory: per block, the byte offset, length, row count, and
+//              FNV-1a checksum of its payload
 //   payloads : the self-contained block byte streams (Block::Serialize)
-//   footer   : total file length (truncation tripwire)
 //
-// Blocks remain individually loadable: ReadBlock seeks one directory
-// entry and deserializes a single block without touching the others —
-// the on-disk analogue of the paper's self-contained 1M-tuple blocks.
+// Blocks remain individually loadable: the directory pins down every
+// block's position *and* row span, so a reader can route global row
+// positions to blocks and fetch exactly one payload — the on-disk
+// analogue of the paper's self-contained 1M-tuple blocks.
+//
+// Two access paths:
+//   * The free functions open/parse the file per call (one-shot tools).
+//   * CorfFile opens the file once, parses the directory once, and then
+//     serves positional per-block reads. Reads use pread(2), so one
+//     CorfFile may be shared by many threads without locking — the
+//     serving layer (src/serve/) keeps one per open table.
 
 #ifndef CORRA_STORAGE_FILE_IO_H_
 #define CORRA_STORAGE_FILE_IO_H_
@@ -25,17 +33,55 @@ namespace corra {
 Status WriteCompressedTable(const CompressedTable& table,
                             const std::string& path);
 
-/// Reads a whole compressed table back. With `verify`, blocks get the
-/// O(n) integrity checks of Block::Deserialize.
-Result<CompressedTable> ReadCompressedTable(const std::string& path,
-                                            bool verify = false);
-
 /// Metadata obtained without loading any block payload.
 struct FileInfo {
   Schema schema;
   size_t num_blocks = 0;
   std::vector<uint64_t> block_offsets;
   std::vector<uint64_t> block_lengths;
+  /// Rows per block, straight from the directory (no payload touched).
+  std::vector<uint64_t> block_rows;
+  /// FNV-1a 64 checksum of each payload; verified on read when asked.
+  std::vector<uint64_t> block_checksums;
+
+  /// Total rows across all blocks.
+  uint64_t TotalRows() const;
+};
+
+/// A CORF file opened once: the directory is parsed at Open and every
+/// ReadBlock is a single positional read. All methods are const and
+/// thread-safe; concurrent ReadBlock calls do not serialize on a seek
+/// position.
+class CorfFile {
+ public:
+  static Result<CorfFile> Open(const std::string& path);
+
+  CorfFile(CorfFile&& other) noexcept;
+  CorfFile& operator=(CorfFile&& other) noexcept;
+  CorfFile(const CorfFile&) = delete;
+  CorfFile& operator=(const CorfFile&) = delete;
+  ~CorfFile();
+
+  const std::string& path() const { return path_; }
+  const FileInfo& info() const { return info_; }
+  size_t num_blocks() const { return info_.num_blocks; }
+
+  /// Raw payload bytes of block `block_index`.
+  Result<std::vector<uint8_t>> ReadBlockBytes(size_t block_index) const;
+
+  /// Deserializes block `block_index`. With `verify`, the payload
+  /// checksum is compared against the directory (catching any flipped
+  /// byte) and Block::Deserialize runs its O(n) integrity checks. The
+  /// block's row count is always validated against the directory.
+  Result<Block> ReadBlock(size_t block_index, bool verify = false) const;
+
+ private:
+  CorfFile(int fd, std::string path, FileInfo info)
+      : fd_(fd), path_(std::move(path)), info_(std::move(info)) {}
+
+  int fd_ = -1;
+  std::string path_;
+  FileInfo info_;
 };
 
 /// Reads only the header and directory of `path`.
@@ -44,6 +90,12 @@ Result<FileInfo> ReadFileInfo(const std::string& path);
 /// Loads a single block (0-based index) from `path`.
 Result<Block> ReadBlock(const std::string& path, size_t block_index,
                         bool verify = false);
+
+/// Reads a whole compressed table back. With `verify`, payload checksums
+/// are validated and blocks get the O(n) integrity checks of
+/// Block::Deserialize.
+Result<CompressedTable> ReadCompressedTable(const std::string& path,
+                                            bool verify = false);
 
 }  // namespace corra
 

@@ -257,6 +257,80 @@ TEST(CompressorTest, DecompressRestoresStringColumns) {
   }
 }
 
+TEST(CompressorTest, ParallelCompressionIsDeterministic) {
+  // Mixed plan over ten blocks: diff-encoded, hierarchical, and
+  // auto-vertical columns. Blocks are independent, so any thread count
+  // must serialize to the same bytes.
+  Rng rng(31);
+  const size_t rows = 10000;
+  std::vector<int64_t> ship(rows);
+  std::vector<int64_t> receipt(rows);
+  std::vector<int64_t> fare(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ship[i] = rng.Uniform(8035, 10591);
+    receipt[i] = ship[i] + rng.Uniform(1, 30);
+    fare[i] = rng.Uniform(100, 25000);
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Date("ship", ship)).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Date("receipt", receipt)).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Money("fare", fare)).ok());
+
+  CompressionPlan plan = CompressionPlan::AllAuto(3);
+  plan.block_rows = 1000;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kDiff;
+  plan.columns[1].reference = 0;
+
+  plan.num_threads = 1;
+  auto serial = CorraCompressor::Compress(table, plan);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_EQ(serial.value().num_blocks(), 10u);
+
+  for (size_t threads : {2, 4, 16}) {
+    plan.num_threads = threads;
+    auto parallel = CorraCompressor::Compress(table, plan);
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ASSERT_EQ(parallel.value().num_blocks(), serial.value().num_blocks());
+    for (size_t b = 0; b < serial.value().num_blocks(); ++b) {
+      EXPECT_EQ(parallel.value().block(b).Serialize(),
+                serial.value().block(b).Serialize())
+          << "block " << b << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(CompressorTest, ParallelCompressionPropagatesBlockErrors) {
+  // A hierarchical column whose reference violates the scheme's
+  // contract in some blocks must fail identically for any thread count.
+  const size_t rows = 4000;
+  std::vector<int64_t> ref(rows);
+  std::vector<int64_t> target(rows);
+  Rng rng(9);
+  for (size_t i = 0; i < rows; ++i) {
+    ref[i] = rng.Uniform(-1000000, 1000000);
+    target[i] = rng.Uniform(-1000000, 1000000);
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("ref", ref)).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Int64("target", target)).ok());
+  CompressionPlan plan = CompressionPlan::AllAuto(2);
+  plan.block_rows = 1000;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kC3OneToOne;
+  plan.columns[1].reference = 0;
+  plan.columns[1].max_outlier_fraction = 0.0;
+
+  plan.num_threads = 1;
+  auto serial = CorraCompressor::Compress(table, plan);
+  plan.num_threads = 4;
+  auto parallel = CorraCompressor::Compress(table, plan);
+  EXPECT_EQ(serial.ok(), parallel.ok());
+  if (!serial.ok()) {
+    EXPECT_EQ(serial.status().code(), parallel.status().code());
+  }
+}
+
 TEST(CompressorTest, PlanFromOptimizerAppliesTpchConfig) {
   auto table = datagen::MakeLineitemTable(50000, 13);
   ASSERT_TRUE(table.ok());

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <thread>
 
+#include "common/buffer.h"
 #include "common/random.h"
 #include "core/corra_compressor.h"
 
@@ -157,6 +160,142 @@ TEST_F(FileIoTest, OverwriteReplacesContents) {
   ASSERT_TRUE(reloaded.ok());
   EXPECT_EQ(reloaded.value().num_rows(), 100u);
   EXPECT_EQ(reloaded.value().schema().field(0).name, "only");
+}
+
+TEST_F(FileIoTest, DirectoryCarriesRowCountsAndChecksums) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().block_rows,
+            (std::vector<uint64_t>{1000, 1000, 500}));
+  EXPECT_EQ(info.value().TotalRows(), 2500u);
+  ASSERT_EQ(info.value().block_checksums.size(), 3u);
+  // Distinct payloads hash to distinct checksums.
+  EXPECT_NE(info.value().block_checksums[0],
+            info.value().block_checksums[2]);
+}
+
+TEST_F(FileIoTest, TruncatedHeaderRejected) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  // Keep only the first 8 bytes — magic survives, the directory is gone.
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), 8);
+  out.close();
+  EXPECT_TRUE(ReadFileInfo(path_).status().IsCorruption());
+  EXPECT_TRUE(ReadCompressedTable(path_).status().IsCorruption());
+}
+
+TEST_F(FileIoTest, CorruptedDirectoryEntryRejected) {
+  // Handcraft a header whose only directory entry points far beyond the
+  // end of the file.
+  BufferWriter writer;
+  writer.Write<uint32_t>(0x46524F43);  // "CORF"
+  writer.Write<uint8_t>(2);            // Version.
+  writer.Write<uint32_t>(0);           // No fields.
+  writer.Write<uint32_t>(1);           // One block...
+  writer.Write<uint64_t>(uint64_t{1} << 40);  // ...at a bogus offset.
+  writer.Write<uint64_t>(16);                 // Length.
+  writer.Write<uint64_t>(100);                // Rows.
+  writer.Write<uint64_t>(0);                  // Checksum.
+  const std::vector<uint8_t> bytes = std::move(writer).Finish();
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<long>(bytes.size()));
+  out.close();
+
+  auto info = ReadFileInfo(path_);
+  EXPECT_TRUE(info.status().IsCorruption());
+  EXPECT_NE(info.status().message().find("out of bounds"),
+            std::string::npos);
+}
+
+TEST_F(FileIoTest, VerifyCatchesFlippedPayloadByte) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok());
+  // Flip one byte in the middle of block 1's payload.
+  const uint64_t target =
+      info.value().block_offsets[1] + info.value().block_lengths[1] / 2;
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<long>(target));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<long>(target));
+    f.write(&byte, 1);
+  }
+  auto block = ReadBlock(path_, 1, /*verify=*/true);
+  EXPECT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsCorruption());
+  EXPECT_FALSE(ReadCompressedTable(path_, /*verify=*/true).ok());
+  // Untouched blocks still verify.
+  EXPECT_TRUE(ReadBlock(path_, 0, /*verify=*/true).ok());
+}
+
+TEST_F(FileIoTest, CorfFileServesConcurrentBlockReads) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file.value().num_blocks(), 3u);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        for (size_t b = 0; b < file.value().num_blocks(); ++b) {
+          auto block = file.value().ReadBlock(b, /*verify=*/true);
+          if (!block.ok() ||
+              block.value().rows() != file.value().info().block_rows[b]) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(FileIoTest, DirectoryLargerThanProbeIsReadExactly) {
+  // 3000 one-row blocks put the directory (~96 KB) past the 64 KB
+  // header probe, exercising the exact-size re-read path.
+  Rng rng(3);
+  std::vector<int64_t> values(3000);
+  for (auto& v : values) {
+    v = rng.Uniform(0, 1 << 16);
+  }
+  Table table;
+  ASSERT_TRUE(table.AddColumn(Column::Int64("v", values)).ok());
+  CompressionPlan plan = CompressionPlan::AllAuto(1);
+  plan.block_rows = 1;
+  auto compressed = CorraCompressor::Compress(table, plan);
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_TRUE(WriteCompressedTable(compressed.value(), path_).ok());
+
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.value().num_blocks, 3000u);
+  EXPECT_EQ(info.value().TotalRows(), 3000u);
+  auto block = ReadBlock(path_, 2999, /*verify=*/true);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value().column(0).Get(0), values[2999]);
+}
+
+TEST_F(FileIoTest, CorfFileRejectsOutOfRangeBlock) {
+  ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file.value().ReadBlock(3).status().IsOutOfRange());
+  EXPECT_TRUE(file.value().ReadBlockBytes(99).status().IsOutOfRange());
 }
 
 TEST_F(FileIoTest, StringDictionariesSurviveFile) {

@@ -9,9 +9,69 @@
 #include "query/latency.h"
 #include "query/scan.h"
 #include "query/selection_vector.h"
+#include "query/table_scan.h"
 
 namespace corra::query {
 namespace {
+
+TEST(SplitSelectionTest, RoutesGlobalRowsToBlocks) {
+  // Three blocks of 1000 / 1000 / 500 rows.
+  const std::vector<uint64_t> offsets = {0, 1000, 2000, 2500};
+  const std::vector<uint64_t> rows = {0, 999, 1000, 1500, 2400, 2499};
+  auto slices = SplitSelectionByBlocks(offsets, rows);
+  ASSERT_TRUE(slices.ok()) << slices.status().ToString();
+  ASSERT_EQ(slices.value().size(), 3u);
+
+  EXPECT_EQ(slices.value()[0].block, 0u);
+  EXPECT_EQ(slices.value()[0].out_offset, 0u);
+  EXPECT_EQ(slices.value()[0].local_rows,
+            (std::vector<uint32_t>{0, 999}));
+
+  EXPECT_EQ(slices.value()[1].block, 1u);
+  EXPECT_EQ(slices.value()[1].out_offset, 2u);
+  EXPECT_EQ(slices.value()[1].local_rows,
+            (std::vector<uint32_t>{0, 500}));
+
+  EXPECT_EQ(slices.value()[2].block, 2u);
+  EXPECT_EQ(slices.value()[2].out_offset, 4u);
+  EXPECT_EQ(slices.value()[2].local_rows,
+            (std::vector<uint32_t>{400, 499}));
+}
+
+TEST(SplitSelectionTest, SkipsBlocksWithoutSelectedRows) {
+  const std::vector<uint64_t> offsets = {0, 100, 200, 300};
+  const std::vector<uint32_t> rows = {250, 299};
+  auto slices = SplitSelectionByBlocks(offsets, rows);
+  ASSERT_TRUE(slices.ok());
+  ASSERT_EQ(slices.value().size(), 1u);
+  EXPECT_EQ(slices.value()[0].block, 2u);
+  EXPECT_EQ(slices.value()[0].local_rows,
+            (std::vector<uint32_t>{50, 99}));
+}
+
+TEST(SplitSelectionTest, RejectsUnsortedAndOutOfRange) {
+  const std::vector<uint64_t> offsets = {0, 100};
+  const std::vector<uint64_t> unsorted = {50, 10};
+  EXPECT_TRUE(SplitSelectionByBlocks(offsets, unsorted)
+                  .status()
+                  .IsInvalidArgument());
+  const std::vector<uint64_t> beyond = {100};
+  EXPECT_TRUE(
+      SplitSelectionByBlocks(offsets, beyond).status().IsOutOfRange());
+  const std::vector<uint64_t> empty_offsets;
+  const std::vector<uint64_t> rows = {0};
+  EXPECT_TRUE(SplitSelectionByBlocks(empty_offsets, rows)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SplitSelectionTest, EmptySelectionYieldsNoSlices) {
+  const std::vector<uint64_t> offsets = {0, 100};
+  auto slices =
+      SplitSelectionByBlocks(offsets, std::span<const uint64_t>{});
+  ASSERT_TRUE(slices.ok());
+  EXPECT_TRUE(slices.value().empty());
+}
 
 TEST(SelectionVectorTest, SizeTracksSelectivity) {
   Rng rng(1);

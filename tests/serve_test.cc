@@ -1,0 +1,609 @@
+// Out-of-core serving layer: BlockCache LRU/pinning semantics,
+// TableReader lazy loads, and ScanService equivalence with full
+// in-memory scans — including under tiny caches and concurrent clients.
+
+#include "serve/scan_service.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "common/random.h"
+#include "core/corra_compressor.h"
+#include "query/filter.h"
+#include "query/selection_vector.h"
+#include "query/table_scan.h"
+#include "serve/block_cache.h"
+#include "serve/table_reader.h"
+#include "storage/file_io.h"
+
+namespace corra::serve {
+namespace {
+
+// A deserializable one-column block whose first value identifies it.
+// The tail is pseudo-random so the block has a nonzero encoded size.
+std::shared_ptr<const Block> MakeMarkerBlock(int64_t marker) {
+  Rng rng(static_cast<uint64_t>(marker) + 1);
+  std::vector<int64_t> values(64);
+  values[0] = marker;
+  for (size_t i = 1; i < values.size(); ++i) {
+    values[i] = rng.Uniform(0, 1 << 20);
+  }
+  Table table;
+  EXPECT_TRUE(table.AddColumn(Column::Int64("marker", values)).ok());
+  auto compressed =
+      CorraCompressor::Compress(table, CompressionPlan::AllAuto(1));
+  EXPECT_TRUE(compressed.ok());
+  auto reloaded =
+      Block::Deserialize(compressed.value().block(0).Serialize());
+  EXPECT_TRUE(reloaded.ok());
+  return std::make_shared<const Block>(std::move(reloaded).value());
+}
+
+BlockCache::Loader MarkerLoader(int64_t marker, std::atomic<int>* loads) {
+  return [marker, loads]() -> Result<std::shared_ptr<const Block>> {
+    loads->fetch_add(1);
+    return MakeMarkerBlock(marker);
+  };
+}
+
+TEST(BlockCacheTest, HitsMissesAndLruEviction) {
+  BlockCache cache({.capacity_blocks = 2, .capacity_bytes = 0, .shards = 1});
+  ASSERT_EQ(cache.num_shards(), 1u);
+  std::atomic<int> loads{0};
+
+  { auto a = cache.GetOrLoad({1, 0}, MarkerLoader(10, &loads)); ASSERT_TRUE(a.ok()); }
+  { auto b = cache.GetOrLoad({1, 1}, MarkerLoader(11, &loads)); ASSERT_TRUE(b.ok()); }
+  EXPECT_EQ(loads.load(), 2);
+
+  // Touch block 0 so block 1 becomes the LRU victim.
+  {
+    auto a = cache.GetOrLoad({1, 0}, MarkerLoader(10, &loads));
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value()->column(0).Get(0), 10);
+  }
+  EXPECT_EQ(loads.load(), 2);  // Hit: loader not run.
+
+  { auto c = cache.GetOrLoad({1, 2}, MarkerLoader(12, &loads)); ASSERT_TRUE(c.ok()); }
+  EXPECT_EQ(loads.load(), 3);
+
+  EXPECT_TRUE(cache.Contains({1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 1}));  // Evicted as LRU.
+  EXPECT_TRUE(cache.Contains({1, 2}));
+
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.cached_blocks, 2u);
+  EXPECT_EQ(stats.pinned_blocks, 0u);
+  EXPECT_GT(stats.cached_bytes, 0u);
+}
+
+TEST(BlockCacheTest, PinnedBlocksAreNotEvicted) {
+  BlockCache cache({.capacity_blocks = 1, .capacity_bytes = 0, .shards = 4});
+  ASSERT_EQ(cache.num_shards(), 1u);  // Clamped to capacity.
+  std::atomic<int> loads{0};
+
+  auto a = cache.GetOrLoad({1, 0}, MarkerLoader(10, &loads));
+  ASSERT_TRUE(a.ok());
+  {
+    // Over budget, but both blocks are pinned: no eviction.
+    auto b = cache.GetOrLoad({1, 1}, MarkerLoader(11, &loads));
+    ASSERT_TRUE(b.ok());
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.cached_blocks, 2u);
+    EXPECT_EQ(stats.pinned_blocks, 2u);
+    EXPECT_EQ(stats.evictions, 0u);
+  }
+  // b's pin dropped: the shard shrinks back to capacity, evicting b
+  // (a is still pinned).
+  EXPECT_TRUE(cache.Contains({1, 0}));
+  EXPECT_FALSE(cache.Contains({1, 1}));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+
+  // The pinned block's payload stays readable through the handle.
+  EXPECT_EQ(a.value()->column(0).Get(0), 10);
+  a.value().Release();
+  EXPECT_TRUE(cache.Contains({1, 0}));
+}
+
+TEST(BlockCacheTest, FailedLoadIsNotCachedAndPropagates) {
+  BlockCache cache({.capacity_blocks = 4, .capacity_bytes = 0, .shards = 1});
+  std::atomic<int> loads{0};
+
+  auto failing = cache.GetOrLoad({7, 0}, [] {
+    return Result<std::shared_ptr<const Block>>(
+        Status::Corruption("synthetic load failure"));
+  });
+  EXPECT_FALSE(failing.ok());
+  EXPECT_TRUE(failing.status().IsCorruption());
+  EXPECT_FALSE(cache.Contains({7, 0}));
+  EXPECT_EQ(cache.GetStats().failed_loads, 1u);
+
+  // The key stays loadable after a failure.
+  auto ok = cache.GetOrLoad({7, 0}, MarkerLoader(70, &loads));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->column(0).Get(0), 70);
+}
+
+TEST(BlockCacheTest, ByteBudgetTriggersEviction) {
+  // Marker blocks are identical in size; budget one block's bytes.
+  const size_t one_block = MakeMarkerBlock(0)->GetStats().encoded_bytes;
+  BlockCache cache({.capacity_blocks = 0,
+                    .capacity_bytes = one_block,
+                    .shards = 1});
+  std::atomic<int> loads{0};
+  { auto a = cache.GetOrLoad({1, 0}, MarkerLoader(1, &loads)); ASSERT_TRUE(a.ok()); }
+  { auto b = cache.GetOrLoad({1, 1}, MarkerLoader(2, &loads)); ASSERT_TRUE(b.ok()); }
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_LE(cache.GetStats().cached_bytes, one_block);
+}
+
+TEST(BlockCacheTest, ByteBudgetIsGlobalNotPerShardSliced) {
+  // Budget for ~5 blocks spread over 8 shards: a per-shard slice would
+  // be smaller than one block and evict everything on unpin; the global
+  // budget must keep all 4 working-set blocks resident.
+  const size_t one_block = MakeMarkerBlock(0)->GetStats().encoded_bytes;
+  ASSERT_GT(one_block, 0u);
+  BlockCache cache({.capacity_blocks = 0,
+                    .capacity_bytes = 5 * one_block,
+                    .shards = 8});
+  std::atomic<int> loads{0};
+  for (uint64_t b = 0; b < 4; ++b) {
+    auto handle =
+        cache.GetOrLoad({1, b}, MarkerLoader(static_cast<int64_t>(b), &loads));
+    ASSERT_TRUE(handle.ok());
+  }
+  EXPECT_EQ(loads.load(), 4);
+  // Second pass: everything is still resident.
+  for (uint64_t b = 0; b < 4; ++b) {
+    auto handle =
+        cache.GetOrLoad({1, b}, MarkerLoader(static_cast<int64_t>(b), &loads));
+    ASSERT_TRUE(handle.ok());
+    EXPECT_EQ((*handle.value()).column(0).Get(0), static_cast<int64_t>(b));
+  }
+  EXPECT_EQ(loads.load(), 4);
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.cached_blocks, 4u);
+}
+
+TEST(BlockCacheTest, RegisterFileIdsAreUnique) {
+  BlockCache cache;
+  const uint64_t a = cache.RegisterFile();
+  const uint64_t b = cache.RegisterFile();
+  EXPECT_NE(a, b);
+}
+
+// --- File-backed fixture ----------------------------------------------------
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 4000;
+  static constexpr size_t kBlockRows = 1000;
+
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "corra_serve_test.corf";
+    Rng rng(21);
+    ship_.resize(kRows);
+    receipt_.resize(kRows);
+    fare_.resize(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      ship_[i] = rng.Uniform(8035, 10591);
+      receipt_[i] = ship_[i] + rng.Uniform(1, 30);
+      fare_[i] = rng.Uniform(100, 25000);
+    }
+    Table table;
+    ASSERT_TRUE(table.AddColumn(Column::Date("ship", ship_)).ok());
+    ASSERT_TRUE(table.AddColumn(Column::Date("receipt", receipt_)).ok());
+    ASSERT_TRUE(table.AddColumn(Column::Money("fare", fare_)).ok());
+    CompressionPlan plan = CompressionPlan::AllAuto(3);
+    plan.block_rows = kBlockRows;
+    plan.columns[1].auto_vertical = false;
+    plan.columns[1].scheme = enc::Scheme::kDiff;
+    plan.columns[1].reference = 0;
+    auto compressed = CorraCompressor::Compress(table, plan);
+    ASSERT_TRUE(compressed.ok());
+    ASSERT_EQ(compressed.value().num_blocks(), 4u);
+    ASSERT_TRUE(WriteCompressedTable(compressed.value(), path_).ok());
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  // Oracle: global positions with ship in [lo, hi] plus the three
+  // columns' values there, straight from the raw vectors.
+  struct Expected {
+    std::vector<uint64_t> positions;
+    std::vector<int64_t> ship, receipt, fare;
+  };
+  Expected ExpectedScan(int64_t lo, int64_t hi) const {
+    Expected e;
+    for (size_t i = 0; i < kRows; ++i) {
+      if (ship_[i] >= lo && ship_[i] <= hi) {
+        e.positions.push_back(i);
+        e.ship.push_back(ship_[i]);
+        e.receipt.push_back(receipt_[i]);
+        e.fare.push_back(fare_[i]);
+      }
+    }
+    return e;
+  }
+
+  static ScanRequest FilterScanRequest(int64_t lo, int64_t hi) {
+    ScanRequest request;
+    request.filter_column = 0;
+    request.filter_lo = lo;
+    request.filter_hi = hi;
+    request.project_columns = {0, 1, 2};
+    request.return_positions = true;
+    return request;
+  }
+
+  std::string path_;
+  std::vector<int64_t> ship_, receipt_, fare_;
+};
+
+TEST_F(ServeTest, ReaderExposesDirectoryMetadata) {
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value()->schema().num_fields(), 3u);
+  EXPECT_EQ(reader.value()->schema().field(1).name, "receipt");
+  EXPECT_EQ(reader.value()->num_blocks(), 4u);
+  EXPECT_EQ(reader.value()->num_rows(), kRows);
+  const auto offsets = reader.value()->block_row_offsets();
+  ASSERT_EQ(offsets.size(), 5u);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(offsets[b], b * kBlockRows);
+    EXPECT_EQ(reader.value()->block_rows(b), kBlockRows);
+  }
+  // Nothing was loaded to answer any of the above.
+  EXPECT_EQ(cache->GetStats().misses, 0u);
+
+  auto beyond = reader.value()->GetBlock(4);
+  EXPECT_TRUE(beyond.status().IsOutOfRange());
+
+  auto block = reader.value()->GetBlock(2);
+  ASSERT_TRUE(block.ok());
+  EXPECT_EQ(block.value()->rows(), kBlockRows);
+  EXPECT_EQ(block.value()->column(1).Get(5), receipt_[2 * kBlockRows + 5]);
+
+  // Per-block stats back cache admission accounting.
+  const Block::Stats stats = block.value()->GetStats();
+  EXPECT_EQ(stats.rows, kBlockRows);
+  EXPECT_EQ(stats.columns, 3u);
+  EXPECT_EQ(stats.encoded_bytes, block.value()->SizeBytes());
+}
+
+TEST_F(ServeTest, PinnedBlocksOfClosedReaderAreDroppedOnRelease) {
+  // A block pinned across its reader's destruction must not linger as
+  // an unreachable cache resident after the pin drops.
+  auto cache = std::make_shared<BlockCache>();
+  BlockCache::Handle handle;
+  {
+    auto reader = TableReader::Open(path_, cache);
+    ASSERT_TRUE(reader.ok());
+    auto block = reader.value()->GetBlock(0);
+    ASSERT_TRUE(block.ok());
+    handle = std::move(block).value();
+  }
+  // Reader gone, pin still out: the entry is resident but doomed.
+  EXPECT_EQ(cache->GetStats().cached_blocks, 1u);
+  EXPECT_EQ(handle->column(0).Get(0), ship_[0]);
+  handle.Release();
+  const BlockCacheStats stats = cache->GetStats();
+  EXPECT_EQ(stats.cached_blocks, 0u);
+  EXPECT_EQ(stats.cached_bytes, 0u);
+}
+
+TEST_F(ServeTest, HandleMayOutliveCache) {
+  // A pinned handle keeps the cache's internal state alive; releasing
+  // it after the cache and reader are gone must be safe.
+  BlockCache::Handle handle;
+  {
+    auto cache = std::make_shared<BlockCache>();
+    auto reader = TableReader::Open(path_, cache);
+    ASSERT_TRUE(reader.ok());
+    auto block = reader.value()->GetBlock(1);
+    ASSERT_TRUE(block.ok());
+    handle = std::move(block).value();
+  }
+  ASSERT_TRUE(static_cast<bool>(handle));
+  EXPECT_EQ(handle->column(0).Get(0), ship_[kBlockRows]);
+  handle.Release();
+}
+
+// Acceptance (a): ScanService over a lazily read file is byte-identical
+// to materializing the whole table and scanning it in memory.
+TEST_F(ServeTest, ScanMatchesFullInMemoryScan) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8, .capacity_bytes = 0,
+                        .shards = 4});
+  auto reader = TableReader::Open(path_, cache,
+                                  TableReaderOptions{.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 3});
+
+  auto result = service.Execute(*reader.value(), FilterScanRequest(9000, 9400));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // In-memory oracle: full load + per-block filter + table scan.
+  auto full = ReadCompressedTable(path_, /*verify=*/true);
+  ASSERT_TRUE(full.ok());
+  std::vector<uint64_t> expected_positions;
+  std::vector<uint32_t> expected_positions32;
+  uint64_t base = 0;
+  for (size_t b = 0; b < full.value().num_blocks(); ++b) {
+    const Block& block = full.value().block(b);
+    for (uint32_t row :
+         query::FilterToSelection(block.column(0), 9000, 9400)) {
+      expected_positions.push_back(base + row);
+      expected_positions32.push_back(static_cast<uint32_t>(base + row));
+    }
+    base += block.rows();
+  }
+  EXPECT_EQ(result.value().positions, expected_positions);
+  EXPECT_EQ(result.value().rows_matched, expected_positions.size());
+  EXPECT_EQ(result.value().rows_scanned, kRows);
+  for (size_t c = 0; c < 3; ++c) {
+    auto expected_values =
+        query::ScanTableColumn(full.value(), c, expected_positions32);
+    ASSERT_TRUE(expected_values.ok());
+    EXPECT_EQ(result.value().columns[c], expected_values.value())
+        << "column " << c;
+  }
+  // And against the raw-vector oracle.
+  const Expected oracle = ExpectedScan(9000, 9400);
+  EXPECT_EQ(result.value().positions, oracle.positions);
+  EXPECT_EQ(result.value().columns[0], oracle.ship);
+  EXPECT_EQ(result.value().columns[1], oracle.receipt);
+  EXPECT_EQ(result.value().columns[2], oracle.fare);
+}
+
+TEST_F(ServeTest, AggregatesMatchDecodedFold) {
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 2});
+
+  // Unfiltered: compressed-domain pushdown across blocks.
+  ScanRequest sum_all;
+  sum_all.aggregate = AggregateOp::kSum;
+  sum_all.aggregate_column = 2;
+  auto sum_result = service.Execute(*reader.value(), sum_all);
+  ASSERT_TRUE(sum_result.ok());
+  uint64_t expected_sum = 0;
+  for (int64_t v : fare_) {
+    expected_sum += static_cast<uint64_t>(v);
+  }
+  EXPECT_EQ(sum_result.value().agg_sum,
+            static_cast<int64_t>(expected_sum));
+
+  ScanRequest min_all = sum_all;
+  min_all.aggregate = AggregateOp::kMin;
+  ScanRequest max_all = sum_all;
+  max_all.aggregate = AggregateOp::kMax;
+  auto min_result = service.Execute(*reader.value(), min_all);
+  auto max_result = service.Execute(*reader.value(), max_all);
+  ASSERT_TRUE(min_result.ok());
+  ASSERT_TRUE(max_result.ok());
+  EXPECT_EQ(min_result.value().agg_min,
+            *std::min_element(fare_.begin(), fare_.end()));
+  EXPECT_EQ(max_result.value().agg_max,
+            *std::max_element(fare_.begin(), fare_.end()));
+
+  // Filtered: decode-and-fold at matching rows only.
+  ScanRequest filtered_sum;
+  filtered_sum.filter_column = 0;
+  filtered_sum.filter_lo = 9000;
+  filtered_sum.filter_hi = 9400;
+  filtered_sum.aggregate = AggregateOp::kSum;
+  filtered_sum.aggregate_column = 2;
+  auto filtered = service.Execute(*reader.value(), filtered_sum);
+  ASSERT_TRUE(filtered.ok());
+  const Expected oracle = ExpectedScan(9000, 9400);
+  uint64_t expected_filtered_sum = 0;
+  for (int64_t v : oracle.fare) {
+    expected_filtered_sum += static_cast<uint64_t>(v);
+  }
+  EXPECT_EQ(filtered.value().agg_sum,
+            static_cast<int64_t>(expected_filtered_sum));
+  EXPECT_EQ(filtered.value().rows_matched, oracle.positions.size());
+
+  // Aggregating a column that is also projected reuses the projection's
+  // decode and must produce the same sum and values.
+  ScanRequest projected_sum = filtered_sum;
+  projected_sum.project_columns = {2};
+  auto both = service.Execute(*reader.value(), projected_sum);
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both.value().agg_sum,
+            static_cast<int64_t>(expected_filtered_sum));
+  EXPECT_EQ(both.value().columns[0], oracle.fare);
+}
+
+// Acceptance (b): with cache capacity below the file's block count,
+// evictions occur and every scan still returns correct results.
+TEST_F(ServeTest, TinyCacheEvictsAndStaysCorrect) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 2, .capacity_bytes = 0,
+                        .shards = 4});
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 2});
+
+  const Expected oracle = ExpectedScan(8500, 10000);
+  for (int round = 0; round < 3; ++round) {
+    auto result =
+        service.Execute(*reader.value(), FilterScanRequest(8500, 10000));
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().positions, oracle.positions) << "round " << round;
+    EXPECT_EQ(result.value().columns[1], oracle.receipt) << "round " << round;
+  }
+  const BlockCacheStats stats = cache->GetStats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.misses, 4u);  // Blocks were reloaded after eviction.
+  EXPECT_LE(stats.cached_blocks, 2u);
+}
+
+// Acceptance (c): concurrent scan requests over one shared reader and a
+// small cache complete without races (run under ASan/UBSan in CI) and
+// all return correct results.
+TEST_F(ServeTest, ConcurrentScansShareOneReader) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 2, .capacity_bytes = 0,
+                        .shards = 2});
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 4});
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 5;
+  std::vector<Expected> oracles;
+  std::vector<ScanRequest> requests;
+  for (int c = 0; c < kClients; ++c) {
+    const int64_t lo = 8100 + 300 * c;
+    const int64_t hi = lo + 700;
+    oracles.push_back(ExpectedScan(lo, hi));
+    requests.push_back(FilterScanRequest(lo, hi));
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        auto result = service.Execute(*reader.value(), requests[c]);
+        if (!result.ok() ||
+            result.value().positions != oracles[c].positions ||
+            result.value().columns[1] != oracles[c].receipt ||
+            result.value().columns[2] != oracles[c].fare) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) {
+    client.join();
+  }
+  EXPECT_EQ(failures.load(), 0);
+  const BlockCacheStats stats = cache->GetStats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(stats.pinned_blocks, 0u);  // All scans released their pins.
+}
+
+TEST_F(ServeTest, GatherMatchesTableScan) {
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 2});
+
+  Rng rng(5);
+  const std::vector<uint32_t> rows32 =
+      query::GenerateSelectionVector(kRows, 0.05, &rng);
+  const std::vector<uint64_t> rows64(rows32.begin(), rows32.end());
+  const std::vector<size_t> cols = {1, 2};
+
+  auto gathered = service.Gather(*reader.value(), cols, rows64);
+  ASSERT_TRUE(gathered.ok()) << gathered.status().ToString();
+
+  auto full = ReadCompressedTable(path_);
+  ASSERT_TRUE(full.ok());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    auto expected = query::ScanTableColumn(full.value(), cols[c], rows32);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(gathered.value()[c], expected.value());
+  }
+}
+
+TEST_F(ServeTest, GatherTouchesOnlyOwningBlocks) {
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 0});
+
+  // All positions inside block 1.
+  const std::vector<uint64_t> rows = {1005, 1500, 1999};
+  const std::vector<size_t> cols = {0};
+  auto gathered = service.Gather(*reader.value(), cols, rows);
+  ASSERT_TRUE(gathered.ok());
+  EXPECT_EQ(gathered.value()[0],
+            (std::vector<int64_t>{ship_[1005], ship_[1500], ship_[1999]}));
+  EXPECT_EQ(cache->GetStats().misses, 1u);  // Only block 1 was loaded.
+  EXPECT_FALSE(cache->Contains({reader.value()->file_id(), 0}));
+  EXPECT_TRUE(cache->Contains({reader.value()->file_id(), 1}));
+}
+
+TEST_F(ServeTest, InvalidRequestsAreRejected) {
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(path_, cache);
+  ASSERT_TRUE(reader.ok());
+  ScanService service(ScanService::Options{.num_threads = 0});
+
+  ScanRequest bad_filter;
+  bad_filter.filter_column = 9;
+  EXPECT_TRUE(service.Execute(*reader.value(), bad_filter)
+                  .status()
+                  .IsInvalidArgument());
+
+  ScanRequest bad_project;
+  bad_project.project_columns = {3};
+  EXPECT_TRUE(service.Execute(*reader.value(), bad_project)
+                  .status()
+                  .IsInvalidArgument());
+
+  // Unsorted and out-of-range gathers.
+  const std::vector<size_t> cols = {0};
+  const std::vector<uint64_t> unsorted = {5, 3};
+  const std::vector<uint64_t> beyond = {kRows};
+  EXPECT_TRUE(service.Gather(*reader.value(), cols, unsorted)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(service.Gather(*reader.value(), cols, beyond)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST_F(ServeTest, TwoReadersShareOneCacheWithoutCollisions) {
+  const std::string path2 = ::testing::TempDir() + "corra_serve_test2.corf";
+  // Second file: one block, distinct values.
+  Table table;
+  ASSERT_TRUE(
+      table.AddColumn(Column::Int64("other", {5, 6, 7, 8})).ok());
+  auto compressed =
+      CorraCompressor::Compress(table, CompressionPlan::AllAuto(1));
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_TRUE(WriteCompressedTable(compressed.value(), path2).ok());
+
+  auto cache = std::make_shared<BlockCache>();
+  auto reader1 = TableReader::Open(path_, cache);
+  auto reader2 = TableReader::Open(path2, cache);
+  ASSERT_TRUE(reader1.ok());
+  ASSERT_TRUE(reader2.ok());
+  EXPECT_NE(reader1.value()->file_id(), reader2.value()->file_id());
+
+  {
+    auto b1 = reader1.value()->GetBlock(0);
+    auto b2 = reader2.value()->GetBlock(0);
+    ASSERT_TRUE(b1.ok());
+    ASSERT_TRUE(b2.ok());
+    EXPECT_EQ(b1.value()->column(0).Get(0), ship_[0]);
+    EXPECT_EQ(b2.value()->column(0).Get(0), 5);
+  }
+  EXPECT_EQ(cache->GetStats().cached_blocks, 2u);
+
+  // Closing a reader drops its (unpinned) blocks from the cache.
+  reader2 = Status::NotFound("closed");
+  EXPECT_EQ(cache->GetStats().cached_blocks, 1u);
+
+  std::remove(path2.c_str());
+}
+
+}  // namespace
+}  // namespace corra::serve
