@@ -1,10 +1,17 @@
-// Micro-benchmarks (google-benchmark) for the encoding substrate and the
-// Corra schemes: encode, full decode, point access, and selective gather
-// throughput. Not a paper figure — used to sanity-check that the O(1)
-// random-access claims behind the baseline choice hold.
+// Micro-benchmarks for the encoding substrate, the Corra schemes, and
+// the morsel-based query kernels: full decode, ranged decode, point
+// access, selective gather, filter, and aggregate throughput. Not a
+// paper figure — used to sanity-check the O(1) random-access claims
+// behind the baseline choice and to track the decode pipeline's
+// throughput across PRs (run with --json; CI archives the output).
+//
+// Flags: --rows N (default 1M), --runs N (min repetitions), --json.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
+#include "bench_util.h"
 #include "common/random.h"
 #include "core/diff_encoding.h"
 #include "core/hierarchical_encoding.h"
@@ -12,12 +19,31 @@
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
 #include "encoding/rle.h"
+#include "query/aggregate.h"
+#include "query/filter.h"
+#include "query/latency.h"
+#include "query/morsel.h"
 #include "query/selection_vector.h"
 
 namespace corra {
 namespace {
 
-constexpr size_t kRows = 1 << 20;
+// Repeats `fn` until at least 0.25s of wall clock and `min_reps`
+// repetitions have elapsed, then reports the mean.
+template <typename Fn>
+void RunBench(bench::Reporter* reporter, const std::string& name,
+              size_t rows, size_t min_reps, Fn&& fn) {
+  fn();  // Warm-up (first-touch pages, caches).
+  query::Stopwatch watch;
+  size_t reps = 0;
+  double elapsed = 0;
+  do {
+    fn();
+    ++reps;
+    elapsed = watch.ElapsedSeconds();
+  } while (elapsed < 0.25 || reps < min_reps);
+  reporter->Add(name, rows, elapsed, reps);
+}
 
 std::vector<int64_t> DateLikeValues(size_t n) {
   Rng rng(42);
@@ -38,154 +64,9 @@ std::vector<int64_t> OffsetValues(const std::vector<int64_t>& base,
   return values;
 }
 
-void BM_ForEncode(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  for (auto _ : state) {
-    auto column = enc::ForColumn::Encode(values).value();
-    benchmark::DoNotOptimize(column);
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
-}
-BENCHMARK(BM_ForEncode);
-
-void BM_ForDecodeAll(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  auto column = enc::ForColumn::Encode(values).value();
-  std::vector<int64_t> out(kRows);
-  for (auto _ : state) {
-    column->DecodeAll(out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
-}
-BENCHMARK(BM_ForDecodeAll);
-
-void BM_DictDecodeAll(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  auto column = enc::DictColumn::Encode(values).value();
-  std::vector<int64_t> out(kRows);
-  for (auto _ : state) {
-    column->DecodeAll(out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
-}
-BENCHMARK(BM_DictDecodeAll);
-
-// Point access: FOR is O(1); Delta pays its checkpoint scan. This is the
-// paper's argument for restricting the baseline to FOR/Dict.
-void BM_PointAccessFor(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  auto column = enc::ForColumn::Encode(values).value();
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        column->Get(static_cast<size_t>(rng.Uniform(0, kRows - 1))));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PointAccessFor);
-
-void BM_PointAccessDelta(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  auto column = enc::DeltaColumn::Encode(values).value();
-  Rng rng(7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        column->Get(static_cast<size_t>(rng.Uniform(0, kRows - 1))));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_PointAccessDelta);
-
-void BM_GatherFor(benchmark::State& state) {
-  const auto values = DateLikeValues(kRows);
-  auto column = enc::ForColumn::Encode(values).value();
-  Rng rng(8);
-  const auto rows = query::GenerateSelectionVector(
-      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
-  std::vector<int64_t> out(rows.size());
-  for (auto _ : state) {
-    column->Gather(rows, out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations() * rows.size()));
-}
-BENCHMARK(BM_GatherFor)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_GatherDiff(benchmark::State& state) {
-  const auto reference = DateLikeValues(kRows);
-  const auto target = OffsetValues(reference, 1, 30);
-  auto ref_column = enc::ForColumn::Encode(reference).value();
-  auto diff_column =
-      DiffEncodedColumn::Encode(target, reference, 0).value();
-  const enc::EncodedColumn* refs[] = {ref_column.get()};
-  (void)diff_column->BindReferences(refs);
-  Rng rng(8);
-  const auto rows = query::GenerateSelectionVector(
-      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
-  std::vector<int64_t> out(rows.size());
-  for (auto _ : state) {
-    diff_column->Gather(rows, out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations() * rows.size()));
-}
-BENCHMARK(BM_GatherDiff)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_GatherDiffWithReference(benchmark::State& state) {
-  const auto reference = DateLikeValues(kRows);
-  const auto target = OffsetValues(reference, 1, 30);
-  auto ref_column = enc::ForColumn::Encode(reference).value();
-  auto diff_column =
-      DiffEncodedColumn::Encode(target, reference, 0).value();
-  const enc::EncodedColumn* refs[] = {ref_column.get()};
-  (void)diff_column->BindReferences(refs);
-  Rng rng(8);
-  const auto rows = query::GenerateSelectionVector(
-      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
-  std::vector<int64_t> ref_values(rows.size());
-  ref_column->Gather(rows, ref_values.data());
-  std::vector<int64_t> out(rows.size());
-  for (auto _ : state) {
-    diff_column->GatherWithReference(rows, ref_values.data(), out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations() * rows.size()));
-}
-BENCHMARK(BM_GatherDiffWithReference)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_HierarchicalGather(benchmark::State& state) {
-  Rng data_rng(9);
-  std::vector<int64_t> city(kRows);
-  std::vector<int64_t> zip(kRows);
-  for (size_t i = 0; i < kRows; ++i) {
-    city[i] = data_rng.Uniform(0, 2499);
-    zip[i] = 10000 + city[i] * 30 + data_rng.Uniform(0, 29);
-  }
-  auto ref_column = enc::ForColumn::Encode(city).value();
-  auto hier_column = HierarchicalColumn::Encode(zip, city, 0).value();
-  const enc::EncodedColumn* refs[] = {ref_column.get()};
-  (void)hier_column->BindReferences(refs);
-  Rng rng(10);
-  const auto rows = query::GenerateSelectionVector(
-      kRows, static_cast<double>(state.range(0)) / 1000.0, &rng);
-  std::vector<int64_t> out(rows.size());
-  for (auto _ : state) {
-    hier_column->Gather(rows, out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(
-      static_cast<int64_t>(state.iterations() * rows.size()));
-}
-BENCHMARK(BM_HierarchicalGather)->Arg(1)->Arg(10)->Arg(100);
-
-void BM_RleDecodeAll(benchmark::State& state) {
+std::vector<int64_t> RunLengthValues(size_t n) {
   Rng rng(11);
-  std::vector<int64_t> values(kRows);
+  std::vector<int64_t> values(n);
   int64_t current = 0;
   size_t remaining = 0;
   for (auto& v : values) {
@@ -196,17 +77,173 @@ void BM_RleDecodeAll(benchmark::State& state) {
     v = current;
     --remaining;
   }
-  auto column = enc::RleColumn::Encode(values).value();
-  std::vector<int64_t> out(kRows);
-  for (auto _ : state) {
-    column->DecodeAll(out.data());
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * kRows));
+  return values;
 }
-BENCHMARK(BM_RleDecodeAll);
+
+// Sweeps the whole column through DecodeRange in morsel-sized windows —
+// the access pattern of every generic query kernel.
+void DecodeRangeSweep(const enc::EncodedColumn& column, int64_t* sink) {
+  int64_t buffer[query::kMorselRows];
+  int64_t acc = 0;
+  query::ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
+    column.DecodeRange(begin, len, buffer);
+    acc += buffer[0] + buffer[len - 1];
+  });
+  *sink = acc;
+}
+
+void RunAll(const bench::Flags& flags) {
+  const size_t rows = flags.rows > 0 ? flags.rows : (size_t{1} << 20);
+  const size_t reps = flags.runs;
+  bench::Reporter reporter(flags);
+
+  const auto reference = DateLikeValues(rows);
+  const auto target = OffsetValues(reference, 1, 30);
+  const auto runs_data = RunLengthValues(rows);
+
+  auto for_column = enc::ForColumn::Encode(reference).value();
+  auto dict_column = enc::DictColumn::Encode(reference).value();
+  auto delta_column = enc::DeltaColumn::Encode(reference).value();
+  auto rle_column = enc::RleColumn::Encode(runs_data).value();
+  auto diff_column = DiffEncodedColumn::Encode(target, reference, 0).value();
+  const enc::EncodedColumn* diff_refs[] = {for_column.get()};
+  (void)diff_column->BindReferences(diff_refs);
+
+  Rng hier_rng(9);
+  std::vector<int64_t> city(rows);
+  std::vector<int64_t> zip(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    city[i] = hier_rng.Uniform(0, 2499);
+    zip[i] = 10000 + city[i] * 30 + hier_rng.Uniform(0, 29);
+  }
+  auto city_column = enc::ForColumn::Encode(city).value();
+  auto hier_column = HierarchicalColumn::Encode(zip, city, 0).value();
+  const enc::EncodedColumn* hier_refs[] = {city_column.get()};
+  (void)hier_column->BindReferences(hier_refs);
+
+  std::vector<int64_t> out(rows);
+  int64_t sink = 0;
+
+  // Encode.
+  RunBench(&reporter, "encode/for", rows, reps, [&] {
+    sink += static_cast<int64_t>(enc::ForColumn::Encode(reference)
+                                     .value()
+                                     ->SizeBytes());
+  });
+
+  // Full decode (DecodeAll == one DecodeRange over the column).
+  RunBench(&reporter, "decode_all/for", rows, reps,
+           [&] { for_column->DecodeAll(out.data()); });
+  RunBench(&reporter, "decode_all/dict", rows, reps,
+           [&] { dict_column->DecodeAll(out.data()); });
+  RunBench(&reporter, "decode_all/delta", rows, reps,
+           [&] { delta_column->DecodeAll(out.data()); });
+  RunBench(&reporter, "decode_all/rle", rows, reps,
+           [&] { rle_column->DecodeAll(out.data()); });
+  RunBench(&reporter, "decode_all/diff", rows, reps,
+           [&] { diff_column->DecodeAll(out.data()); });
+  RunBench(&reporter, "decode_all/hierarchical", rows, reps,
+           [&] { hier_column->DecodeAll(out.data()); });
+
+  // Morsel-wise ranged decode (the generic kernel access pattern).
+  RunBench(&reporter, "decode_range/for", rows, reps,
+           [&] { DecodeRangeSweep(*for_column, &sink); });
+  RunBench(&reporter, "decode_range/dict", rows, reps,
+           [&] { DecodeRangeSweep(*dict_column, &sink); });
+  RunBench(&reporter, "decode_range/delta", rows, reps,
+           [&] { DecodeRangeSweep(*delta_column, &sink); });
+  RunBench(&reporter, "decode_range/rle", rows, reps,
+           [&] { DecodeRangeSweep(*rle_column, &sink); });
+  RunBench(&reporter, "decode_range/diff", rows, reps,
+           [&] { DecodeRangeSweep(*diff_column, &sink); });
+  RunBench(&reporter, "decode_range/hierarchical", rows, reps,
+           [&] { DecodeRangeSweep(*hier_column, &sink); });
+
+  // Point access: FOR is O(1); Delta pays its checkpoint scan — the
+  // paper's argument for restricting the baseline to FOR/Dict.
+  {
+    Rng rng(7);
+    std::vector<uint32_t> points(1 << 16);
+    for (auto& p : points) {
+      p = static_cast<uint32_t>(rng.Uniform(0, static_cast<int64_t>(rows) - 1));
+    }
+    RunBench(&reporter, "point_access/for", points.size(), reps, [&] {
+      int64_t acc = 0;
+      for (uint32_t p : points) {
+        acc += for_column->Get(p);
+      }
+      sink += acc;
+    });
+    RunBench(&reporter, "point_access/delta", points.size(), reps, [&] {
+      int64_t acc = 0;
+      for (uint32_t p : points) {
+        acc += delta_column->Get(p);
+      }
+      sink += acc;
+    });
+  }
+
+  // Selective gather at 10% selectivity.
+  {
+    Rng rng(8);
+    const auto selection =
+        query::GenerateSelectionVector(rows, 0.1, &rng);
+    std::vector<int64_t> gathered(selection.size());
+    std::vector<int64_t> ref_values(selection.size());
+    for_column->Gather(selection, ref_values.data());
+    RunBench(&reporter, "gather_0.1/for", selection.size(), reps,
+             [&] { for_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1/diff", selection.size(), reps,
+             [&] { diff_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1/diff_with_ref", selection.size(), reps,
+             [&] {
+               diff_column->GatherWithReference(selection, ref_values.data(),
+                                                gathered.data());
+             });
+    RunBench(&reporter, "gather_0.1/hierarchical", selection.size(), reps,
+             [&] { hier_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1/delta", selection.size(), reps,
+             [&] { delta_column->Gather(selection, gathered.data()); });
+  }
+
+  // Query kernels: range filter (~20% selectivity) and aggregates, all
+  // morsel-pipelined.
+  RunBench(&reporter, "filter/for", rows, reps, [&] {
+    sink += static_cast<int64_t>(
+        query::FilterToSelection(*for_column, 9000, 9500).size());
+  });
+  RunBench(&reporter, "filter/dict", rows, reps, [&] {
+    sink += static_cast<int64_t>(
+        query::FilterToSelection(*dict_column, 9000, 9500).size());
+  });
+  RunBench(&reporter, "filter/diff", rows, reps, [&] {
+    sink += static_cast<int64_t>(
+        query::FilterToSelection(*diff_column, 9040, 9560).size());
+  });
+  RunBench(&reporter, "sum/for", rows, reps,
+           [&] { sink += query::SumColumn(*for_column); });
+  RunBench(&reporter, "sum/dict", rows, reps,
+           [&] { sink += query::SumColumn(*dict_column); });
+  RunBench(&reporter, "sum/diff", rows, reps,
+           [&] { sink += query::SumColumn(*diff_column); });
+  RunBench(&reporter, "min/diff", rows, reps, [&] {
+    sink += query::MinColumn(*diff_column).value_or(0);
+  });
+
+  reporter.Finish();
+  if (sink == 42) {  // Defeat dead-code elimination; never true in practice.
+    std::fprintf(stderr, "sink %lld\n", static_cast<long long>(sink));
+  }
+}
 
 }  // namespace
 }  // namespace corra
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const corra::bench::Flags flags = corra::bench::ParseFlags(argc, argv);
+  if (!flags.json) {
+    corra::bench::PrintHeader("bench_encodings: encode/decode/scan kernels");
+  }
+  corra::RunAll(flags);
+  return 0;
+}

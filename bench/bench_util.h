@@ -1,11 +1,16 @@
 // Shared helpers for the paper-reproduction benchmarks: flag parsing,
-// size formatting/normalization, and a fixed-width table printer.
+// size formatting/normalization, a fixed-width table printer, and a
+// machine-readable JSON reporter for the perf trajectory.
 //
 // Every bench accepts:
 //   --scale N   divide the paper's row count by N (default varies)
 //   --rows N    absolute row override (wins over --scale)
 //   --runs N    selection vectors per selectivity (default 10, as in
 //               the paper)
+//   --json      emit results as a JSON array of
+//               {name, rows, ns_per_row, gb_per_s} objects instead of
+//               the human-readable table (CI archives these as
+//               BENCH_*.json artifacts to track perf across PRs)
 
 #ifndef CORRA_BENCH_BENCH_UTIL_H_
 #define CORRA_BENCH_BENCH_UTIL_H_
@@ -22,6 +27,7 @@ struct Flags {
   size_t scale = 0;  // 0 = bench default.
   size_t rows = 0;   // 0 = derive from scale.
   size_t runs = 10;
+  bool json = false;
 };
 
 inline Flags ParseFlags(int argc, char** argv) {
@@ -43,6 +49,8 @@ inline Flags ParseFlags(int argc, char** argv) {
       flags.rows = static_cast<size_t>(std::strtoull(v, nullptr, 10));
     } else if (const char* v = value("--runs")) {
       flags.runs = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      flags.json = true;
     }
   }
   return flags;
@@ -74,6 +82,64 @@ inline double NormalizedMb(size_t bytes, size_t actual_rows,
   return ToMb(bytes) * static_cast<double>(full_rows) /
          static_cast<double>(actual_rows);
 }
+
+/// One measured data point of a benchmark run.
+struct BenchResult {
+  std::string name;
+  size_t rows = 0;          // Logical rows processed per repetition.
+  double ns_per_row = 0;    // Mean wall-clock nanoseconds per row.
+  double gb_per_s = 0;      // Decoded-value throughput (rows * 8 bytes).
+};
+
+/// Collects results and renders them either as a fixed-width table or —
+/// with --json — as a machine-readable JSON array on stdout, so the
+/// perf trajectory (BENCH_*.json) can accumulate across PRs.
+class Reporter {
+ public:
+  explicit Reporter(const Flags& flags) : json_(flags.json) {}
+
+  /// Records one measurement: `seconds` of wall clock for `reps`
+  /// repetitions over `rows` logical rows each.
+  void Add(const std::string& name, size_t rows, double seconds,
+           size_t reps) {
+    BenchResult result;
+    result.name = name;
+    result.rows = rows;
+    const double rows_total =
+        static_cast<double>(rows) * static_cast<double>(reps);
+    result.ns_per_row = rows_total > 0 ? seconds / rows_total * 1e9 : 0;
+    result.gb_per_s =
+        seconds > 0 ? rows_total * sizeof(int64_t) / seconds / 1e9 : 0;
+    results_.push_back(std::move(result));
+    if (!json_) {
+      std::printf("%-36s %12zu rows %10.3f ns/row %8.2f GB/s\n",
+                  results_.back().name.c_str(), rows,
+                  results_.back().ns_per_row, results_.back().gb_per_s);
+    }
+  }
+
+  /// Emits the JSON array (no-op without --json).
+  void Finish() const {
+    if (!json_) {
+      return;
+    }
+    std::printf("[\n");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const BenchResult& r = results_[i];
+      std::printf("  {\"name\": \"%s\", \"rows\": %zu, "
+                  "\"ns_per_row\": %.4f, \"gb_per_s\": %.4f}%s\n",
+                  r.name.c_str(), r.rows, r.ns_per_row, r.gb_per_s,
+                  i + 1 < results_.size() ? "," : "");
+    }
+    std::printf("]\n");
+  }
+
+  const std::vector<BenchResult>& results() const { return results_; }
+
+ private:
+  bool json_;
+  std::vector<BenchResult> results_;
+};
 
 inline void PrintRule(int width = 100) {
   for (int i = 0; i < width; ++i) {

@@ -46,22 +46,27 @@ std::vector<uint8_t> BitWriter::Finish() && {
 }
 
 void BitReader::DecodeAll(uint64_t* out) const {
+  DecodeRange(0, count_, out);
+}
+
+void BitReader::DecodeRange(size_t begin, size_t count,
+                            uint64_t* out) const {
   if (bit_width_ == 0) {
-    std::memset(out, 0, count_ * sizeof(uint64_t));
+    std::memset(out, 0, count * sizeof(uint64_t));
     return;
   }
   if (bit_width_ > 57) {
     // Rare wide case: fall back to the straddle-aware random access.
-    for (size_t i = 0; i < count_; ++i) {
-      out[i] = Get(i);
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = Get(begin + i);
     }
     return;
   }
   // Sequential decode: keep the running bit position instead of recomputing
   // byte offsets per element. Widths <= 57 always fit one 64-bit load.
   const uint64_t m = mask();
-  size_t bit_pos = 0;
-  for (size_t i = 0; i < count_; ++i, bit_pos += bit_width_) {
+  size_t bit_pos = begin * static_cast<size_t>(bit_width_);
+  for (size_t i = 0; i < count; ++i, bit_pos += bit_width_) {
     uint64_t word;
     std::memcpy(&word, data_ + (bit_pos >> 3), sizeof(word));
     out[i] = (word >> (bit_pos & 7)) & m;

@@ -79,6 +79,13 @@ class BitReader {
   /// Decodes all values into `out` (must have room for size() values).
   void DecodeAll(uint64_t* out) const;
 
+  /// Decodes the `count` values starting at position `begin` into `out`
+  /// (must have room for `count` values; begin + count <= size()). Like
+  /// DecodeAll, this keeps a running bit cursor instead of recomputing a
+  /// byte offset per element — the ranged building block of the morsel
+  /// decode pipeline.
+  void DecodeRange(size_t begin, size_t count, uint64_t* out) const;
+
   size_t size() const { return count_; }
   int bit_width() const { return bit_width_; }
 

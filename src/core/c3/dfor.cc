@@ -219,11 +219,26 @@ void DforColumn::GatherWithReference(std::span<const uint32_t> rows,
   }
 }
 
-void DforColumn::DecodeAll(int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  ref_->DecodeAll(out);
-  for (size_t i = 0; i < count_; ++i) {
-    out[i] += DiffAt(i);
+void DforColumn::DecodeRangeWithReference(size_t row_begin, size_t count,
+                                          const int64_t* ref_values,
+                                          int64_t* out) const {
+  // Frame-at-a-time: hoist the frame's base, width, and bit start out of
+  // the row loop, then run a sequential-cursor unpack inside the frame.
+  size_t i = 0;
+  while (i < count) {
+    const size_t row = row_begin + i;
+    const size_t f = row / kFrameSize;
+    const size_t frame_end = (f + 1) * kFrameSize;
+    const size_t len = std::min<size_t>(count - i, frame_end - row);
+    const int width = frame_widths_[f];
+    const int64_t base = frame_bases_[f];
+    uint64_t bit_pos = frame_bit_starts_[f] + (row % kFrameSize) * width;
+    for (size_t j = 0; j < len; ++j, bit_pos += width) {
+      out[i + j] =
+          ref_values[i + j] + base +
+          static_cast<int64_t>(ReadBits(payload_.data(), bit_pos, width));
+    }
+    i += len;
   }
 }
 

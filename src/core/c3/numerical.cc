@@ -168,12 +168,15 @@ void NumericalColumn::GatherWithReference(std::span<const uint32_t> rows,
   }
 }
 
-void NumericalColumn::DecodeAll(int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  const size_t n = packed_.size();
-  ref_->DecodeAll(out);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = Predict(out[i]) + base_ + static_cast<int64_t>(packed_.Get(i));
+void NumericalColumn::DecodeRangeWithReference(size_t row_begin,
+                                               size_t count,
+                                               const int64_t* ref_values,
+                                               int64_t* out) const {
+  // Unpack the residual morsel sequentially, then apply the affine model.
+  packed_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
+  const int64_t base = base_;
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = Predict(ref_values[i]) + base + out[i];
   }
 }
 

@@ -37,7 +37,9 @@ class NumericalColumn final : public SingleRefColumn {
   void GatherWithReference(std::span<const uint32_t> rows,
                            const int64_t* ref_values,
                            int64_t* out) const override;
-  void DecodeAll(int64_t* out) const override;
+  void DecodeRangeWithReference(size_t row_begin, size_t count,
+                                const int64_t* ref_values,
+                                int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   double slope() const { return slope_; }

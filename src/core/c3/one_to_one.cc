@@ -178,15 +178,13 @@ void OneToOneColumn::GatherWithReference(std::span<const uint32_t> rows,
   outliers_.Patch(rows, out);
 }
 
-void OneToOneColumn::DecodeAll(int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  ref_->DecodeAll(out);
-  for (size_t i = 0; i < count_; ++i) {
-    out[i] = MapValue(out[i]);
+void OneToOneColumn::DecodeRangeWithReference(size_t row_begin, size_t count,
+                                              const int64_t* ref_values,
+                                              int64_t* out) const {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = MapValue(ref_values[i]);
   }
-  for (size_t o = 0; o < outliers_.size(); ++o) {
-    out[outliers_.row(o)] = outliers_.value(o);
-  }
+  outliers_.PatchRange(row_begin, count, out);
 }
 
 void OneToOneColumn::Serialize(BufferWriter* writer) const {

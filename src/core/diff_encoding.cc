@@ -252,16 +252,39 @@ void DiffEncodedColumn::GatherWithReference(std::span<const uint32_t> rows,
   outliers_.Patch(rows, out);
 }
 
-void DiffEncodedColumn::DecodeAll(int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  const size_t n = packed_.size();
-  ref_->DecodeAll(out);
-  for (size_t i = 0; i < n; ++i) {
-    out[i] += DiffAt(i);
+void DiffEncodedColumn::DecodeRangeWithReference(size_t row_begin,
+                                                 size_t count,
+                                                 const int64_t* ref_values,
+                                                 int64_t* out) const {
+  // Unpack the diff morsel in one sequential pass, then combine with the
+  // reference morsel in a mode-specialized loop (the mode switch is
+  // hoisted out of the row loop, unlike the per-row DiffAt path).
+  packed_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
+  switch (mode_) {
+    case DiffMode::kRaw:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref_values[i]) +
+                                      static_cast<uint64_t>(out[i]));
+      }
+      break;
+    case DiffMode::kZigZag:
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = static_cast<int64_t>(
+            static_cast<uint64_t>(ref_values[i]) +
+            static_cast<uint64_t>(
+                bit_util::ZigZagDecode(static_cast<uint64_t>(out[i]))));
+      }
+      break;
+    case DiffMode::kWindow: {
+      const uint64_t base = static_cast<uint64_t>(base_);
+      for (size_t i = 0; i < count; ++i) {
+        out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref_values[i]) +
+                                      base + static_cast<uint64_t>(out[i]));
+      }
+      break;
+    }
   }
-  for (size_t o = 0; o < outliers_.size(); ++o) {
-    out[outliers_.row(o)] = outliers_.value(o);
-  }
+  outliers_.PatchRange(row_begin, count, out);
 }
 
 void DiffEncodedColumn::Serialize(BufferWriter* writer) const {

@@ -75,7 +75,9 @@ class DiffEncodedColumn final : public SingleRefColumn {
   void GatherWithReference(std::span<const uint32_t> rows,
                            const int64_t* ref_values,
                            int64_t* out) const override;
-  void DecodeAll(int64_t* out) const override;
+  void DecodeRangeWithReference(size_t row_begin, size_t count,
+                                const int64_t* ref_values,
+                                int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   DiffMode mode() const { return mode_; }

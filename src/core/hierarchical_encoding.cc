@@ -192,14 +192,17 @@ void HierarchicalColumn::GatherWithReference(std::span<const uint32_t> rows,
   }
 }
 
-void HierarchicalColumn::DecodeAll(int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  const size_t n = local_.size();
-  // Materialize the reference once, then translate sequentially.
-  ref_->DecodeAll(out);
-  for (size_t i = 0; i < n; ++i) {
-    const size_t ref = static_cast<size_t>(out[i]);
-    out[i] = values_[offsets_[ref] + local_.Get(i)];
+void HierarchicalColumn::DecodeRangeWithReference(size_t row_begin,
+                                                  size_t count,
+                                                  const int64_t* ref_values,
+                                                  int64_t* out) const {
+  // Alg. 1 over a morsel: unpack the local indices sequentially into
+  // `out`, then translate each (ref code, local index) pair through the
+  // flattened metadata in place.
+  local_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
+  for (size_t i = 0; i < count; ++i) {
+    const size_t ref = static_cast<size_t>(ref_values[i]);
+    out[i] = values_[offsets_[ref] + static_cast<uint64_t>(out[i])];
   }
 }
 

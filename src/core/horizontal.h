@@ -50,6 +50,31 @@ class SingleRefColumn : public enc::EncodedColumn {
                                    const int64_t* ref_values,
                                    int64_t* out) const = 0;
 
+  /// Ranged counterpart of GatherWithReference: materializes the dense
+  /// row range [row_begin, row_begin + count), given the reference
+  /// values already decoded for the same range. This is the kernel the
+  /// morsel pipeline calls — the reference morsel is decoded once and
+  /// consumed in a tight typed loop, with no per-row virtual calls.
+  virtual void DecodeRangeWithReference(size_t row_begin, size_t count,
+                                        const int64_t* ref_values,
+                                        int64_t* out) const = 0;
+
+  /// Shared morsel driver for all single-reference schemes: decode the
+  /// reference one morsel at a time into a stack buffer, then run the
+  /// scheme's ranged kernel over it.
+  void DecodeRange(size_t row_begin, size_t count,
+                   int64_t* out) const override {
+    int64_t ref_values[enc::kMorselRows];
+    while (count > 0) {
+      const size_t len = count < enc::kMorselRows ? count : enc::kMorselRows;
+      ref_->DecodeRange(row_begin, len, ref_values);
+      DecodeRangeWithReference(row_begin, len, ref_values, out);
+      row_begin += len;
+      out += len;
+      count -= len;
+    }
+  }
+
  protected:
   explicit SingleRefColumn(uint32_t ref_index) : ref_index_(ref_index) {}
 

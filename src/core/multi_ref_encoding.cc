@@ -309,34 +309,44 @@ void MultiRefColumn::Gather(std::span<const uint32_t> rows,
   outliers_.Patch(rows, out);
 }
 
-void MultiRefColumn::DecodeAll(int64_t* out) const {
+void MultiRefColumn::DecodeRange(size_t row_begin, size_t count,
+                                 int64_t* out) const {
   assert(!bound_groups_.empty() && "references not bound");
-  const size_t n = size();
-  // Materialize group sums once (sequential decode of each reference),
-  // then combine per row.
-  std::vector<std::vector<int64_t>> sums(bound_groups_.size());
-  std::vector<int64_t> scratch(n);
-  for (size_t g = 0; g < bound_groups_.size(); ++g) {
-    sums[g].assign(n, 0);
-    for (const enc::EncodedColumn* col : bound_groups_[g]) {
-      col->DecodeAll(scratch.data());
-      for (size_t i = 0; i < n; ++i) {
-        sums[g][i] += scratch[i];
+  // Morsel-at-a-time: each reference column contributes one ranged
+  // decode per morsel (so the whole working set stays cache-resident),
+  // group sums are accumulated per morsel, then combined per row via the
+  // formula mask.
+  const size_t num_groups = bound_groups_.size();
+  std::vector<int64_t> group_sums(num_groups * enc::kMorselRows);
+  std::vector<int64_t> scratch(enc::kMorselRows);
+  std::vector<uint64_t> codes(enc::kMorselRows);
+  while (count > 0) {
+    const size_t len = count < enc::kMorselRows ? count : enc::kMorselRows;
+    for (size_t g = 0; g < num_groups; ++g) {
+      int64_t* sums = group_sums.data() + g * enc::kMorselRows;
+      std::fill_n(sums, len, 0);
+      for (const enc::EncodedColumn* col : bound_groups_[g]) {
+        col->DecodeRange(row_begin, len, scratch.data());
+        for (size_t i = 0; i < len; ++i) {
+          sums[i] += scratch[i];
+        }
       }
     }
-  }
-  for (size_t i = 0; i < n; ++i) {
-    const uint8_t mask = table_.formulas[codes_.Get(i)];
-    int64_t sum = 0;
-    for (size_t g = 0; g < sums.size(); ++g) {
-      if (mask & (1u << g)) {
-        sum += sums[g][i];
+    codes_.DecodeRange(row_begin, len, codes.data());
+    for (size_t i = 0; i < len; ++i) {
+      const uint8_t mask = table_.formulas[codes[i]];
+      int64_t sum = 0;
+      for (size_t g = 0; g < num_groups; ++g) {
+        if (mask & (1u << g)) {
+          sum += group_sums[g * enc::kMorselRows + i];
+        }
       }
+      out[i] = sum;
     }
-    out[i] = sum;
-  }
-  for (size_t o = 0; o < outliers_.size(); ++o) {
-    out[outliers_.row(o)] = outliers_.value(o);
+    outliers_.PatchRange(row_begin, len, out);
+    row_begin += len;
+    out += len;
+    count -= len;
   }
 }
 

@@ -93,6 +93,20 @@ void OutlierStore::Patch(std::span<const uint32_t> rows, int64_t* out) const {
   }
 }
 
+void OutlierStore::PatchRange(size_t row_begin, size_t count,
+                              int64_t* out) const {
+  if (rows_.empty() || count == 0) {
+    return;
+  }
+  const size_t end = row_begin + count;
+  size_t o = std::lower_bound(rows_.begin(), rows_.end(),
+                              static_cast<uint32_t>(row_begin)) -
+             rows_.begin();
+  for (; o < rows_.size() && rows_[o] < end; ++o) {
+    out[rows_[o] - row_begin] = value(o);
+  }
+}
+
 size_t OutlierStore::SizeBytes() const {
   return rows_.size() * sizeof(uint32_t) +
          bit_util::CeilDiv(rows_.size() * values_.bit_width(), 8) +

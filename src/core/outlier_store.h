@@ -52,6 +52,11 @@ class OutlierStore {
   /// outlier values, using a linear merge over both sorted sequences.
   void Patch(std::span<const uint32_t> rows, int64_t* out) const;
 
+  /// Patches `out` (values for the dense row range [row_begin,
+  /// row_begin + count)) with any outlier values: one binary search to
+  /// locate the first covered outlier, then a linear walk.
+  void PatchRange(size_t row_begin, size_t count, int64_t* out) const;
+
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 

@@ -1,10 +1,15 @@
 // Devirtualization helper for the hot query paths of horizontal columns.
 //
-// A horizontal column's Gather calls ref->Get(row) once per selected row;
-// through the EncodedColumn vtable that is an indirect call per row. The
-// reference is almost always one of the final vertical classes (BitPack,
-// FOR, Dict — the baseline pool), so dispatching once per *batch* and
-// running a typed loop lets the compiler inline the accessor.
+// A horizontal column's gather/ranged kernels touch the reference column
+// once per selected row or morsel; through the EncodedColumn vtable that
+// is an indirect call each time. The reference is almost always one of
+// the final vertical classes (BitPack, FOR, Dict — the baseline pool),
+// so dispatching once per *batch* on scheme() and running a typed loop
+// lets the compiler inline the accessor.
+//
+// scheme() uniquely identifies the concrete final class, so the downcast
+// is a static_cast — no dynamic_cast, and the library builds with
+// -fno-rtti (see CORRA_NO_RTTI in CMakeLists.txt).
 
 #ifndef CORRA_CORE_REF_DISPATCH_H_
 #define CORRA_CORE_REF_DISPATCH_H_
@@ -21,17 +26,22 @@ namespace corra {
 /// otherwise. `fn` must be callable with any of these as a const ref.
 template <typename Fn>
 void DispatchRef(const enc::EncodedColumn& ref, Fn&& fn) {
-  if (const auto* bitpack = dynamic_cast<const enc::BitPackColumn*>(&ref)) {
-    fn(*bitpack);
-  } else if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&ref)) {
-    fn(*fr);
-  } else if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&ref)) {
-    fn(*dict);
-  } else if (const auto* plain =
-                 dynamic_cast<const enc::PlainColumn*>(&ref)) {
-    fn(*plain);
-  } else {
-    fn(ref);
+  switch (ref.scheme()) {
+    case enc::Scheme::kBitPack:
+      fn(static_cast<const enc::BitPackColumn&>(ref));
+      break;
+    case enc::Scheme::kFor:
+      fn(static_cast<const enc::ForColumn&>(ref));
+      break;
+    case enc::Scheme::kDict:
+      fn(static_cast<const enc::DictColumn&>(ref));
+      break;
+    case enc::Scheme::kPlain:
+      fn(static_cast<const enc::PlainColumn&>(ref));
+      break;
+    default:
+      fn(ref);
+      break;
   }
 }
 

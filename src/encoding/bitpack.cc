@@ -76,6 +76,11 @@ void BitPackColumn::DecodeAll(int64_t* out) const {
   reader_.DecodeAll(reinterpret_cast<uint64_t*>(out));
 }
 
+void BitPackColumn::DecodeRange(size_t row_begin, size_t count,
+                                int64_t* out) const {
+  reader_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
+}
+
 void BitPackColumn::Serialize(BufferWriter* writer) const {
   writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kBitPack));
   writer->Write<uint8_t>(static_cast<uint8_t>(reader_.bit_width()));

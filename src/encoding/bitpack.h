@@ -38,6 +38,8 @@ class BitPackColumn final : public EncodedColumn {
   }
   void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
+  void DecodeRange(size_t row_begin, size_t count,
+                   int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   int bit_width() const { return reader_.bit_width(); }

@@ -101,18 +101,66 @@ int64_t DeltaColumn::Get(size_t row) const {
   return value;
 }
 
+void DeltaColumn::Gather(std::span<const uint32_t> rows,
+                         int64_t* out) const {
+  // Checkpoint-seek-then-run over the sorted positions: keep the running
+  // value from the previous position and only re-seek to a checkpoint
+  // when it is closer than the current decode cursor. Dense-ish sorted
+  // selections decode each delta at most once instead of re-scanning
+  // from a checkpoint per row (what the base-class Get loop would do).
+  int64_t value = 0;
+  size_t pos = 0;     // Row the running value corresponds to.
+  bool primed = false;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t row = rows[i];
+    const size_t checkpoint_row =
+        row / kCheckpointInterval * kCheckpointInterval;
+    if (!primed || checkpoint_row > pos || row < pos) {
+      value = checkpoints_[row / kCheckpointInterval];
+      pos = checkpoint_row;
+      primed = true;
+    }
+    for (; pos < row; ) {
+      ++pos;
+      value = static_cast<int64_t>(
+          static_cast<uint64_t>(value) +
+          static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(pos))));
+    }
+    out[i] = value;
+  }
+}
+
 void DeltaColumn::DecodeAll(int64_t* out) const {
-  const size_t n = reader_.size();
-  if (n == 0) {
+  DecodeRange(0, reader_.size(), out);
+}
+
+void DeltaColumn::DecodeRange(size_t row_begin, size_t count,
+                              int64_t* out) const {
+  if (count == 0) {
     return;
   }
-  int64_t value = checkpoints_[0];
-  out[0] = value;
-  for (size_t i = 1; i < n; ++i) {
-    value = static_cast<int64_t>(
-        static_cast<uint64_t>(value) +
-        static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(i))));
-    out[i] = value;
+  // Seek to the covering checkpoint, then run forward; rows before
+  // `row_begin` are decoded (at most kCheckpointInterval - 1 of them)
+  // but not emitted. Later checkpoints inside the range re-anchor the
+  // running value, which keeps the loop correct across checkpoint-
+  // straddling morsels.
+  const size_t end = row_begin + count;
+  size_t i = row_begin / kCheckpointInterval * kCheckpointInterval;
+  int64_t value = checkpoints_[i / kCheckpointInterval];
+  for (;; ++i) {
+    if (i % kCheckpointInterval == 0) {
+      value = checkpoints_[i / kCheckpointInterval];
+    } else {
+      value = static_cast<int64_t>(
+          static_cast<uint64_t>(value) +
+          static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(i))));
+    }
+    if (i >= row_begin) {
+      out[i - row_begin] = value;
+    }
+    if (i + 1 >= end) {
+      break;
+    }
   }
 }
 

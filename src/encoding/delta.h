@@ -37,7 +37,10 @@ class DeltaColumn final : public EncodedColumn {
   size_t size() const override { return reader_.size(); }
   size_t SizeBytes() const override;
   int64_t Get(size_t row) const override;
+  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
+  void DecodeRange(size_t row_begin, size_t count,
+                   int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   int bit_width() const { return reader_.bit_width(); }

@@ -87,11 +87,15 @@ void DictColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
 }
 
 void DictColumn::DecodeAll(int64_t* out) const {
+  DecodeRange(0, reader_.size(), out);
+}
+
+void DictColumn::DecodeRange(size_t row_begin, size_t count,
+                             int64_t* out) const {
   // Decode codes in bulk, then translate through the dictionary.
-  const size_t n = reader_.size();
-  reader_.DecodeAll(reinterpret_cast<uint64_t*>(out));
+  reader_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
   const int64_t* dict = dict_.data();
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     out[i] = dict[static_cast<uint64_t>(out[i])];
   }
 }

@@ -36,10 +36,18 @@ class DictColumn final : public EncodedColumn {
   }
   void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
+  void DecodeRange(size_t row_begin, size_t count,
+                   int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   /// The code stored at `row` (an index into dictionary()).
   uint64_t GetCode(size_t row) const { return reader_.Get(row); }
+  /// Unpacks the codes of [row_begin, row_begin + count) into `out` —
+  /// the code-domain ranged kernel used by filter and aggregate pushdown
+  /// (compare/fold codes, never touch values).
+  void DecodeCodes(size_t row_begin, size_t count, uint64_t* out) const {
+    reader_.DecodeRange(row_begin, count, out);
+  }
   std::span<const int64_t> dictionary() const { return dict_; }
   int bit_width() const { return reader_.bit_width(); }
 

@@ -40,9 +40,13 @@ void EncodedColumn::Gather(std::span<const uint32_t> rows,
 }
 
 void EncodedColumn::DecodeAll(int64_t* out) const {
-  const size_t n = size();
-  for (size_t i = 0; i < n; ++i) {
-    out[i] = Get(i);
+  DecodeRange(0, size(), out);
+}
+
+void EncodedColumn::DecodeRange(size_t row_begin, size_t count,
+                                int64_t* out) const {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = Get(row_begin + i);
   }
 }
 

@@ -24,6 +24,12 @@
 
 namespace corra::enc {
 
+/// Rows per morsel of the batch decode pipeline. Query kernels walk
+/// columns in fixed-size morsels so every scheme pays one (devirtualized)
+/// dispatch per morsel instead of one per row, and the decoded vector
+/// stays L1/L2-resident while the kernel consumes it.
+inline constexpr size_t kMorselRows = 2048;
+
 class EncodedColumn {
  public:
   virtual ~EncodedColumn() = default;
@@ -50,8 +56,17 @@ class EncodedColumn {
   virtual void Gather(std::span<const uint32_t> rows, int64_t* out) const;
 
   /// Decompresses the whole column into `out` (size() values).
-  /// Default: loop over Get; schemes override with sequential fast paths.
+  /// Default: one DecodeRange over the full row span.
   virtual void DecodeAll(int64_t* out) const;
+
+  /// Decompresses the dense row range [row_begin, row_begin + count) into
+  /// `out` (count values; row_begin + count <= size()). This is the
+  /// ranged kernel the morsel pipeline is built on: every scheme
+  /// overrides it with a sequential fast path (word-at-a-time unpack,
+  /// rebase loop, code-range translate, checkpoint-seek-then-run), so
+  /// generic query paths never fall back to a per-row virtual Get.
+  virtual void DecodeRange(size_t row_begin, size_t count,
+                           int64_t* out) const;
 
   /// Appends the full wire representation (scheme byte first).
   virtual void Serialize(BufferWriter* writer) const = 0;

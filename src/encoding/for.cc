@@ -78,10 +78,16 @@ void ForColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
 }
 
 void ForColumn::DecodeAll(int64_t* out) const {
-  reader_.DecodeAll(reinterpret_cast<uint64_t*>(out));
+  DecodeRange(0, reader_.size(), out);
+}
+
+void ForColumn::DecodeRange(size_t row_begin, size_t count,
+                            int64_t* out) const {
+  // Unpack the offsets sequentially, then rebase in a second tight loop
+  // (both vectorize; the split keeps the unpack loop branch-free).
+  reader_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
   const int64_t base = base_;
-  const size_t n = reader_.size();
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < count; ++i) {
     out[i] += base;
   }
 }

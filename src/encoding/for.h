@@ -37,10 +37,19 @@ class ForColumn final : public EncodedColumn {
   }
   void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
+  void DecodeRange(size_t row_begin, size_t count,
+                   int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   int64_t base() const { return base_; }
   int bit_width() const { return reader_.bit_width(); }
+
+  /// Unpacks the raw (un-rebased) offsets of [row_begin, row_begin +
+  /// count) — the packed-domain ranged kernel aggregate pushdown folds
+  /// over (sum = n * base + sum of offsets, no per-row rebase).
+  void DecodeOffsets(size_t row_begin, size_t count, uint64_t* out) const {
+    reader_.DecodeRange(row_begin, count, out);
+  }
 
  private:
   ForColumn(int64_t base, std::vector<uint8_t> bytes, int bit_width,

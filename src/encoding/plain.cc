@@ -27,6 +27,11 @@ void PlainColumn::DecodeAll(int64_t* out) const {
   std::memcpy(out, values_.data(), values_.size() * sizeof(int64_t));
 }
 
+void PlainColumn::DecodeRange(size_t row_begin, size_t count,
+                              int64_t* out) const {
+  std::memcpy(out, values_.data() + row_begin, count * sizeof(int64_t));
+}
+
 void PlainColumn::Serialize(BufferWriter* writer) const {
   writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kPlain));
   writer->WriteInt64Array(values_);

@@ -1,5 +1,7 @@
 #include "encoding/rle.h"
 
+#include <algorithm>
+
 #include "common/bit_util.h"
 
 namespace corra::enc {
@@ -113,13 +115,47 @@ int64_t RleColumn::Get(size_t row) const {
   return run_values_[run];
 }
 
-void RleColumn::DecodeAll(int64_t* out) const {
-  size_t row = 0;
-  for (size_t run = 0; run < run_values_.size(); ++run) {
-    const int64_t v = run_values_[run];
-    for (; row < run_ends_[run]; ++row) {
-      out[row] = v;
+void RleColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
+  // The run pointer moves forward over a sorted selection, with a
+  // checkpoint jump capping the forward scan when the selection skips
+  // far ahead; a backward position (unsorted caller) re-seeks from its
+  // checkpoint instead of returning a stale run.
+  size_t run = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const size_t row = rows[i];
+    const size_t hint = checkpoints_[row / kCheckpointInterval];
+    const size_t run_start = run == 0 ? 0 : run_ends_[run - 1];
+    run = row < run_start ? hint : std::max(run, hint);
+    while (run_ends_[run] <= row) {
+      ++run;
     }
+    out[i] = run_values_[run];
+  }
+}
+
+void RleColumn::DecodeAll(int64_t* out) const {
+  DecodeRange(0, count_, out);
+}
+
+void RleColumn::DecodeRange(size_t row_begin, size_t count,
+                            int64_t* out) const {
+  if (count == 0) {
+    return;
+  }
+  // Checkpoint-seek to the run covering row_begin, then emit whole runs.
+  const size_t end = row_begin + count;
+  size_t run = checkpoints_[row_begin / kCheckpointInterval];
+  while (run_ends_[run] <= row_begin) {
+    ++run;
+  }
+  size_t row = row_begin;
+  while (row < end) {
+    const size_t run_end = std::min<size_t>(run_ends_[run], end);
+    const int64_t v = run_values_[run];
+    for (; row < run_end; ++row) {
+      out[row - row_begin] = v;
+    }
+    ++run;
   }
 }
 

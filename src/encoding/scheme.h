@@ -43,6 +43,15 @@ constexpr bool IsHorizontal(Scheme scheme) {
          scheme == Scheme::kC3Numerical || scheme == Scheme::kC3OneToOne;
 }
 
+/// True for horizontal schemes with exactly one reference column (all of
+/// them except MultiRef). Together with scheme(), this lets query kernels
+/// downcast to SingleRefColumn without RTTI.
+constexpr bool IsSingleReference(Scheme scheme) {
+  return scheme == Scheme::kDiff || scheme == Scheme::kHierarchical ||
+         scheme == Scheme::kC3Dfor || scheme == Scheme::kC3Numerical ||
+         scheme == Scheme::kC3OneToOne;
+}
+
 /// True for schemes whose Get() is O(1) without checkpoints. The paper's
 /// baseline restricts itself to these (Sec. 3, "Baseline").
 constexpr bool HasConstantTimeAccess(Scheme scheme) {

@@ -1,44 +1,58 @@
 #include "query/aggregate.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <vector>
 
-#include "encoding/bitpack.h"
+#include "core/ref_dispatch.h"
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
+#include "query/morsel.h"
 
 namespace corra::query {
 
 namespace {
 
-// Chunked decode-and-fold fallback.
+// Ranged decode-and-fold fallback: one DecodeRange per morsel, no
+// per-row virtual calls.
 template <typename Fold>
 void FoldGeneric(const enc::EncodedColumn& column, Fold&& fold) {
-  constexpr size_t kChunk = 4096;
-  const size_t n = column.size();
-  std::vector<uint32_t> positions(kChunk);
-  std::vector<int64_t> values(kChunk);
-  for (size_t begin = 0; begin < n; begin += kChunk) {
-    const size_t len = std::min(kChunk, n - begin);
-    for (size_t i = 0; i < len; ++i) {
-      positions[i] = static_cast<uint32_t>(begin + i);
-    }
-    column.Gather(std::span<const uint32_t>(positions.data(), len),
-                  values.data());
-    for (size_t i = 0; i < len; ++i) {
-      fold(values[i]);
-    }
-  }
+  ForEachDecodedMorsel(
+      column, 0, column.size(),
+      [&](size_t, const int64_t* values, size_t len) {
+        for (size_t i = 0; i < len; ++i) {
+          fold(values[i]);
+        }
+      });
 }
 
-// Histogram of dictionary code usage (small dictionaries only).
+// Histogram of dictionary code usage (small dictionaries only), built
+// from ranged code unpacks.
 std::vector<uint64_t> CodeHistogram(const enc::DictColumn& column) {
   std::vector<uint64_t> counts(column.dictionary().size(), 0);
-  const size_t n = column.size();
-  for (size_t i = 0; i < n; ++i) {
-    ++counts[column.GetCode(i)];
-  }
+  uint64_t codes[kMorselRows];
+  ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
+    column.DecodeCodes(begin, len, codes);
+    for (size_t i = 0; i < len; ++i) {
+      ++counts[codes[i]];
+    }
+  });
   return counts;
+}
+
+// Minimum or maximum used dictionary code, from ranged code unpacks.
+template <typename Pick>
+uint64_t FoldCodes(const enc::DictColumn& column, uint64_t seed,
+                   Pick&& pick) {
+  uint64_t best = seed;
+  uint64_t codes[kMorselRows];
+  ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
+    column.DecodeCodes(begin, len, codes);
+    for (size_t i = 0; i < len; ++i) {
+      best = pick(best, codes[i]);
+    }
+  });
+  return best;
 }
 
 constexpr size_t kSmallDict = 1 << 16;
@@ -50,28 +64,39 @@ int64_t SumColumn(const enc::EncodedColumn& column) {
   if (n == 0) {
     return 0;
   }
-  if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&column)) {
-    // sum = n * base + sum of packed offsets.
-    uint64_t offsets = 0;
-    for (size_t i = 0; i < n; ++i) {
-      offsets += static_cast<uint64_t>(fr->Get(i)) -
-                 static_cast<uint64_t>(fr->base());
-    }
-    return static_cast<int64_t>(
-        static_cast<uint64_t>(fr->base()) * n + offsets);
-  }
-  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column);
-      dict != nullptr && dict->dictionary().size() <= kSmallDict) {
-    const auto counts = CodeHistogram(*dict);
-    uint64_t sum = 0;
-    for (size_t code = 0; code < counts.size(); ++code) {
-      sum += counts[code] * static_cast<uint64_t>(dict->dictionary()[code]);
-    }
-    return static_cast<int64_t>(sum);
-  }
   uint64_t sum = 0;
-  FoldGeneric(column, [&sum](int64_t v) {
-    sum += static_cast<uint64_t>(v);
+  DispatchRef(column, [&](const auto& col) {
+    using Column = std::decay_t<decltype(col)>;
+    if constexpr (std::is_same_v<Column, enc::DictColumn>) {
+      if (col.dictionary().size() <= kSmallDict) {
+        // Small dictionary: per-code histogram, one multiply per entry.
+        const auto counts = CodeHistogram(col);
+        for (size_t code = 0; code < counts.size(); ++code) {
+          sum += counts[code] *
+                 static_cast<uint64_t>(col.dictionary()[code]);
+        }
+        return;
+      }
+      FoldGeneric(col, [&sum](int64_t v) {
+        sum += static_cast<uint64_t>(v);
+      });
+    } else if constexpr (std::is_same_v<Column, enc::ForColumn>) {
+      // sum = n * base + sum of packed offsets: fold the un-rebased
+      // morsel, skip the per-row rebase entirely.
+      uint64_t offsets[kMorselRows];
+      ForEachMorsel(0, n, [&](size_t begin, size_t len) {
+        col.DecodeOffsets(begin, len, offsets);
+        for (size_t i = 0; i < len; ++i) {
+          sum += offsets[i];
+        }
+      });
+      sum += static_cast<uint64_t>(col.base()) * n;
+    } else {
+      // BitPack/Plain and every other scheme: ranged decode + fold.
+      FoldGeneric(col, [&sum](int64_t v) {
+        sum += static_cast<uint64_t>(v);
+      });
+    }
   });
   return static_cast<int64_t>(sum);
 }
@@ -81,21 +106,27 @@ std::optional<int64_t> MinColumn(const enc::EncodedColumn& column) {
   if (n == 0) {
     return std::nullopt;
   }
-  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column)) {
-    // The dictionary is sorted; the smallest *used* code gives the min.
-    // Every dictionary entry produced by Encode is used, so code 0 works;
-    // after deserialization that invariant is unchecked, so scan codes.
-    uint64_t min_code = ~uint64_t{0};
-    for (size_t i = 0; i < n; ++i) {
-      min_code = std::min(min_code, dict->GetCode(i));
+  int64_t result = 0;
+  DispatchRef(column, [&](const auto& col) {
+    using Column = std::decay_t<decltype(col)>;
+    if constexpr (std::is_same_v<Column, enc::DictColumn>) {
+      // The dictionary is sorted; the smallest *used* code gives the
+      // min. Every dictionary entry produced by Encode is used, so code
+      // 0 works; after deserialization that invariant is unchecked, so
+      // scan codes.
+      const uint64_t min_code = FoldCodes(
+          col, ~uint64_t{0},
+          [](uint64_t a, uint64_t b) { return a < b ? a : b; });
+      result = col.dictionary()[min_code];
+    } else {
+      int64_t min_value = col.Get(0);
+      FoldGeneric(col, [&min_value](int64_t v) {
+        min_value = std::min(min_value, v);
+      });
+      result = min_value;
     }
-    return dict->dictionary()[min_code];
-  }
-  int64_t min_value = column.Get(0);
-  FoldGeneric(column, [&min_value](int64_t v) {
-    min_value = std::min(min_value, v);
   });
-  return min_value;
+  return result;
 }
 
 std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column) {
@@ -103,18 +134,56 @@ std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column) {
   if (n == 0) {
     return std::nullopt;
   }
-  if (const auto* dict = dynamic_cast<const enc::DictColumn*>(&column)) {
-    uint64_t max_code = 0;
-    for (size_t i = 0; i < n; ++i) {
-      max_code = std::max(max_code, dict->GetCode(i));
+  int64_t result = 0;
+  DispatchRef(column, [&](const auto& col) {
+    using Column = std::decay_t<decltype(col)>;
+    if constexpr (std::is_same_v<Column, enc::DictColumn>) {
+      const uint64_t max_code = FoldCodes(
+          col, 0, [](uint64_t a, uint64_t b) { return a > b ? a : b; });
+      result = col.dictionary()[max_code];
+    } else {
+      int64_t max_value = col.Get(0);
+      FoldGeneric(col, [&max_value](int64_t v) {
+        max_value = std::max(max_value, v);
+      });
+      result = max_value;
     }
-    return dict->dictionary()[max_code];
-  }
-  int64_t max_value = column.Get(0);
-  FoldGeneric(column, [&max_value](int64_t v) {
-    max_value = std::max(max_value, v);
   });
-  return max_value;
+  return result;
+}
+
+std::optional<MinMax> MinMaxColumn(const enc::EncodedColumn& column) {
+  if (column.size() == 0) {
+    return std::nullopt;
+  }
+  MinMax result{};
+  DispatchRef(column, [&](const auto& col) {
+    using Column = std::decay_t<decltype(col)>;
+    if constexpr (std::is_same_v<Column, enc::DictColumn>) {
+      // One pass over the packed codes finds both extreme used codes.
+      uint64_t min_code = ~uint64_t{0};
+      uint64_t max_code = 0;
+      uint64_t codes[kMorselRows];
+      ForEachMorsel(0, col.size(), [&](size_t begin, size_t len) {
+        col.DecodeCodes(begin, len, codes);
+        for (size_t i = 0; i < len; ++i) {
+          min_code = std::min(min_code, codes[i]);
+          max_code = std::max(max_code, codes[i]);
+        }
+      });
+      result = MinMax{col.dictionary()[min_code],
+                      col.dictionary()[max_code]};
+    } else {
+      int64_t min_value = col.Get(0);
+      int64_t max_value = min_value;
+      FoldGeneric(col, [&](int64_t v) {
+        min_value = std::min(min_value, v);
+        max_value = std::max(max_value, v);
+      });
+      result = MinMax{min_value, max_value};
+    }
+  });
+  return result;
 }
 
 }  // namespace corra::query

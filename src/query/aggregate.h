@@ -1,11 +1,10 @@
 // Aggregate pushdown over encoded columns: SUM / MIN / MAX evaluated on
 // the compressed representation where the scheme allows shortcuts.
 //
-//   * FOR / BitPack: sum = n * base + sum(packed offsets); min/max scan
-//     the narrow packed domain without rebasing.
-//   * Dict: min/max are the first/last *used* dictionary entries; sum
-//     uses a per-code histogram when the dictionary is small.
-//   * everything else: chunked decode-and-fold.
+//   * Dict: min/max fold over the bit-packed codes; sum uses a per-code
+//     histogram when the dictionary is small.
+//   * everything else: ranged decode-and-fold over morsels (one
+//     DecodeRange dispatch per 2048 rows; see query/morsel.h).
 //
 // Sums are computed in unsigned 64-bit arithmetic (wrap-around), which is
 // exact modulo 2^64 and matches what a fold over the decoded values
@@ -27,6 +26,13 @@ int64_t SumColumn(const enc::EncodedColumn& column);
 /// Minimum / maximum value; nullopt for an empty column.
 std::optional<int64_t> MinColumn(const enc::EncodedColumn& column);
 std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column);
+
+/// Both extrema in one decode pass (the block-stats writer's kernel).
+struct MinMax {
+  int64_t min;
+  int64_t max;
+};
+std::optional<MinMax> MinMaxColumn(const enc::EncodedColumn& column);
 
 }  // namespace corra::query
 

@@ -1,68 +1,46 @@
 #include "query/filter.h"
 
 #include <algorithm>
+#include <type_traits>
 
-#include "encoding/bitpack.h"
+#include "core/ref_dispatch.h"
 #include "encoding/dictionary.h"
-#include "encoding/for.h"
-#include "encoding/plain.h"
+#include "query/morsel.h"
 
 namespace corra::query {
 
 namespace {
 
-// Generic decode-and-compare in chunks (works for every scheme,
-// including horizontal ones whose references are bound).
-template <typename Emit>
+// The filter kernels stage matching positions per morsel with a
+// branchless select (rows[n] = pos; n += matched), then hand the staged
+// block to `sink(rows, count)` — matching rows cost a store instead of a
+// mispredicted branch, and the sink appends in bulk.
+
+// Generic ranged decode-and-compare: one DecodeRange per morsel (works
+// for every scheme, including horizontal ones whose references are
+// bound), no per-row virtual calls.
+template <typename Sink>
 void FilterGeneric(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
-                   Emit&& emit) {
-  constexpr size_t kChunk = 4096;
-  const size_t n = column.size();
-  std::vector<uint32_t> positions(kChunk);
-  std::vector<int64_t> values(kChunk);
-  for (size_t begin = 0; begin < n; begin += kChunk) {
-    const size_t len = std::min(kChunk, n - begin);
-    for (size_t i = 0; i < len; ++i) {
-      positions[i] = static_cast<uint32_t>(begin + i);
-    }
-    column.Gather(std::span<const uint32_t>(positions.data(), len),
-                  values.data());
-    for (size_t i = 0; i < len; ++i) {
-      if (values[i] >= lo && values[i] <= hi) {
-        emit(static_cast<uint32_t>(begin + i));
-      }
-    }
-  }
+                   Sink&& sink) {
+  uint32_t staged[kMorselRows];
+  ForEachDecodedMorsel(
+      column, 0, column.size(),
+      [&](size_t begin, const int64_t* values, size_t len) {
+        size_t n = 0;
+        for (size_t i = 0; i < len; ++i) {
+          staged[n] = static_cast<uint32_t>(begin + i);
+          n += static_cast<size_t>(values[i] >= lo && values[i] <= hi);
+        }
+        sink(staged, n);
+      });
 }
 
-// FOR fast path: compare in the packed unsigned domain.
-template <typename Emit>
-void FilterFor(const enc::ForColumn& column, int64_t lo, int64_t hi,
-               Emit&& emit) {
-  const int64_t base = column.base();
-  if (hi < base) {
-    return;  // Entire column is >= base.
-  }
-  const uint64_t packed_lo =
-      lo <= base ? 0
-                 : static_cast<uint64_t>(lo) - static_cast<uint64_t>(base);
-  const uint64_t packed_hi =
-      static_cast<uint64_t>(hi) - static_cast<uint64_t>(base);
-  const size_t n = column.size();
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t packed =
-        static_cast<uint64_t>(column.Get(i)) -
-        static_cast<uint64_t>(base);
-    if (packed >= packed_lo && packed <= packed_hi) {
-      emit(static_cast<uint32_t>(i));
-    }
-  }
-}
-
-// Dict fast path: translate the value range into a code range once.
-template <typename Emit>
+// Dict fast path: translate the value range into a code range once, then
+// compare bit-packed codes morsel by morsel — the scan never touches
+// values.
+template <typename Sink>
 void FilterDict(const enc::DictColumn& column, int64_t lo, int64_t hi,
-                Emit&& emit) {
+                Sink&& sink) {
   const auto dict = column.dictionary();
   const auto begin_it = std::lower_bound(dict.begin(), dict.end(), lo);
   const auto end_it = std::upper_bound(dict.begin(), dict.end(), hi);
@@ -71,29 +49,36 @@ void FilterDict(const enc::DictColumn& column, int64_t lo, int64_t hi,
   }
   const uint64_t code_lo = static_cast<uint64_t>(begin_it - dict.begin());
   const uint64_t code_hi = static_cast<uint64_t>(end_it - dict.begin()) - 1;
-  const size_t n = column.size();
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t code = column.GetCode(i);
-    if (code >= code_lo && code <= code_hi) {
-      emit(static_cast<uint32_t>(i));
+  uint64_t codes[kMorselRows];
+  uint32_t staged[kMorselRows];
+  ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
+    column.DecodeCodes(begin, len, codes);
+    size_t n = 0;
+    for (size_t i = 0; i < len; ++i) {
+      staged[n] = static_cast<uint32_t>(begin + i);
+      n += static_cast<size_t>(codes[i] >= code_lo && codes[i] <= code_hi);
     }
-  }
+    sink(staged, n);
+  });
 }
 
-template <typename Emit>
+template <typename Sink>
 void FilterDispatch(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
-                    Emit&& emit) {
+                    Sink&& sink) {
   if (lo > hi) {
     return;
   }
-  if (const auto* fr = dynamic_cast<const enc::ForColumn*>(&column)) {
-    FilterFor(*fr, lo, hi, emit);
-  } else if (const auto* dict =
-                 dynamic_cast<const enc::DictColumn*>(&column)) {
-    FilterDict(*dict, lo, hi, emit);
-  } else {
-    FilterGeneric(column, lo, hi, emit);
-  }
+  // One scheme dispatch per scan; the Dict code-domain path is the only
+  // scheme-specific kernel left (FOR/BitPack compare decoded values —
+  // their DecodeRange is a two-instruction-per-row loop already).
+  DispatchRef(column, [&](const auto& col) {
+    using Column = std::decay_t<decltype(col)>;
+    if constexpr (std::is_same_v<Column, enc::DictColumn>) {
+      FilterDict(col, lo, hi, sink);
+    } else {
+      FilterGeneric(col, lo, hi, sink);
+    }
+  });
 }
 
 }  // namespace
@@ -101,16 +86,18 @@ void FilterDispatch(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
 std::vector<uint32_t> FilterToSelection(const enc::EncodedColumn& column,
                                         int64_t lo, int64_t hi) {
   std::vector<uint32_t> rows;
-  FilterDispatch(column, lo, hi, [&rows](uint32_t row) {
-    rows.push_back(row);
-  });
+  FilterDispatch(column, lo, hi,
+                 [&rows](const uint32_t* staged, size_t count) {
+                   rows.insert(rows.end(), staged, staged + count);
+                 });
   return rows;
 }
 
 size_t CountInRange(const enc::EncodedColumn& column, int64_t lo,
                     int64_t hi) {
   size_t count = 0;
-  FilterDispatch(column, lo, hi, [&count](uint32_t) { ++count; });
+  FilterDispatch(column, lo, hi,
+                 [&count](const uint32_t*, size_t n) { count += n; });
   return count;
 }
 

@@ -1,13 +1,12 @@
 // Range-predicate evaluation over encoded columns (filter pushdown).
 //
 // Evaluates `lo <= value <= hi` directly on the compressed
-// representation, with per-scheme fast paths:
-//   * FOR / BitPack: the bounds translate into the packed unsigned
-//     domain, so the scan compares codes without rebasing each value;
+// representation, as a morsel pipeline (see query/morsel.h):
 //   * Dict: the sorted dictionary turns the value range into a code
-//     range via two binary searches — the scan never touches values;
-//   * anything else (including horizontal schemes): a generic
-//     decode-and-compare over chunks.
+//     range via two binary searches — the scan compares bit-packed
+//     codes and never touches values;
+//   * everything else (including horizontal schemes): ranged
+//     decode-and-compare, one DecodeRange dispatch per morsel.
 //
 // Results are selection vectors compatible with query/scan.h.
 

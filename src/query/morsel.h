@@ -1,0 +1,58 @@
+// The shared morsel driver of the batch decode pipeline.
+//
+// Query kernels walk a column in fixed-size morsels (enc::kMorselRows =
+// 2048 rows): each morsel is decoded with ONE virtual DecodeRange call —
+// which every scheme overrides with a sequential fast path — into a
+// stack-resident buffer that the kernel then consumes in a tight loop.
+// This replaces the old architecture where generic paths materialized
+// position vectors and bottomed out in one virtual Get() per row.
+//
+//   driver (ForEachMorsel / ForEachDecodedMorsel)
+//     -> ranged kernel (DecodeRange / DecodeRangeWithReference)
+//       -> consumer loop (compare, fold, emit, copy)
+//
+// Consumers: query/filter.cc, query/aggregate.cc, query/scan.cc, and the
+// serve layer's per-block scans.
+
+#ifndef CORRA_QUERY_MORSEL_H_
+#define CORRA_QUERY_MORSEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "encoding/encoded_column.h"
+
+namespace corra::query {
+
+/// Rows per morsel (re-exported from the encoding layer so query code
+/// has a single spelling).
+inline constexpr size_t kMorselRows = enc::kMorselRows;
+
+/// Calls `body(morsel_begin, morsel_len)` over [row_begin, row_begin +
+/// row_count) in kMorselRows-sized steps.
+template <typename Body>
+void ForEachMorsel(size_t row_begin, size_t row_count, Body&& body) {
+  while (row_count > 0) {
+    const size_t len = row_count < kMorselRows ? row_count : kMorselRows;
+    body(row_begin, len);
+    row_begin += len;
+    row_count -= len;
+  }
+}
+
+/// Decodes [row_begin, row_begin + row_count) of `column` morsel by
+/// morsel and calls `body(morsel_begin, values, morsel_len)` with the
+/// decoded values in a stack buffer. One virtual dispatch per morsel.
+template <typename Body>
+void ForEachDecodedMorsel(const enc::EncodedColumn& column, size_t row_begin,
+                          size_t row_count, Body&& body) {
+  int64_t values[kMorselRows];
+  ForEachMorsel(row_begin, row_count, [&](size_t begin, size_t len) {
+    column.DecodeRange(begin, len, values);
+    body(begin, static_cast<const int64_t*>(values), len);
+  });
+}
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_MORSEL_H_

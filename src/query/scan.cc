@@ -1,8 +1,24 @@
 #include "query/scan.h"
 
 #include "core/horizontal.h"
+#include "query/morsel.h"
 
 namespace corra::query {
+
+namespace {
+
+// The target column as a single-reference horizontal column bound to
+// `ref_col`, or null. scheme() pins down the class, so no RTTI.
+const SingleRefColumn* AsSingleRefOn(const enc::EncodedColumn& target,
+                                     size_t ref_col) {
+  if (!enc::IsSingleReference(target.scheme())) {
+    return nullptr;
+  }
+  const auto& horizontal = static_cast<const SingleRefColumn&>(target);
+  return horizontal.ref_index() == ref_col ? &horizontal : nullptr;
+}
+
+}  // namespace
 
 void ScanColumn(const Block& block, size_t col,
                 std::span<const uint32_t> rows, int64_t* out) {
@@ -13,15 +29,37 @@ void ScanPair(const Block& block, size_t ref_col, size_t target_col,
               std::span<const uint32_t> rows, int64_t* out_ref,
               int64_t* out_target) {
   block.column(ref_col).Gather(rows, out_ref);
-  if (const auto* horizontal =
-          dynamic_cast<const SingleRefColumn*>(&block.column(target_col));
-      horizontal != nullptr && horizontal->ref_index() == ref_col) {
+  if (const SingleRefColumn* horizontal =
+          AsSingleRefOn(block.column(target_col), ref_col)) {
     // Reuse the already materialized reference values: the paper's
     // "query on both columns" fast path.
     horizontal->GatherWithReference(rows, out_ref, out_target);
     return;
   }
   block.column(target_col).Gather(rows, out_target);
+}
+
+void ScanColumnRange(const Block& block, size_t col, size_t row_begin,
+                     size_t count, int64_t* out) {
+  block.column(col).DecodeRange(row_begin, count, out);
+}
+
+void ScanPairRange(const Block& block, size_t ref_col, size_t target_col,
+                   size_t row_begin, size_t count, int64_t* out_ref,
+                   int64_t* out_target) {
+  block.column(ref_col).DecodeRange(row_begin, count, out_ref);
+  if (const SingleRefColumn* horizontal =
+          AsSingleRefOn(block.column(target_col), ref_col)) {
+    // Feed each decoded reference morsel straight into the ranged
+    // kernel — the reference is never fetched a second time.
+    ForEachMorsel(row_begin, count, [&](size_t begin, size_t len) {
+      horizontal->DecodeRangeWithReference(
+          begin, len, out_ref + (begin - row_begin),
+          out_target + (begin - row_begin));
+    });
+    return;
+  }
+  block.column(target_col).DecodeRange(row_begin, count, out_target);
 }
 
 std::vector<int64_t> ScanColumn(const Block& block, size_t col,

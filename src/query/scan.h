@@ -35,6 +35,20 @@ void ScanPair(const Block& block, size_t ref_col, size_t target_col,
               std::span<const uint32_t> rows, int64_t* out_ref,
               int64_t* out_target);
 
+/// Dense-range scan: materializes [row_begin, row_begin + count) of
+/// column `col` through the ranged kernel (one DecodeRange dispatch per
+/// morsel, never a per-row virtual Get). Fully-selected blocks go
+/// through this instead of building an iota position vector.
+void ScanColumnRange(const Block& block, size_t col, size_t row_begin,
+                     size_t count, int64_t* out);
+
+/// Dense-range pair scan: like ScanPair but for a dense row range. When
+/// `target_col` is a single-reference column on `ref_col`, each
+/// reference morsel is decoded once and fed to DecodeRangeWithReference.
+void ScanPairRange(const Block& block, size_t ref_col, size_t target_col,
+                   size_t row_begin, size_t count, int64_t* out_ref,
+                   int64_t* out_target);
+
 /// Convenience wrappers returning vectors.
 std::vector<int64_t> ScanColumn(const Block& block, size_t col,
                                 std::span<const uint32_t> rows);

@@ -94,8 +94,10 @@ void ScanOneBlock(const Block& block, uint64_t base,
   out->columns.reserve(request.project_columns.size());
   for (size_t col : request.project_columns) {
     if (all_rows) {
+      // Whole-block morsel decode through the ranged kernel — no
+      // position vector is materialized for a dense scan.
       std::vector<int64_t> values(block.rows());
-      block.column(col).DecodeAll(values.data());
+      query::ScanColumnRange(block, col, 0, block.rows(), values.data());
       out->columns.push_back(std::move(values));
     } else {
       out->columns.push_back(query::ScanColumn(block, col, selection));
@@ -215,9 +217,26 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   const size_t num_blocks = reader.num_blocks();
   std::vector<BlockPartial> partials(num_blocks);
 
+  // Stats pruning: a filtered request skips every block whose persisted
+  // [min, max] cannot intersect the predicate — the block is never
+  // fetched or decoded. Results are identical to the unpruned scan
+  // because a disjoint range admits no matching row.
+  const FileInfo& info = reader.info();
+  const bool can_prune =
+      request.filter_column.has_value() && info.has_column_stats;
+  uint64_t blocks_skipped = 0;
+
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_blocks);
   for (size_t b = 0; b < num_blocks; ++b) {
+    if (can_prune) {
+      const ColumnStats& stats = info.Stats(b, *request.filter_column);
+      if (request.filter_lo > stats.max || request.filter_hi < stats.min) {
+        partials[b].rows_scanned = reader.block_rows(b);
+        ++blocks_skipped;
+        continue;
+      }
+    }
     tasks.push_back([&reader, &request, b, partial = &partials[b]] {
       auto handle = reader.GetBlock(b);
       if (!handle.ok()) {
@@ -232,6 +251,7 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
 
   // Merge in block order.
   ScanResult result;
+  result.blocks_skipped = blocks_skipped;
   result.columns.resize(request.project_columns.size());
   uint64_t agg_sum = 0;
   for (BlockPartial& partial : partials) {
@@ -241,7 +261,8 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
     result.positions.insert(result.positions.end(),
                             partial.positions.begin(),
                             partial.positions.end());
-    for (size_t c = 0; c < result.columns.size(); ++c) {
+    // Stats-pruned blocks carry no column vectors at all.
+    for (size_t c = 0; c < partial.columns.size(); ++c) {
       result.columns[c].insert(result.columns[c].end(),
                                partial.columns[c].begin(),
                                partial.columns[c].end());

@@ -2,12 +2,18 @@
 //
 // A small shared worker pool executes scan requests block-by-block:
 // every block task pins its block through the reader's BlockCache, runs
-// the query kernels (query::FilterToSelection, ScanColumn, aggregate
-// pushdown) against the compressed representation, and releases the
-// pin. Per-block partial results are merged in block order, so the
-// output is byte-identical to materializing the whole table and
-// scanning it in memory — without ever holding more than
+// the morsel-based query kernels (query::FilterToSelection, ranged
+// scans, aggregate pushdown) against the compressed representation, and
+// releases the pin. Per-block partial results are merged in block
+// order, so the output is byte-identical to materializing the whole
+// table and scanning it in memory — without ever holding more than
 // cache-capacity blocks resident.
+//
+// Filtered requests prune first: a block whose persisted min/max range
+// (CORF v3 stats, checked against the directory without any payload
+// read) cannot intersect the predicate is skipped entirely — it is
+// neither fetched nor decoded, and only counts toward rows_scanned /
+// blocks_skipped.
 //
 // One ScanService instance is meant to be shared by many concurrent
 // clients (Execute and Gather are thread-safe); all of them draw from
@@ -58,8 +64,12 @@ struct ScanRequest {
 };
 
 struct ScanResult {
-  uint64_t rows_scanned = 0;  // Rows visited across all blocks.
+  uint64_t rows_scanned = 0;  // Rows covered across all blocks (a
+                              // stats-pruned block counts as covered:
+                              // its rows were answered without a read).
   uint64_t rows_matched = 0;  // Rows passing the predicate.
+  uint64_t blocks_skipped = 0;  // Blocks pruned via the CORF v3 per-block
+                                // min/max stats (never read from disk).
 
   /// Global row ids of matches (when return_positions), ascending.
   std::vector<uint64_t> positions;

@@ -157,9 +157,10 @@ Result<Block> Block::Deserialize(std::span<const uint8_t> bytes,
   Block block(std::move(columns));
   if (verify) {
     for (size_t i = 0; i < block.num_columns(); ++i) {
-      if (const auto* h = dynamic_cast<const HierarchicalColumn*>(
-              &block.column(i))) {
-        CORRA_RETURN_NOT_OK(h->VerifyWithReference());
+      if (block.column(i).scheme() == enc::Scheme::kHierarchical) {
+        const auto& h =
+            static_cast<const HierarchicalColumn&>(block.column(i));
+        CORRA_RETURN_NOT_OK(h.VerifyWithReference());
       }
     }
   }

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/buffer.h"
+#include "query/aggregate.h"
 
 namespace corra {
 
@@ -19,8 +20,11 @@ namespace {
 
 constexpr uint32_t kFileMagic = 0x46524F43;  // "CORF" little-endian.
 // Version 2 added per-block row counts and payload checksums to the
-// directory (required by the lazy serving layer).
-constexpr uint8_t kFileVersion = 2;
+// directory (required by the lazy serving layer). Version 3 added the
+// per-block per-column min/max stats section (block skipping); v2 files
+// remain readable — they simply carry no stats.
+constexpr uint8_t kFileVersion = 3;
+constexpr uint8_t kMinFileVersion = 2;
 
 // First read size when parsing a header; retried with kMaxHeader when a
 // directory does not fit (many thousands of blocks).
@@ -76,12 +80,13 @@ Status PReadExact(int fd, uint64_t offset, uint8_t* dst, size_t length) {
   return Status::OK();
 }
 
-// Header + directory bytes for a table about to be written.
+// Header + directory + stats bytes for a table about to be written.
 std::vector<uint8_t> BuildHeader(const Schema& schema,
                                  const std::vector<uint64_t>& offsets,
                                  const std::vector<uint64_t>& lengths,
                                  const std::vector<uint64_t>& rows,
-                                 const std::vector<uint64_t>& checksums) {
+                                 const std::vector<uint64_t>& checksums,
+                                 const std::vector<ColumnStats>& stats) {
   BufferWriter writer;
   writer.Write<uint32_t>(kFileMagic);
   writer.Write<uint8_t>(kFileVersion);
@@ -97,29 +102,34 @@ std::vector<uint8_t> BuildHeader(const Schema& schema,
     writer.Write<uint64_t>(rows[b]);
     writer.Write<uint64_t>(checksums[b]);
   }
+  for (const ColumnStats& s : stats) {
+    writer.Write<int64_t>(s.min);
+    writer.Write<int64_t>(s.max);
+  }
   return std::move(writer).Finish();
 }
 
 // Bytes per directory entry: offset, length, rows, checksum.
 constexpr uint64_t kDirectoryEntryBytes = 4 * sizeof(uint64_t);
+// Bytes per stats entry (v3+): min, max.
+constexpr uint64_t kStatsEntryBytes = 2 * sizeof(int64_t);
 
 // Parses magic, version, schema, and block count, leaving `reader`
-// positioned at the first directory entry. Fills info.schema and
-// info.num_blocks. On failure, `*retryable` tells whether a larger
-// prefix could change the outcome (semantic failures — wrong magic,
-// version, type — cannot be cured by more bytes).
-Status ParsePreamble(BufferReader* reader, FileInfo* info,
+// positioned at the first directory entry. Fills info.schema,
+// info.num_blocks, and *version. On failure, `*retryable` tells whether
+// a larger prefix could change the outcome (semantic failures — wrong
+// magic, version, type — cannot be cured by more bytes).
+Status ParsePreamble(BufferReader* reader, FileInfo* info, uint8_t* version,
                      bool* retryable) {
   *retryable = true;
   uint32_t magic = 0;
-  uint8_t version = 0;
   CORRA_RETURN_NOT_OK(reader->Read(&magic));
   if (magic != kFileMagic) {
     *retryable = false;
     return Status::Corruption("not a Corra file (bad magic)");
   }
-  CORRA_RETURN_NOT_OK(reader->Read(&version));
-  if (version != kFileVersion) {
+  CORRA_RETURN_NOT_OK(reader->Read(version));
+  if (*version < kMinFileVersion || *version > kFileVersion) {
     *retryable = false;
     return Status::Corruption("unsupported Corra file version");
   }
@@ -165,6 +175,20 @@ Status ParseDirectory(BufferReader* reader, uint64_t file_size,
   return Status::OK();
 }
 
+// Parses the v3+ per-block per-column min/max section.
+Status ParseStats(BufferReader* reader, FileInfo* info) {
+  const size_t entries = info->num_blocks * info->schema.num_fields();
+  info->column_stats.reserve(entries);
+  for (size_t i = 0; i < entries; ++i) {
+    ColumnStats stats;
+    CORRA_RETURN_NOT_OK(reader->Read(&stats.min));
+    CORRA_RETURN_NOT_OK(reader->Read(&stats.max));
+    info->column_stats.push_back(stats);
+  }
+  info->has_column_stats = true;
+  return Status::OK();
+}
+
 Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
   // Probe a small prefix: enough for the preamble (magic, version,
   // schema, block count) of any sane file, and usually for the whole
@@ -175,8 +199,9 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
   CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
   FileInfo info;
   BufferReader reader(prefix);
+  uint8_t version = 0;
   bool retryable = false;
-  Status preamble = ParsePreamble(&reader, &info, &retryable);
+  Status preamble = ParsePreamble(&reader, &info, &version, &retryable);
   if (!preamble.ok()) {
     // A schema larger than the probe is the only curable failure:
     // retry once with the full header budget. Semantic corruption
@@ -189,13 +214,18 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
     CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
     info = FileInfo{};
     reader = BufferReader(prefix);
-    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &retryable));
+    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &version, &retryable));
   }
 
   // The preamble pins down the exact header size; re-read precisely
-  // that when the directory spills past the probe.
-  const uint64_t header_bytes =
-      reader.position() + info.num_blocks * kDirectoryEntryBytes;
+  // that when the directory (or stats section) spills past the probe.
+  const uint64_t stats_bytes =
+      version >= 3
+          ? info.num_blocks * info.schema.num_fields() * kStatsEntryBytes
+          : 0;
+  const uint64_t header_bytes = reader.position() +
+                                info.num_blocks * kDirectoryEntryBytes +
+                                stats_bytes;
   if (header_bytes > kMaxHeader) {
     return Status::Corruption("header implausibly large");
   }
@@ -207,9 +237,12 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
     CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
     info = FileInfo{};
     reader = BufferReader(prefix);
-    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &retryable));
+    CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &version, &retryable));
   }
   CORRA_RETURN_NOT_OK(ParseDirectory(&reader, file_size, &info));
+  if (version >= 3) {
+    CORRA_RETURN_NOT_OK(ParseStats(&reader, &info));
+  }
   return info;
 }
 
@@ -229,29 +262,41 @@ Status WriteCompressedTable(const CompressedTable& table,
   if (file == nullptr) {
     return Status::InvalidArgument("cannot create file: " + path);
   }
-  // Serialize blocks first to learn their lengths and checksums.
+  // Serialize blocks first to learn their lengths and checksums, and
+  // compute the per-block per-column min/max the v3 stats section
+  // persists (aggregate pushdown runs on the compressed columns, so
+  // this pass never materializes a block).
   std::vector<std::vector<uint8_t>> payloads;
   payloads.reserve(table.num_blocks());
   std::vector<uint64_t> rows(table.num_blocks());
   std::vector<uint64_t> checksums(table.num_blocks());
+  std::vector<ColumnStats> stats;
+  stats.reserve(table.num_blocks() * table.schema().num_fields());
   for (size_t b = 0; b < table.num_blocks(); ++b) {
     payloads.push_back(table.block(b).Serialize());
     rows[b] = table.block(b).rows();
     checksums[b] = Fnv1a64(payloads.back());
+    for (size_t c = 0; c < table.block(b).num_columns(); ++c) {
+      const auto mm = query::MinMaxColumn(table.block(b).column(c));
+      // An empty block stores the empty range; every filter prunes it.
+      stats.push_back(mm ? ColumnStats{mm->min, mm->max}
+                         : ColumnStats{INT64_MAX, INT64_MIN});
+    }
   }
   std::vector<uint64_t> offsets(payloads.size());
   std::vector<uint64_t> lengths(payloads.size());
   // Two-pass: header size depends only on counts and name lengths, so
   // build it with dummy offsets to learn its size, then fill in.
   std::vector<uint8_t> header =
-      BuildHeader(table.schema(), offsets, lengths, rows, checksums);
+      BuildHeader(table.schema(), offsets, lengths, rows, checksums, stats);
   uint64_t cursor = header.size();
   for (size_t b = 0; b < payloads.size(); ++b) {
     offsets[b] = cursor;
     lengths[b] = payloads[b].size();
     cursor += payloads[b].size();
   }
-  header = BuildHeader(table.schema(), offsets, lengths, rows, checksums);
+  header =
+      BuildHeader(table.schema(), offsets, lengths, rows, checksums, stats);
 
   CORRA_RETURN_NOT_OK(WriteAll(file.get(), header));
   for (const auto& payload : payloads) {

@@ -1,9 +1,12 @@
 // File persistence for compressed tables.
 //
-// Layout ("CORF" format, version 2):
+// Layout ("CORF" format, version 3; version-2 files remain readable):
 //   header   : magic, version, schema (names + types), block count
 //   directory: per block, the byte offset, length, row count, and
 //              FNV-1a checksum of its payload
+//   stats    : per block, per column, the logical min and max value
+//              (v3+; lets a scan skip blocks whose range cannot satisfy
+//              a filter without touching the payload)
 //   payloads : the self-contained block byte streams (Block::Serialize)
 //
 // Blocks remain individually loadable: the directory pins down every
@@ -33,6 +36,13 @@ namespace corra {
 Status WriteCompressedTable(const CompressedTable& table,
                             const std::string& path);
 
+/// Logical value range of one column within one block. An empty block
+/// stores the empty range (min > max), which every filter prunes.
+struct ColumnStats {
+  int64_t min = 0;
+  int64_t max = 0;
+};
+
 /// Metadata obtained without loading any block payload.
 struct FileInfo {
   Schema schema;
@@ -43,6 +53,15 @@ struct FileInfo {
   std::vector<uint64_t> block_rows;
   /// FNV-1a 64 checksum of each payload; verified on read when asked.
   std::vector<uint64_t> block_checksums;
+  /// Per-block per-column min/max, block-major (num_blocks * num_fields
+  /// entries). Present in v3+ files; empty when reading a v2 file.
+  bool has_column_stats = false;
+  std::vector<ColumnStats> column_stats;
+
+  /// Stats of column `col` in block `block` (requires has_column_stats).
+  const ColumnStats& Stats(size_t block, size_t col) const {
+    return column_stats[block * schema.num_fields() + col];
+  }
 
   /// Total rows across all blocks.
   uint64_t TotalRows() const;

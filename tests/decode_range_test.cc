@@ -1,0 +1,291 @@
+// DecodeRange equivalence: for every scheme — vertical, horizontal, and
+// C3 — the ranged kernel must reproduce the per-row Get() oracle over
+// arbitrary (begin, count) windows, including the checkpoint-straddling
+// ranges Delta and RLE seek through and morsel-boundary-straddling
+// windows for the horizontal schemes' reference-morsel driver.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "core/c3/dfor.h"
+#include "core/c3/numerical.h"
+#include "core/c3/one_to_one.h"
+#include "core/diff_encoding.h"
+#include "core/hierarchical_encoding.h"
+#include "core/multi_ref_encoding.h"
+#include "encoding/bitpack.h"
+#include "encoding/delta.h"
+#include "encoding/dictionary.h"
+#include "encoding/for.h"
+#include "encoding/plain.h"
+#include "encoding/rle.h"
+#include "test_util.h"
+
+namespace corra {
+namespace {
+
+// Checks DecodeRange against the Get oracle over deterministic edge
+// windows (empty, full, single row, checkpoint/morsel straddles) plus
+// `random_windows` random ones.
+void ExpectDecodeRangeMatchesGet(const enc::EncodedColumn& column,
+                                 uint64_t seed, size_t random_windows = 32) {
+  const size_t n = column.size();
+  ASSERT_GT(n, 0u);
+  std::vector<std::pair<size_t, size_t>> windows = {
+      {0, 0},      // Empty.
+      {0, n},      // Full column.
+      {0, 1},      // First row.
+      {n - 1, 1},  // Last row.
+      {n / 2, 0},  // Empty mid-column.
+  };
+  // Straddle every power-of-two-ish boundary the schemes care about:
+  // Delta/RLE checkpoints (128), DFOR frames (1024), morsels (2048).
+  for (size_t boundary : {size_t{128}, size_t{1024}, enc::kMorselRows}) {
+    if (n > boundary + 2) {
+      windows.emplace_back(boundary - 1, 3);             // Across.
+      windows.emplace_back(boundary, 1);                 // At.
+      windows.emplace_back(boundary / 2, boundary + 1);  // Over several.
+    }
+  }
+  Rng rng(seed);
+  for (size_t w = 0; w < random_windows; ++w) {
+    const size_t begin =
+        static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(n) - 1));
+    const size_t count = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(n - begin)));
+    windows.emplace_back(begin, count);
+  }
+
+  for (const auto& [begin, count] : windows) {
+    std::vector<int64_t> decoded(count + 1, INT64_MIN);
+    column.DecodeRange(begin, count, decoded.data());
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(decoded[i], column.Get(begin + i))
+          << "window [" << begin << ", +" << count << ") at row "
+          << begin + i;
+    }
+    ASSERT_EQ(decoded[count], INT64_MIN)
+        << "DecodeRange wrote past its window";
+  }
+}
+
+constexpr size_t kRows = 5000;  // > 2 morsels, > 4 DFOR frames.
+
+TEST(DecodeRangeTest, VerticalSchemes) {
+  for (const test::Dist dist :
+       {test::Dist::kSmallRange, test::Dist::kLowCard, test::Dist::kSorted,
+        test::Dist::kRunHeavy, test::Dist::kWideRange}) {
+    SCOPED_TRACE(test::DistName(dist));
+    const auto values = test::MakeValues(dist, kRows, 17);
+
+    ExpectDecodeRangeMatchesGet(*enc::PlainColumn::Encode(values), 1);
+    ExpectDecodeRangeMatchesGet(*enc::ForColumn::Encode(values).value(), 2);
+    ExpectDecodeRangeMatchesGet(*enc::DictColumn::Encode(values).value(), 3);
+    ExpectDecodeRangeMatchesGet(*enc::DeltaColumn::Encode(values).value(),
+                                4);
+    ExpectDecodeRangeMatchesGet(*enc::RleColumn::Encode(values).value(), 5);
+    if (const auto bitpack = enc::BitPackColumn::Encode(values);
+        bitpack.ok()) {
+      ExpectDecodeRangeMatchesGet(*bitpack.value(), 6);
+    }
+  }
+}
+
+TEST(DecodeRangeTest, WideValuesExerciseStraddlingLoads) {
+  // Extreme magnitudes force bit widths > 57, the BitReader fallback.
+  const auto values = test::MakeValues(test::Dist::kExtremes, kRows, 23);
+  ExpectDecodeRangeMatchesGet(*enc::ForColumn::Encode(values).value(), 7);
+  ExpectDecodeRangeMatchesGet(*enc::DeltaColumn::Encode(values).value(), 8);
+}
+
+TEST(DecodeRangeTest, DeltaRleSortedGatherMatchesGet) {
+  // The checkpoint-seek-then-run Gather overrides (sorted positions).
+  const auto values = test::MakeValues(test::Dist::kRunHeavy, kRows, 29);
+  const auto delta = enc::DeltaColumn::Encode(values).value();
+  const auto rle = enc::RleColumn::Encode(values).value();
+  Rng rng(31);
+  for (const double selectivity : {0.001, 0.05, 0.5, 1.0}) {
+    std::vector<uint32_t> rows;
+    for (size_t i = 0; i < kRows; ++i) {
+      if (rng.NextDouble() < selectivity) {
+        rows.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    std::vector<int64_t> out(rows.size());
+    delta->Gather(rows, out.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(out[i], values[rows[i]]) << "delta row " << rows[i];
+    }
+    rle->Gather(rows, out.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(out[i], values[rows[i]]) << "rle row " << rows[i];
+    }
+  }
+}
+
+TEST(DecodeRangeTest, DeltaRleGatherReseeksOnBackwardPositions) {
+  // The Gather contract says sorted, but the seek logic must not return
+  // stale state for a caller that violates it.
+  const auto values = test::MakeValues(test::Dist::kRunHeavy, kRows, 53);
+  const auto delta = enc::DeltaColumn::Encode(values).value();
+  const auto rle = enc::RleColumn::Encode(values).value();
+  const std::vector<uint32_t> rows = {4000, 10, 4000, 3999, 0, 130, 129};
+  std::vector<int64_t> out(rows.size());
+  delta->Gather(rows, out.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], values[rows[i]]) << "delta row " << rows[i];
+  }
+  rle->Gather(rows, out.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], values[rows[i]]) << "rle row " << rows[i];
+  }
+}
+
+// Reference + correlated target, bound through a FOR reference column.
+struct BoundPair {
+  std::unique_ptr<enc::ForColumn> reference;
+  std::unique_ptr<enc::EncodedColumn> target;
+};
+
+template <typename Encoder>
+BoundPair MakeBoundPair(const std::vector<int64_t>& ref_values,
+                        const std::vector<int64_t>& target_values,
+                        Encoder&& encode) {
+  BoundPair pair;
+  pair.reference = enc::ForColumn::Encode(ref_values).value();
+  pair.target = encode(target_values, ref_values);
+  const enc::EncodedColumn* refs[] = {pair.reference.get()};
+  EXPECT_TRUE(pair.target->BindReferences(refs).ok());
+  return pair;
+}
+
+TEST(DecodeRangeTest, DiffAllModes) {
+  Rng rng(37);
+  std::vector<int64_t> reference(kRows);
+  std::vector<int64_t> positive(kRows);
+  std::vector<int64_t> negative(kRows);
+  std::vector<int64_t> spiky(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    reference[i] = rng.Uniform(8035, 10591);
+    positive[i] = reference[i] + rng.Uniform(1, 30);
+    negative[i] = reference[i] - rng.Uniform(1, 30);
+    // Mostly tight diffs with rare wide spikes -> window mode + outliers.
+    spiky[i] = reference[i] + rng.Uniform(1000, 1030) +
+               (rng.NextDouble() < 0.003 ? rng.Uniform(100000, 200000) : 0);
+  }
+
+  auto raw = MakeBoundPair(reference, positive, [](auto t, auto r) {
+    return DiffEncodedColumn::Encode(t, r, 0).value();
+  });
+  EXPECT_EQ(static_cast<const DiffEncodedColumn&>(*raw.target).mode(),
+            DiffMode::kRaw);
+  ExpectDecodeRangeMatchesGet(*raw.target, 11);
+
+  auto zigzag = MakeBoundPair(reference, negative, [](auto t, auto r) {
+    return DiffEncodedColumn::Encode(t, r, 0).value();
+  });
+  EXPECT_EQ(static_cast<const DiffEncodedColumn&>(*zigzag.target).mode(),
+            DiffMode::kZigZag);
+  ExpectDecodeRangeMatchesGet(*zigzag.target, 12);
+
+  DiffOptions options;
+  options.use_outliers = true;
+  auto window = MakeBoundPair(reference, spiky, [&](auto t, auto r) {
+    return DiffEncodedColumn::Encode(t, r, 0, options).value();
+  });
+  const auto& window_diff =
+      static_cast<const DiffEncodedColumn&>(*window.target);
+  EXPECT_EQ(window_diff.mode(), DiffMode::kWindow);
+  EXPECT_GT(window_diff.outliers().size(), 0u);
+  ExpectDecodeRangeMatchesGet(*window.target, 13);
+}
+
+TEST(DecodeRangeTest, HierarchicalAndC3Schemes) {
+  Rng rng(41);
+  std::vector<int64_t> city(kRows);
+  std::vector<int64_t> zip(kRows);
+  std::vector<int64_t> reference(kRows);
+  std::vector<int64_t> affine(kRows);
+  std::vector<int64_t> mapped(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    city[i] = rng.Uniform(0, 99);
+    zip[i] = 10000 + city[i] * 30 + rng.Uniform(0, 29);
+    reference[i] = rng.Uniform(8035, 10591);
+    affine[i] = 3 * reference[i] + rng.Uniform(-20, 20);
+    mapped[i] = city[i] * 7 + 1;
+    if (rng.NextDouble() < 0.01) {
+      mapped[i] += rng.Uniform(1, 5);  // 1-to-1 outliers.
+    }
+  }
+
+  auto hier = MakeBoundPair(city, zip, [](auto t, auto r) {
+    return HierarchicalColumn::Encode(t, r, 0).value();
+  });
+  ExpectDecodeRangeMatchesGet(*hier.target, 14);
+
+  auto dfor = MakeBoundPair(reference, affine, [](auto t, auto r) {
+    return c3::DforColumn::Encode(t, r, 0).value();
+  });
+  ExpectDecodeRangeMatchesGet(*dfor.target, 15);
+
+  auto numerical = MakeBoundPair(reference, affine, [](auto t, auto r) {
+    return c3::NumericalColumn::Encode(t, r, 0).value();
+  });
+  ExpectDecodeRangeMatchesGet(*numerical.target, 16);
+
+  auto one_to_one = MakeBoundPair(city, mapped, [](auto t, auto r) {
+    return c3::OneToOneColumn::Encode(t, r, 0).value();
+  });
+  EXPECT_GT(static_cast<const c3::OneToOneColumn&>(*one_to_one.target)
+                .outliers()
+                .size(),
+            0u);
+  ExpectDecodeRangeMatchesGet(*one_to_one.target, 17);
+}
+
+TEST(DecodeRangeTest, MultiRef) {
+  Rng rng(43);
+  std::vector<std::vector<int64_t>> columns(3, std::vector<int64_t>(kRows));
+  std::vector<int64_t> target(kRows);
+  for (size_t i = 0; i < kRows; ++i) {
+    columns[0][i] = rng.Uniform(100, 5000);
+    columns[1][i] = 250;
+    columns[2][i] = 175;
+    const double u = rng.NextDouble();
+    if (u < 0.01) {
+      target[i] = columns[0][i] + 100000;  // Outlier.
+    } else if (u < 0.5) {
+      target[i] = columns[0][i];
+    } else if (u < 0.8) {
+      target[i] = columns[0][i] + columns[1][i];
+    } else {
+      target[i] = columns[0][i] + columns[1][i] + columns[2][i];
+    }
+  }
+  FormulaTable table;
+  table.groups = {{0}, {1}, {2}};
+  table.formulas = {0b001, 0b011, 0b111};
+  table.code_bits = 2;
+  auto column = MultiRefColumn::Encode(
+                    target,
+                    [&](uint32_t col) -> std::span<const int64_t> {
+                      return columns[col];
+                    },
+                    table)
+                    .value();
+  std::vector<std::unique_ptr<enc::ForColumn>> refs;
+  std::vector<const enc::EncodedColumn*> bound;
+  for (const auto& values : columns) {
+    refs.push_back(enc::ForColumn::Encode(values).value());
+    bound.push_back(refs.back().get());
+  }
+  ASSERT_TRUE(column->BindReferences(bound).ok());
+  EXPECT_GT(column->outliers().size(), 0u);
+  ExpectDecodeRangeMatchesGet(*column, 18);
+}
+
+}  // namespace
+}  // namespace corra

@@ -13,6 +13,8 @@
 #include "common/buffer.h"
 #include "common/random.h"
 #include "core/corra_compressor.h"
+#include "query/aggregate.h"
+#include "test_util.h"
 
 namespace corra {
 namespace {
@@ -173,6 +175,42 @@ TEST_F(FileIoTest, DirectoryCarriesRowCountsAndChecksums) {
   // Distinct payloads hash to distinct checksums.
   EXPECT_NE(info.value().block_checksums[0],
             info.value().block_checksums[2]);
+}
+
+TEST_F(FileIoTest, V3StatsMatchAggregatePushdown) {
+  const CompressedTable table = MakeTable();
+  ASSERT_TRUE(WriteCompressedTable(table, path_).ok());
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok());
+  ASSERT_TRUE(info.value().has_column_stats);
+  ASSERT_EQ(info.value().column_stats.size(),
+            table.num_blocks() * table.schema().num_fields());
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+      const ColumnStats& stats = info.value().Stats(b, c);
+      EXPECT_EQ(stats.min, query::MinColumn(table.block(b).column(c)))
+          << "block " << b << " col " << c;
+      EXPECT_EQ(stats.max, query::MaxColumn(table.block(b).column(c)))
+          << "block " << b << " col " << c;
+      EXPECT_LE(stats.min, stats.max);
+    }
+  }
+}
+
+TEST_F(FileIoTest, V2FilesRemainReadableWithoutStats) {
+  const CompressedTable table = MakeTable();
+  test::WriteCompressedTableV2(table, path_);
+  auto info = ReadFileInfo(path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info.value().has_column_stats);
+  EXPECT_TRUE(info.value().column_stats.empty());
+  EXPECT_EQ(info.value().TotalRows(), 2500u);
+
+  // Payloads (and their checksums) are identical across versions.
+  auto reloaded = ReadCompressedTable(path_, /*verify=*/true);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded.value().DecodeColumn(0), ship_);
+  EXPECT_EQ(reloaded.value().DecodeColumn(1), receipt_);
 }
 
 TEST_F(FileIoTest, TruncatedHeaderRejected) {

@@ -19,6 +19,7 @@
 #include "serve/block_cache.h"
 #include "serve/table_reader.h"
 #include "storage/file_io.h"
+#include "test_util.h"
 
 namespace corra::serve {
 namespace {
@@ -568,6 +569,124 @@ TEST_F(ServeTest, InvalidRequestsAreRejected) {
   EXPECT_TRUE(service.Gather(*reader.value(), cols, beyond)
                   .status()
                   .IsOutOfRange());
+}
+
+// Block skipping via CORF v3 per-block stats: a sorted key column gives
+// every block a disjoint value range, so a narrow filter prunes all but
+// one block — and the result must be byte-identical to the same scan
+// without stats (a v2 file of the same table).
+class BlockSkipTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kRows = 4000;
+  static constexpr size_t kBlockRows = 1000;
+
+  void SetUp() override {
+    v3_path_ = ::testing::TempDir() + "corra_skip_v3.corf";
+    v2_path_ = ::testing::TempDir() + "corra_skip_v2.corf";
+    Rng rng(77);
+    key_.resize(kRows);
+    payload_.resize(kRows);
+    for (size_t i = 0; i < kRows; ++i) {
+      key_[i] = static_cast<int64_t>(i);  // Sorted: disjoint block ranges.
+      payload_[i] = rng.Uniform(100, 25000);
+    }
+    Table table;
+    ASSERT_TRUE(table.AddColumn(Column::Int64("key", key_)).ok());
+    ASSERT_TRUE(table.AddColumn(Column::Money("payload", payload_)).ok());
+    CompressionPlan plan = CompressionPlan::AllAuto(2);
+    plan.block_rows = kBlockRows;
+    auto compressed = CorraCompressor::Compress(table, plan);
+    ASSERT_TRUE(compressed.ok());
+    ASSERT_EQ(compressed.value().num_blocks(), 4u);
+    ASSERT_TRUE(WriteCompressedTable(compressed.value(), v3_path_).ok());
+    test::WriteCompressedTableV2(compressed.value(), v2_path_);
+  }
+
+  void TearDown() override {
+    std::remove(v3_path_.c_str());
+    std::remove(v2_path_.c_str());
+  }
+
+  std::string v3_path_, v2_path_;
+  std::vector<int64_t> key_, payload_;
+};
+
+TEST_F(BlockSkipTest, SkippedScanIsByteIdenticalToUnskipped) {
+  ScanService service(ScanService::Options{.num_threads = 2});
+
+  ScanRequest request;
+  request.filter_column = 0;
+  request.filter_lo = 1200;
+  request.filter_hi = 1800;  // Entirely inside block 1's [1000, 2000).
+  request.project_columns = {0, 1};
+  request.return_positions = true;
+  request.aggregate = AggregateOp::kSum;
+  request.aggregate_column = 1;
+
+  auto v3_cache = std::make_shared<BlockCache>();
+  auto v3_reader = TableReader::Open(v3_path_, v3_cache);
+  ASSERT_TRUE(v3_reader.ok());
+  ASSERT_TRUE(v3_reader.value()->info().has_column_stats);
+  auto skipped = service.Execute(*v3_reader.value(), request);
+  ASSERT_TRUE(skipped.ok()) << skipped.status().ToString();
+
+  auto v2_cache = std::make_shared<BlockCache>();
+  auto v2_reader = TableReader::Open(v2_path_, v2_cache);
+  ASSERT_TRUE(v2_reader.ok());
+  ASSERT_FALSE(v2_reader.value()->info().has_column_stats);
+  auto unskipped = service.Execute(*v2_reader.value(), request);
+  ASSERT_TRUE(unskipped.ok()) << unskipped.status().ToString();
+
+  // Identical results in every value field...
+  EXPECT_EQ(skipped.value().rows_scanned, unskipped.value().rows_scanned);
+  EXPECT_EQ(skipped.value().rows_matched, unskipped.value().rows_matched);
+  EXPECT_EQ(skipped.value().positions, unskipped.value().positions);
+  ASSERT_EQ(skipped.value().columns.size(), unskipped.value().columns.size());
+  for (size_t c = 0; c < skipped.value().columns.size(); ++c) {
+    EXPECT_EQ(skipped.value().columns[c], unskipped.value().columns[c]);
+  }
+  EXPECT_EQ(skipped.value().agg_sum, unskipped.value().agg_sum);
+
+  // ...and both match the raw-vector oracle.
+  EXPECT_EQ(skipped.value().rows_matched, 601u);
+  ASSERT_EQ(skipped.value().positions.size(), 601u);
+  int64_t expected_sum = 0;
+  for (size_t i = 0; i < 601; ++i) {
+    EXPECT_EQ(skipped.value().positions[i], 1200 + i);
+    EXPECT_EQ(skipped.value().columns[0][i], key_[1200 + i]);
+    EXPECT_EQ(skipped.value().columns[1][i], payload_[1200 + i]);
+    expected_sum += payload_[1200 + i];
+  }
+  EXPECT_EQ(skipped.value().agg_sum, expected_sum);
+
+  // The stats reader pruned 3 of 4 blocks and never fetched them.
+  EXPECT_EQ(skipped.value().blocks_skipped, 3u);
+  EXPECT_EQ(v3_cache->GetStats().misses, 1u);
+  EXPECT_EQ(unskipped.value().blocks_skipped, 0u);
+  EXPECT_EQ(v2_cache->GetStats().misses, 4u);
+}
+
+TEST_F(BlockSkipTest, FullyDisjointFilterTouchesNoBlock) {
+  ScanService service(ScanService::Options{.num_threads = 0});
+  auto cache = std::make_shared<BlockCache>();
+  auto reader = TableReader::Open(v3_path_, cache);
+  ASSERT_TRUE(reader.ok());
+
+  ScanRequest request;
+  request.filter_column = 0;
+  request.filter_lo = 100000;
+  request.filter_hi = 200000;
+  request.project_columns = {1};
+  request.return_positions = true;
+  auto result = service.Execute(*reader.value(), request);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().blocks_skipped, 4u);
+  EXPECT_EQ(result.value().rows_scanned, kRows);
+  EXPECT_EQ(result.value().rows_matched, 0u);
+  EXPECT_TRUE(result.value().positions.empty());
+  ASSERT_EQ(result.value().columns.size(), 1u);
+  EXPECT_TRUE(result.value().columns[0].empty());
+  EXPECT_EQ(cache->GetStats().misses, 0u);  // Nothing ever read.
 }
 
 TEST_F(ServeTest, TwoReadersShareOneCacheWithoutCollisions) {

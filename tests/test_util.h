@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "common/random.h"
 #include "encoding/encoded_column.h"
 #include "storage/serde.h"
+#include "storage/table.h"
 
 namespace corra::test {
 
@@ -143,6 +145,59 @@ inline void ExpectColumnMatches(const enc::EncodedColumn& column,
   for (size_t i = 0; i < rows.size(); ++i) {
     ASSERT_EQ(gathered[i], expected[rows[i]]) << "Gather at " << rows[i];
   }
+}
+
+/// Writes `table` in the legacy CORF v2 layout (directory without the
+/// v3 per-block column stats section) — the backward-compatibility
+/// fixture for readers, which must treat such files as stats-less.
+inline void WriteCompressedTableV2(const CompressedTable& table,
+                                   const std::string& path) {
+  auto fnv1a64 = [](const std::vector<uint8_t>& bytes) {
+    uint64_t hash = 0xcbf29ce484222325ull;
+    for (uint8_t b : bytes) {
+      hash ^= b;
+      hash *= 0x100000001b3ull;
+    }
+    return hash;
+  };
+  std::vector<std::vector<uint8_t>> payloads;
+  for (size_t b = 0; b < table.num_blocks(); ++b) {
+    payloads.push_back(table.block(b).Serialize());
+  }
+  auto build_header = [&](const std::vector<uint64_t>& offsets) {
+    BufferWriter writer;
+    writer.Write<uint32_t>(0x46524F43);  // "CORF"
+    writer.Write<uint8_t>(2);            // Version 2: no stats section.
+    writer.Write<uint32_t>(static_cast<uint32_t>(table.schema().num_fields()));
+    for (const Field& field : table.schema().fields()) {
+      writer.WriteString(field.name);
+      writer.Write<uint8_t>(static_cast<uint8_t>(field.type));
+    }
+    writer.Write<uint32_t>(static_cast<uint32_t>(payloads.size()));
+    for (size_t b = 0; b < payloads.size(); ++b) {
+      writer.Write<uint64_t>(offsets[b]);
+      writer.Write<uint64_t>(payloads[b].size());
+      writer.Write<uint64_t>(table.block(b).rows());
+      writer.Write<uint64_t>(fnv1a64(payloads[b]));
+    }
+    return std::move(writer).Finish();
+  };
+  std::vector<uint64_t> offsets(payloads.size(), 0);
+  uint64_t cursor = build_header(offsets).size();
+  for (size_t b = 0; b < payloads.size(); ++b) {
+    offsets[b] = cursor;
+    cursor += payloads[b].size();
+  }
+  const std::vector<uint8_t> header = build_header(offsets);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  ASSERT_EQ(std::fwrite(header.data(), 1, header.size(), file),
+            header.size());
+  for (const auto& payload : payloads) {
+    ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), file),
+              payload.size());
+  }
+  ASSERT_EQ(std::fclose(file), 0);
 }
 
 /// Serializes `column` and reads it back through the scheme dispatcher.
