@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on per-kernel perf regressions.
+
+Usage:
+    compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+
+Both files are JSON arrays of {name, rows, ns_per_row, gb_per_s} objects
+as emitted by any bench binary's --json flag (see bench_util.h). The
+script matches kernels by name and exits non-zero when any kernel's
+ns_per_row regressed by more than --threshold (a fraction; the default
+0.15 fails on >15% regression).
+
+Kernels present only in the candidate are listed as new; kernels present
+only in the baseline are warned about but do not fail the run (use
+--fail-missing to make dropped kernels fatal). The default threshold is
+meant for same-machine comparisons; CI comparing against a baseline
+measured on different hardware should pass a wider --threshold.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON array of results")
+    results = {}
+    for entry in data:
+        name = entry.get("name")
+        ns = entry.get("ns_per_row")
+        if not isinstance(name, str) or not isinstance(ns, (int, float)):
+            raise ValueError(f"{path}: bad entry {entry!r}")
+        results[name] = float(ns)
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail on per-kernel ns_per_row regressions between "
+        "two bench JSON files.")
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="allowed fractional ns_per_row regression per kernel "
+        "(default 0.15 = 15%%)")
+    parser.add_argument(
+        "--fail-missing", action="store_true",
+        help="also fail when a baseline kernel is missing from the "
+        "candidate")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+
+    regressions = []
+    missing = sorted(set(baseline) - set(candidate))
+    new = sorted(set(candidate) - set(baseline))
+
+    width = max((len(n) for n in baseline), default=4)
+    print(f"{'kernel':<{width}}  {'base ns':>10}  {'cand ns':>10}  "
+          f"{'delta':>8}")
+    for name in sorted(set(baseline) & set(candidate)):
+        base = baseline[name]
+        cand = candidate[name]
+        delta = (cand - base) / base if base > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, base, cand, delta))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base:>10.4f}  {cand:>10.4f}  "
+              f"{delta:>+7.1%}{flag}")
+
+    for name in new:
+        print(f"{name:<{width}}  {'-':>10}  {candidate[name]:>10.4f}  "
+              f"   (new)")
+    for name in missing:
+        print(f"{name:<{width}}  {baseline[name]:>10.4f}  {'-':>10}  "
+              f"   (missing from candidate)", file=sys.stderr)
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
+              f"{args.threshold:.0%} in ns_per_row:", file=sys.stderr)
+        for name, base, cand, delta in regressions:
+            print(f"  {name}: {base:.4f} -> {cand:.4f} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    if missing and args.fail_missing:
+        print(f"\nFAIL: {len(missing)} baseline kernel(s) missing from "
+              f"candidate", file=sys.stderr)
+        return 1
+    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
 #include "common/bit_stream.h"
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra {
 
@@ -51,26 +52,10 @@ void BitReader::DecodeAll(uint64_t* out) const {
 
 void BitReader::DecodeRange(size_t begin, size_t count,
                             uint64_t* out) const {
-  if (bit_width_ == 0) {
-    std::memset(out, 0, count * sizeof(uint64_t));
-    return;
-  }
-  if (bit_width_ > 57) {
-    // Rare wide case: fall back to the straddle-aware random access.
-    for (size_t i = 0; i < count; ++i) {
-      out[i] = Get(begin + i);
-    }
-    return;
-  }
-  // Sequential decode: keep the running bit position instead of recomputing
-  // byte offsets per element. Widths <= 57 always fit one 64-bit load.
-  const uint64_t m = mask();
-  size_t bit_pos = begin * static_cast<size_t>(bit_width_);
-  for (size_t i = 0; i < count; ++i, bit_pos += bit_width_) {
-    uint64_t word;
-    std::memcpy(&word, data_ + (bit_pos >> 3), sizeof(word));
-    out[i] = (word >> (bit_pos & 7)) & m;
-  }
+  // Thin wrapper over the SIMD kernel layer: per-bit-width specialized
+  // 64-value unpackers (AVX2 under runtime dispatch, unrolled scalar
+  // otherwise) for widths <= 32, sequential-cursor decode above that.
+  simd::UnpackRange(data_, bit_width_, begin, count, out);
 }
 
 }  // namespace corra

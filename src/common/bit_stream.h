@@ -50,8 +50,10 @@ class BitReader {
  public:
   BitReader() = default;
 
-  /// `data` must stay alive while the reader is used and must include the
-  /// 8 padding bytes appended by BitWriter::Finish.
+  /// `data` must stay alive while the reader is used and must include
+  /// the bit_util::kDecodePadBytes of readable slack that
+  /// BitWriter::Finish appends (the SIMD unpack kernels behind
+  /// DecodeRange issue full 32-byte loads near the payload end).
   BitReader(const uint8_t* data, int bit_width, size_t count)
       : data_(data), bit_width_(bit_width), count_(count) {}
 
@@ -80,10 +82,11 @@ class BitReader {
   void DecodeAll(uint64_t* out) const;
 
   /// Decodes the `count` values starting at position `begin` into `out`
-  /// (must have room for `count` values; begin + count <= size()). Like
-  /// DecodeAll, this keeps a running bit cursor instead of recomputing a
-  /// byte offset per element — the ranged building block of the morsel
-  /// decode pipeline.
+  /// (must have room for `count` values; begin + count <= size()). The
+  /// ranged building block of the morsel decode pipeline: a thin wrapper
+  /// over the SIMD kernel layer's per-bit-width unpackers (see
+  /// common/simd/simd.h). `data` must carry bit_util::kDecodePadBytes of
+  /// readable slack, as BitWriter::Finish and every Deserialize ensure.
   void DecodeRange(size_t begin, size_t count, uint64_t* out) const;
 
   size_t size() const { return count_; }

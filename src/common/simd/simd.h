@@ -1,0 +1,129 @@
+// The SIMD kernel layer: the branchless building blocks every morsel of
+// the batch decode pipeline bottoms out in.
+//
+// Three kernel families, each with an AVX2 implementation selected by
+// runtime CPU dispatch and an unrolled scalar fallback:
+//
+//   * Unpack kernels  — per-bit-width specialized bit-unpackers (widths
+//     0..32 via a generated kernel table processing 64 values per call;
+//     a generic sequential-cursor path covers 33..64). BitReader::
+//     DecodeRange is a thin wrapper over UnpackRange, so BitPack, FOR,
+//     Dict, Delta, DFOR, Diff and every other bit-packed scheme inherit
+//     the same kernels.
+//   * Predicate kernels — range compares producing selection-vector
+//     positions directly (compare -> movemask -> permutation-table
+//     left-pack), used by query/filter.cc in value space and — for
+//     FOR/Dict — in *code* space with the predicate rebased, so
+//     non-matching morsels are never reconstructed.
+//   * Aggregate kernels — 4-lane sum/min/max folds with one horizontal
+//     reduce per call, used by query/aggregate.cc.
+//
+// Dispatch: the first call probes the CPU once. The environment variable
+// CORRA_FORCE_SCALAR (any value but "0") forces the scalar table at run
+// time; building with -DCORRA_FORCE_SCALAR=ON compiles the AVX2 table
+// out entirely. Every kernel also has a *Scalar twin so tests can prove
+// the two paths agree bit-for-bit in a single process.
+//
+// Alignment contract: packed buffers must carry bit_util::kDecodePadBytes
+// (32) readable bytes past the payload — BitWriter::Finish and every
+// Deserialize allocate them — because the AVX2 unpackers issue full
+// 32-byte loads whose tails may cross the last packed byte.
+
+#ifndef CORRA_COMMON_SIMD_SIMD_H_
+#define CORRA_COMMON_SIMD_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace corra::simd {
+
+/// Kernel backend picked by runtime dispatch.
+enum class Backend {
+  kScalar,
+  kAvx2,
+};
+
+/// The backend the dispatched kernels run on (resolved once per process).
+Backend ActiveBackend();
+
+/// Human-readable name of the active backend ("scalar" / "avx2").
+const char* BackendName();
+
+// --- Unpack kernels ---------------------------------------------------------
+
+/// Unpacks `count` fixed-width values starting at value index `begin`
+/// from the bit-packed stream `data` (width 0..64, values laid out back
+/// to back from bit 0, as written by BitWriter). `data` must include
+/// bit_util::kDecodePadBytes of readable slack past the payload.
+void UnpackRange(const uint8_t* data, int bit_width, size_t begin,
+                 size_t count, uint64_t* out);
+
+/// Forced-scalar twin of UnpackRange (equivalence tests, diagnostics).
+void UnpackRangeScalar(const uint8_t* data, int bit_width, size_t begin,
+                       size_t count, uint64_t* out);
+
+// --- Predicate kernels ------------------------------------------------------
+
+/// Writes the row ids `row_base + i` of every `values[i]` in [lo, hi]
+/// to `out_rows` (ascending) and returns how many matched. `out_rows`
+/// must hold `count` entries; the kernel never writes past the slot of
+/// the last processed element's potential match.
+size_t FilterInRange(const int64_t* values, size_t count, int64_t lo,
+                     int64_t hi, uint32_t row_base, uint32_t* out_rows);
+size_t FilterInRangeScalar(const int64_t* values, size_t count, int64_t lo,
+                           int64_t hi, uint32_t row_base,
+                           uint32_t* out_rows);
+
+/// Unsigned variant for code-space predicates (FOR offsets, Dict codes):
+/// matches codes[i] in [lo, hi] with full-range uint64 compares.
+size_t FilterInRangeU64(const uint64_t* codes, size_t count, uint64_t lo,
+                        uint64_t hi, uint32_t row_base, uint32_t* out_rows);
+size_t FilterInRangeU64Scalar(const uint64_t* codes, size_t count,
+                              uint64_t lo, uint64_t hi, uint32_t row_base,
+                              uint32_t* out_rows);
+
+// --- Aggregate kernels ------------------------------------------------------
+
+/// Sum with wrap-around (two's complement: also the correct int64 sum).
+uint64_t SumU64(const uint64_t* values, size_t count);
+uint64_t SumU64Scalar(const uint64_t* values, size_t count);
+
+/// Min and max of a non-empty span in one pass (count >= 1).
+void MinMaxI64(const int64_t* values, size_t count, int64_t* min,
+               int64_t* max);
+void MinMaxI64Scalar(const int64_t* values, size_t count, int64_t* min,
+                     int64_t* max);
+void MinMaxU64(const uint64_t* values, size_t count, uint64_t* min,
+               uint64_t* max);
+void MinMaxU64Scalar(const uint64_t* values, size_t count, uint64_t* min,
+                     uint64_t* max);
+
+// --- Value-reconstruction kernels -------------------------------------------
+
+/// out[i] = dict[codes[i]] — the per-morsel dictionary gather. Codes
+/// must be < the dictionary size.
+void TranslateCodes(const int64_t* dict, const uint64_t* codes, size_t count,
+                    int64_t* out);
+void TranslateCodesScalar(const int64_t* dict, const uint64_t* codes,
+                          size_t count, int64_t* out);
+
+/// values[i] += base in place — the FOR rebase pass.
+void AddConst(int64_t* values, size_t count, int64_t base);
+void AddConstScalar(int64_t* values, size_t count, int64_t base);
+
+/// out[i] = ref[i] + base + (int64)deltas[i] — the Diff (raw/window) and
+/// DFOR reconstruction: reference morsel plus unpacked diff codes.
+void AddRefAndBase(const int64_t* ref, const uint64_t* deltas, int64_t base,
+                   size_t count, int64_t* out);
+void AddRefAndBaseScalar(const int64_t* ref, const uint64_t* deltas,
+                         int64_t base, size_t count, int64_t* out);
+
+/// out[i] = ref[i] + ZigZagDecode(zigzag[i]) — the Diff zig-zag mode.
+void AddRefZigZag(const int64_t* ref, const uint64_t* zigzag, size_t count,
+                  int64_t* out);
+void AddRefZigZagScalar(const int64_t* ref, const uint64_t* zigzag,
+                        size_t count, int64_t* out);
+
+}  // namespace corra::simd
+
+#endif  // CORRA_COMMON_SIMD_SIMD_H_

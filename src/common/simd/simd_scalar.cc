@@ -1,0 +1,248 @@
+// Scalar backend of the SIMD kernel layer, plus the width-generic unpack
+// driver shared by every backend.
+//
+// The 64-value unpack kernels are generated per bit width from one
+// template: the block's 8*W payload bytes are loaded into whole words
+// once, then all 64 extractions run with compile-time word indices and
+// shifts (the classic fully unrolled "fastunpack" shape, which the
+// compiler schedules branch-free and partially vectorizes). This is the
+// fallback the AVX2 table must agree with bit-for-bit — and the floor
+// the dispatcher guarantees on machines without AVX2.
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "common/simd/kernel_table.h"
+
+namespace corra::simd::internal {
+
+namespace {
+
+constexpr uint64_t WidthMask(int width) {
+  return width >= 64 ? ~uint64_t{0}
+                     : (uint64_t{1} << width) - 1;
+}
+
+// One compile-time extraction: value J of a 64-value block of width W,
+// given the block's payload preloaded into `words` (W whole words).
+template <int W, size_t J>
+inline uint64_t ExtractAt(const uint64_t* words) {
+  constexpr size_t bit = static_cast<size_t>(W) * J;
+  constexpr size_t word = bit >> 6;
+  constexpr int shift = static_cast<int>(bit & 63);
+  uint64_t v = words[word] >> shift;
+  if constexpr (shift + W > 64) {
+    v |= words[word + 1] << (64 - shift);
+  }
+  return v & WidthMask(W);
+}
+
+template <int W>
+void Unpack64Scalar(const uint8_t* in, uint64_t* out) {
+  if constexpr (W == 0) {
+    std::memset(out, 0, kUnpackBlock * sizeof(uint64_t));
+  } else {
+    uint64_t words[W];
+    std::memcpy(words, in, sizeof(words));  // Exactly the block's 8*W bytes.
+    [&]<size_t... J>(std::index_sequence<J...>) {
+      ((out[J] = ExtractAt<W, J>(words)), ...);
+    }(std::make_index_sequence<kUnpackBlock>{});
+  }
+}
+
+constexpr auto kScalarUnpack =
+    []<size_t... W>(std::index_sequence<W...>) {
+      return std::array<Unpack64Fn, kMaxKernelWidth + 1>{
+          &Unpack64Scalar<static_cast<int>(W)>...};
+    }(std::make_index_sequence<kMaxKernelWidth + 1>{});
+
+// Branchless staged select: out_rows[n] = row; n += matched. A matching
+// row costs a store instead of a mispredicted branch.
+size_t FilterI64Scalar(const int64_t* values, size_t count, int64_t lo,
+                       int64_t hi, uint32_t row_base, uint32_t* out_rows) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    out_rows[n] = row_base + static_cast<uint32_t>(i);
+    n += static_cast<size_t>(values[i] >= lo && values[i] <= hi);
+  }
+  return n;
+}
+
+size_t FilterU64Scalar(const uint64_t* codes, size_t count, uint64_t lo,
+                       uint64_t hi, uint32_t row_base, uint32_t* out_rows) {
+  size_t n = 0;
+  for (size_t i = 0; i < count; ++i) {
+    out_rows[n] = row_base + static_cast<uint32_t>(i);
+    n += static_cast<size_t>(codes[i] >= lo && codes[i] <= hi);
+  }
+  return n;
+}
+
+uint64_t SumU64ScalarImpl(const uint64_t* values, size_t count) {
+  // Four independent accumulators break the loop-carried dependency so
+  // the adds pipeline; the compiler turns this into SSE2 lanes.
+  uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    s0 += values[i];
+    s1 += values[i + 1];
+    s2 += values[i + 2];
+    s3 += values[i + 3];
+  }
+  for (; i < count; ++i) {
+    s0 += values[i];
+  }
+  return s0 + s1 + s2 + s3;
+}
+
+void MinMaxI64ScalarImpl(const int64_t* values, size_t count, int64_t* min,
+                         int64_t* max) {
+  int64_t lo = values[0];
+  int64_t hi = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    lo = values[i] < lo ? values[i] : lo;
+    hi = values[i] > hi ? values[i] : hi;
+  }
+  *min = lo;
+  *max = hi;
+}
+
+void MinMaxU64ScalarImpl(const uint64_t* values, size_t count, uint64_t* min,
+                         uint64_t* max) {
+  uint64_t lo = values[0];
+  uint64_t hi = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    lo = values[i] < lo ? values[i] : lo;
+    hi = values[i] > hi ? values[i] : hi;
+  }
+  *min = lo;
+  *max = hi;
+}
+
+void TranslateCodesScalarImpl(const int64_t* dict, const uint64_t* codes,
+                              size_t count, int64_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = dict[codes[i]];
+  }
+}
+
+void AddConstScalarImpl(int64_t* values, size_t count, int64_t base) {
+  for (size_t i = 0; i < count; ++i) {
+    values[i] = static_cast<int64_t>(static_cast<uint64_t>(values[i]) +
+                                     static_cast<uint64_t>(base));
+  }
+}
+
+void AddRefBaseScalarImpl(const int64_t* ref, const uint64_t* deltas,
+                          int64_t base, size_t count, int64_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref[i]) +
+                                  static_cast<uint64_t>(base) + deltas[i]);
+  }
+}
+
+void AddRefZigZagScalarImpl(const int64_t* ref, const uint64_t* zigzag,
+                            size_t count, int64_t* out) {
+  for (size_t i = 0; i < count; ++i) {
+    // ZigZagDecode inlined so this file has no bit_util dependency.
+    const uint64_t z = zigzag[i];
+    const uint64_t delta = (z >> 1) ^ (~(z & 1) + 1);
+    out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref[i]) + delta);
+  }
+}
+
+constexpr KernelTable MakeScalarTable() {
+  KernelTable table{};
+  for (int w = 0; w <= kMaxKernelWidth; ++w) {
+    table.unpack64[w] = kScalarUnpack[static_cast<size_t>(w)];
+  }
+  table.filter_i64 = &FilterI64Scalar;
+  table.filter_u64 = &FilterU64Scalar;
+  table.sum_u64 = &SumU64ScalarImpl;
+  table.minmax_i64 = &MinMaxI64ScalarImpl;
+  table.minmax_u64 = &MinMaxU64ScalarImpl;
+  table.translate_codes = &TranslateCodesScalarImpl;
+  table.add_const = &AddConstScalarImpl;
+  table.add_ref_base = &AddRefBaseScalarImpl;
+  table.add_ref_zigzag = &AddRefZigZagScalarImpl;
+  table.name = "scalar";
+  return table;
+}
+
+constexpr KernelTable kScalarTable = MakeScalarTable();
+
+// Sequential-cursor decode for widths the kernel table does not cover
+// (33..64) and for the sub-block head/tail of narrow widths.
+void UnpackGeneric(const uint8_t* data, int bit_width, size_t begin,
+                   size_t count, uint64_t* out) {
+  const uint64_t mask = WidthMask(bit_width);
+  size_t bit_pos = begin * static_cast<size_t>(bit_width);
+  if (bit_width > 57) {
+    // A value can straddle 9 bytes; splice the tail from the next word.
+    for (size_t i = 0; i < count; ++i, bit_pos += bit_width) {
+      const size_t byte = bit_pos >> 3;
+      const int shift = static_cast<int>(bit_pos & 7);
+      uint64_t word;
+      std::memcpy(&word, data + byte, sizeof(word));
+      uint64_t v = word >> shift;
+      if (shift + bit_width > 64) {
+        uint64_t next;
+        std::memcpy(&next, data + byte + 8, sizeof(next));
+        v |= next << (64 - shift);
+      }
+      out[i] = v & mask;
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i, bit_pos += bit_width) {
+    uint64_t word;
+    std::memcpy(&word, data + (bit_pos >> 3), sizeof(word));
+    out[i] = (word >> (bit_pos & 7)) & mask;
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+void UnpackRangeWith(const KernelTable& table, const uint8_t* data,
+                     int bit_width, size_t begin, size_t count,
+                     uint64_t* out) {
+  if (count == 0) {
+    return;
+  }
+  if (bit_width == 0) {
+    std::memset(out, 0, count * sizeof(uint64_t));
+    return;
+  }
+  if (bit_width > kMaxKernelWidth) {
+    UnpackGeneric(data, bit_width, begin, count, out);
+    return;
+  }
+  // Head: decode up to the next 64-value boundary, where the stream is
+  // byte-aligned and the specialized kernels take over.
+  const size_t misalign = begin % kUnpackBlock;
+  if (misalign != 0) {
+    const size_t head = kUnpackBlock - misalign < count
+                            ? kUnpackBlock - misalign
+                            : count;
+    UnpackGeneric(data, bit_width, begin, head, out);
+    begin += head;
+    count -= head;
+    out += head;
+  }
+  const Unpack64Fn kernel = table.unpack64[bit_width];
+  while (count >= kUnpackBlock) {
+    // begin is a multiple of 64, so begin * width is a whole byte count.
+    kernel(data + ((begin * static_cast<size_t>(bit_width)) >> 3), out);
+    begin += kUnpackBlock;
+    count -= kUnpackBlock;
+    out += kUnpackBlock;
+  }
+  if (count > 0) {
+    UnpackGeneric(data, bit_width, begin, count, out);
+  }
+}
+
+}  // namespace corra::simd::internal

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::c3 {
 
@@ -99,7 +100,7 @@ Result<std::unique_ptr<DforColumn>> DforColumn::Encode(
                  widths[f]);
     }
   }
-  payload.resize((cursor + 7) / 8 + 8, 0);
+  payload.resize((cursor + 7) / 8 + bit_util::kDecodePadBytes, 0);
   return std::unique_ptr<DforColumn>(
       new DforColumn(ref_index, std::move(bases), std::move(widths),
                      std::move(starts), std::move(payload), target.size()));
@@ -171,10 +172,11 @@ Result<std::unique_ptr<DforColumn>> DforColumn::Deserialize(
         std::min(kFrameSize, static_cast<size_t>(count) - f * kFrameSize);
     expected_bits += rows_in_frame * widths[f];
   }
-  if (payload.size() < (expected_bits + 7) / 8 + 8) {
+  if (payload.size() < (expected_bits + 7) / 8) {
     return Status::Corruption("DFOR payload truncated");
   }
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize((expected_bits + 7) / 8 + bit_util::kDecodePadBytes, 0);
   return std::unique_ptr<DforColumn>(
       new DforColumn(ref_index, std::move(bases), std::move(widths),
                      std::move(starts), std::move(bytes), count));
@@ -223,21 +225,25 @@ void DforColumn::DecodeRangeWithReference(size_t row_begin, size_t count,
                                           const int64_t* ref_values,
                                           int64_t* out) const {
   // Frame-at-a-time: hoist the frame's base, width, and bit start out of
-  // the row loop, then run a sequential-cursor unpack inside the frame.
+  // the row loop, then hand the in-frame segment to the SIMD kernel
+  // layer. kFrameSize rows x width bits is a whole byte count, so every
+  // frame's payload starts byte-aligned and unpacks as its own packed
+  // stream; the unpacked offsets are combined with the reference morsel
+  // in one vectorized add pass.
+  static_assert(kFrameSize % 8 == 0,
+                "frame payloads must start byte-aligned");
+  uint64_t offsets[enc::kMorselRows];
   size_t i = 0;
   while (i < count) {
     const size_t row = row_begin + i;
     const size_t f = row / kFrameSize;
     const size_t frame_end = (f + 1) * kFrameSize;
-    const size_t len = std::min<size_t>(count - i, frame_end - row);
-    const int width = frame_widths_[f];
-    const int64_t base = frame_bases_[f];
-    uint64_t bit_pos = frame_bit_starts_[f] + (row % kFrameSize) * width;
-    for (size_t j = 0; j < len; ++j, bit_pos += width) {
-      out[i + j] =
-          ref_values[i + j] + base +
-          static_cast<int64_t>(ReadBits(payload_.data(), bit_pos, width));
-    }
+    size_t len = std::min<size_t>(count - i, frame_end - row);
+    len = std::min(len, enc::kMorselRows);  // Callers pass morsels; be safe.
+    simd::UnpackRange(payload_.data() + (frame_bit_starts_[f] >> 3),
+                      frame_widths_[f], row % kFrameSize, len, offsets);
+    simd::AddRefAndBase(ref_values + i, offsets, frame_bases_[f], len,
+                        out + i);
     i += len;
   }
 }

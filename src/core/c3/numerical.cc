@@ -131,10 +131,11 @@ Result<std::unique_ptr<NumericalColumn>> NumericalColumn::Deserialize(
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, width)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, width)) {
     return Status::Corruption("numerical payload truncated");
   }
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   return std::unique_ptr<NumericalColumn>(new NumericalColumn(
       ref_index, slope, base, std::move(bytes), width, count));
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 #include "core/ref_dispatch.h"
 
 namespace corra {
@@ -184,7 +185,7 @@ Result<std::unique_ptr<DiffEncodedColumn>> DiffEncodedColumn::Deserialize(
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, width)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, width)) {
     return Status::Corruption("diff payload truncated");
   }
   CORRA_ASSIGN_OR_RETURN(OutlierStore outliers,
@@ -193,6 +194,7 @@ Result<std::unique_ptr<DiffEncodedColumn>> DiffEncodedColumn::Deserialize(
     return Status::Corruption("diff outlier row out of range");
   }
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   return std::unique_ptr<DiffEncodedColumn>(new DiffEncodedColumn(
       ref_index, static_cast<DiffMode>(mode_byte), base, std::move(bytes),
       width, count, std::move(outliers)));
@@ -256,33 +258,28 @@ void DiffEncodedColumn::DecodeRangeWithReference(size_t row_begin,
                                                  size_t count,
                                                  const int64_t* ref_values,
                                                  int64_t* out) const {
-  // Unpack the diff morsel in one sequential pass, then combine with the
-  // reference morsel in a mode-specialized loop (the mode switch is
-  // hoisted out of the row loop, unlike the per-row DiffAt path).
-  packed_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
-  switch (mode_) {
-    case DiffMode::kRaw:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref_values[i]) +
-                                      static_cast<uint64_t>(out[i]));
-      }
-      break;
-    case DiffMode::kZigZag:
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = static_cast<int64_t>(
-            static_cast<uint64_t>(ref_values[i]) +
-            static_cast<uint64_t>(
-                bit_util::ZigZagDecode(static_cast<uint64_t>(out[i]))));
-      }
-      break;
-    case DiffMode::kWindow: {
-      const uint64_t base = static_cast<uint64_t>(base_);
-      for (size_t i = 0; i < count; ++i) {
-        out[i] = static_cast<int64_t>(static_cast<uint64_t>(ref_values[i]) +
-                                      base + static_cast<uint64_t>(out[i]));
-      }
-      break;
+  // Unpack the diff codes of each morsel-sized chunk into a stack
+  // buffer, then combine with the reference morsel in one
+  // mode-specialized SIMD pass (the mode switch is hoisted out of the
+  // row loop, unlike the per-row DiffAt path).
+  uint64_t codes[enc::kMorselRows];
+  size_t done = 0;
+  while (done < count) {
+    const size_t len = std::min(count - done, enc::kMorselRows);
+    packed_.DecodeRange(row_begin + done, len, codes);
+    switch (mode_) {
+      case DiffMode::kRaw:
+        simd::AddRefAndBase(ref_values + done, codes, 0, len, out + done);
+        break;
+      case DiffMode::kZigZag:
+        simd::AddRefZigZag(ref_values + done, codes, len, out + done);
+        break;
+      case DiffMode::kWindow:
+        simd::AddRefAndBase(ref_values + done, codes, base_, len,
+                            out + done);
+        break;
     }
+    done += len;
   }
   outliers_.PatchRange(row_begin, count, out);
 }

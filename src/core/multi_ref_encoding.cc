@@ -195,11 +195,14 @@ Result<std::unique_ptr<MultiRefColumn>> MultiRefColumn::Deserialize(
   CORRA_RETURN_NOT_OK(reader->Read(&count));
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, table.code_bits)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, table.code_bits)) {
     return Status::Corruption("multi-ref code payload truncated");
   }
-  // Codes must index into the formula table.
-  BitReader probe(payload.data(), table.code_bits, count);
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, table.code_bits), 0);
+  // Codes must index into the formula table. Probe the padded copy — the
+  // raw span may lack the load slack Get assumes.
+  BitReader probe(bytes.data(), table.code_bits, count);
   for (size_t i = 0; i < count; ++i) {
     if (probe.Get(i) >= table.formulas.size()) {
       return Status::Corruption("multi-ref code out of range");
@@ -210,7 +213,6 @@ Result<std::unique_ptr<MultiRefColumn>> MultiRefColumn::Deserialize(
   if (!outliers.empty() && outliers.row(outliers.size() - 1) >= count) {
     return Status::Corruption("multi-ref outlier row out of range");
   }
-  std::vector<uint8_t> bytes(payload.begin(), payload.end());
   return std::unique_ptr<MultiRefColumn>(new MultiRefColumn(
       std::move(table), std::move(bytes), count, std::move(outliers)));
 }

@@ -48,13 +48,17 @@ Result<OutlierStore> OutlierStore::Deserialize(BufferReader* reader) {
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(rows.size(), width)) {
+  if (payload.size() < bit_util::PackedDataBytes(rows.size(), width)) {
     return Status::Corruption("outlier values truncated");
   }
   OutlierStore store;
   store.rows_ = std::move(rows);
   store.base_ = base;
   store.value_bytes_.assign(payload.begin(), payload.end());
+  // Re-pad the owned copy before handing it to the reader: the wire
+  // payload may carry less than kDecodePadBytes of slack.
+  store.value_bytes_.resize(bit_util::PackedBytes(store.rows_.size(), width),
+                            0);
   store.values_ =
       BitReader(store.value_bytes_.data(), width, store.rows_.size());
   return store;

@@ -53,10 +53,11 @@ Result<std::unique_ptr<BitPackColumn>> BitPackColumn::Deserialize(
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, width)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, width)) {
     return Status::Corruption("BitPack payload truncated");
   }
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   return std::unique_ptr<BitPackColumn>(
       new BitPackColumn(std::move(bytes), width, count));
 }

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::enc {
 
@@ -58,18 +59,20 @@ Result<std::unique_ptr<DictColumn>> DictColumn::Deserialize(
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, width)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, width)) {
     return Status::Corruption("Dict payload truncated");
   }
+  std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   // Reject codes that exceed the dictionary, so a corrupted payload cannot
-  // cause out-of-bounds reads later.
-  BitReader probe(payload.data(), width, count);
+  // cause out-of-bounds reads later. Probe the padded copy — the raw span
+  // may lack the load slack Get assumes.
+  BitReader probe(bytes.data(), width, count);
   for (size_t i = 0; i < count; ++i) {
     if (probe.Get(i) >= dict.size()) {
       return Status::Corruption("Dict code out of range");
     }
   }
-  std::vector<uint8_t> bytes(payload.begin(), payload.end());
   return std::unique_ptr<DictColumn>(
       new DictColumn(std::move(dict), std::move(bytes), width, count));
 }
@@ -92,11 +95,20 @@ void DictColumn::DecodeAll(int64_t* out) const {
 
 void DictColumn::DecodeRange(size_t row_begin, size_t count,
                              int64_t* out) const {
-  // Decode codes in bulk, then translate through the dictionary.
-  reader_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
+  // Unpack the codes of one morsel-sized chunk into a stack buffer, then
+  // gather through the dictionary with one SIMD translate per chunk. The
+  // separate code buffer (instead of translating `out` in place) keeps
+  // the unpack kernel's stores and the gather's loads independent, and
+  // the chunk L1-resident.
+  uint64_t codes[kMorselRows];
   const int64_t* dict = dict_.data();
-  for (size_t i = 0; i < count; ++i) {
-    out[i] = dict[static_cast<uint64_t>(out[i])];
+  while (count > 0) {
+    const size_t len = count < kMorselRows ? count : kMorselRows;
+    reader_.DecodeRange(row_begin, len, codes);
+    simd::TranslateCodes(dict, codes, len, out);
+    row_begin += len;
+    count -= len;
+    out += len;
   }
 }
 

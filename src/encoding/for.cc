@@ -1,6 +1,7 @@
 #include "encoding/for.h"
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::enc {
 
@@ -57,10 +58,11 @@ Result<std::unique_ptr<ForColumn>> ForColumn::Deserialize(
   }
   std::span<const uint8_t> payload;
   CORRA_RETURN_NOT_OK(reader->ReadBytes(&payload));
-  if (payload.size() < bit_util::PackedBytes(count, width)) {
+  if (payload.size() < bit_util::PackedDataBytes(count, width)) {
     return Status::Corruption("FOR payload truncated");
   }
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
+  bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   return std::unique_ptr<ForColumn>(
       new ForColumn(base, std::move(bytes), width, count));
 }
@@ -83,13 +85,11 @@ void ForColumn::DecodeAll(int64_t* out) const {
 
 void ForColumn::DecodeRange(size_t row_begin, size_t count,
                             int64_t* out) const {
-  // Unpack the offsets sequentially, then rebase in a second tight loop
-  // (both vectorize; the split keeps the unpack loop branch-free).
+  // Unpack the offsets with the SIMD kernels, then rebase in a second
+  // vectorized pass (both L1-resident; the split keeps the unpack kernel
+  // width-specialized and branch-free).
   reader_.DecodeRange(row_begin, count, reinterpret_cast<uint64_t*>(out));
-  const int64_t base = base_;
-  for (size_t i = 0; i < count; ++i) {
-    out[i] += base;
-  }
+  simd::AddConst(out, count, base_);
 }
 
 void ForColumn::Serialize(BufferWriter* writer) const {

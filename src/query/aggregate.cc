@@ -4,6 +4,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/simd/simd.h"
 #include "core/ref_dispatch.h"
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
@@ -13,17 +14,37 @@ namespace corra::query {
 
 namespace {
 
-// Ranged decode-and-fold fallback: one DecodeRange per morsel, no
-// per-row virtual calls.
-template <typename Fold>
-void FoldGeneric(const enc::EncodedColumn& column, Fold&& fold) {
+// All folds run one SIMD aggregate kernel per morsel (4-lane
+// accumulators, one horizontal reduce per call) instead of a scalar
+// per-row fold; see common/simd/simd.h.
+
+// Ranged decode-and-sum fallback for any scheme.
+uint64_t SumGeneric(const enc::EncodedColumn& column) {
+  uint64_t sum = 0;
   ForEachDecodedMorsel(
       column, 0, column.size(),
       [&](size_t, const int64_t* values, size_t len) {
-        for (size_t i = 0; i < len; ++i) {
-          fold(values[i]);
-        }
+        sum += simd::SumU64(reinterpret_cast<const uint64_t*>(values), len);
       });
+  return sum;
+}
+
+// Ranged decode-and-minmax fallback for any scheme.
+void MinMaxGeneric(const enc::EncodedColumn& column, int64_t* min,
+                   int64_t* max) {
+  int64_t lo = column.Get(0);
+  int64_t hi = lo;
+  ForEachDecodedMorsel(
+      column, 0, column.size(),
+      [&](size_t, const int64_t* values, size_t len) {
+        int64_t morsel_min;
+        int64_t morsel_max;
+        simd::MinMaxI64(values, len, &morsel_min, &morsel_max);
+        lo = std::min(lo, morsel_min);
+        hi = std::max(hi, morsel_max);
+      });
+  *min = lo;
+  *max = hi;
 }
 
 // Histogram of dictionary code usage (small dictionaries only), built
@@ -40,19 +61,22 @@ std::vector<uint64_t> CodeHistogram(const enc::DictColumn& column) {
   return counts;
 }
 
-// Minimum or maximum used dictionary code, from ranged code unpacks.
-template <typename Pick>
-uint64_t FoldCodes(const enc::DictColumn& column, uint64_t seed,
-                   Pick&& pick) {
-  uint64_t best = seed;
+// Extreme *used* dictionary codes in one pass over the packed codes.
+void MinMaxCodes(const enc::DictColumn& column, uint64_t* min_code,
+                 uint64_t* max_code) {
+  uint64_t lo = ~uint64_t{0};
+  uint64_t hi = 0;
   uint64_t codes[kMorselRows];
   ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
     column.DecodeCodes(begin, len, codes);
-    for (size_t i = 0; i < len; ++i) {
-      best = pick(best, codes[i]);
-    }
+    uint64_t morsel_min;
+    uint64_t morsel_max;
+    simd::MinMaxU64(codes, len, &morsel_min, &morsel_max);
+    lo = std::min(lo, morsel_min);
+    hi = std::max(hi, morsel_max);
   });
-  return best;
+  *min_code = lo;
+  *max_code = hi;
 }
 
 constexpr size_t kSmallDict = 1 << 16;
@@ -77,25 +101,19 @@ int64_t SumColumn(const enc::EncodedColumn& column) {
         }
         return;
       }
-      FoldGeneric(col, [&sum](int64_t v) {
-        sum += static_cast<uint64_t>(v);
-      });
+      sum = SumGeneric(col);
     } else if constexpr (std::is_same_v<Column, enc::ForColumn>) {
       // sum = n * base + sum of packed offsets: fold the un-rebased
       // morsel, skip the per-row rebase entirely.
       uint64_t offsets[kMorselRows];
       ForEachMorsel(0, n, [&](size_t begin, size_t len) {
         col.DecodeOffsets(begin, len, offsets);
-        for (size_t i = 0; i < len; ++i) {
-          sum += offsets[i];
-        }
+        sum += simd::SumU64(offsets, len);
       });
       sum += static_cast<uint64_t>(col.base()) * n;
     } else {
       // BitPack/Plain and every other scheme: ranged decode + fold.
-      FoldGeneric(col, [&sum](int64_t v) {
-        sum += static_cast<uint64_t>(v);
-      });
+      sum = SumGeneric(col);
     }
   });
   return static_cast<int64_t>(sum);
@@ -114,16 +132,13 @@ std::optional<int64_t> MinColumn(const enc::EncodedColumn& column) {
       // min. Every dictionary entry produced by Encode is used, so code
       // 0 works; after deserialization that invariant is unchecked, so
       // scan codes.
-      const uint64_t min_code = FoldCodes(
-          col, ~uint64_t{0},
-          [](uint64_t a, uint64_t b) { return a < b ? a : b; });
+      uint64_t min_code;
+      uint64_t max_code;
+      MinMaxCodes(col, &min_code, &max_code);
       result = col.dictionary()[min_code];
     } else {
-      int64_t min_value = col.Get(0);
-      FoldGeneric(col, [&min_value](int64_t v) {
-        min_value = std::min(min_value, v);
-      });
-      result = min_value;
+      int64_t max_unused;
+      MinMaxGeneric(col, &result, &max_unused);
     }
   });
   return result;
@@ -138,15 +153,13 @@ std::optional<int64_t> MaxColumn(const enc::EncodedColumn& column) {
   DispatchRef(column, [&](const auto& col) {
     using Column = std::decay_t<decltype(col)>;
     if constexpr (std::is_same_v<Column, enc::DictColumn>) {
-      const uint64_t max_code = FoldCodes(
-          col, 0, [](uint64_t a, uint64_t b) { return a > b ? a : b; });
+      uint64_t min_code;
+      uint64_t max_code;
+      MinMaxCodes(col, &min_code, &max_code);
       result = col.dictionary()[max_code];
     } else {
-      int64_t max_value = col.Get(0);
-      FoldGeneric(col, [&max_value](int64_t v) {
-        max_value = std::max(max_value, v);
-      });
-      result = max_value;
+      int64_t min_unused;
+      MinMaxGeneric(col, &min_unused, &result);
     }
   });
   return result;
@@ -160,27 +173,16 @@ std::optional<MinMax> MinMaxColumn(const enc::EncodedColumn& column) {
   DispatchRef(column, [&](const auto& col) {
     using Column = std::decay_t<decltype(col)>;
     if constexpr (std::is_same_v<Column, enc::DictColumn>) {
-      // One pass over the packed codes finds both extreme used codes.
-      uint64_t min_code = ~uint64_t{0};
-      uint64_t max_code = 0;
-      uint64_t codes[kMorselRows];
-      ForEachMorsel(0, col.size(), [&](size_t begin, size_t len) {
-        col.DecodeCodes(begin, len, codes);
-        for (size_t i = 0; i < len; ++i) {
-          min_code = std::min(min_code, codes[i]);
-          max_code = std::max(max_code, codes[i]);
-        }
-      });
+      // One fused pass over the packed codes finds both extreme used
+      // codes.
+      uint64_t min_code;
+      uint64_t max_code;
+      MinMaxCodes(col, &min_code, &max_code);
       result = MinMax{col.dictionary()[min_code],
                       col.dictionary()[max_code]};
     } else {
-      int64_t min_value = col.Get(0);
-      int64_t max_value = min_value;
-      FoldGeneric(col, [&](int64_t v) {
-        min_value = std::min(min_value, v);
-        max_value = std::max(max_value, v);
-      });
-      result = MinMax{min_value, max_value};
+      result = MinMax{};
+      MinMaxGeneric(col, &result.min, &result.max);
     }
   });
   return result;

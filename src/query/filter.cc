@@ -3,22 +3,24 @@
 #include <algorithm>
 #include <type_traits>
 
+#include "common/simd/simd.h"
 #include "core/ref_dispatch.h"
 #include "encoding/dictionary.h"
+#include "encoding/for.h"
 #include "query/morsel.h"
 
 namespace corra::query {
 
 namespace {
 
-// The filter kernels stage matching positions per morsel with a
-// branchless select (rows[n] = pos; n += matched), then hand the staged
-// block to `sink(rows, count)` — matching rows cost a store instead of a
-// mispredicted branch, and the sink appends in bulk.
+// The filter kernels stage matching positions per morsel through the
+// SIMD predicate kernels (compare -> movemask -> permutation-table
+// left-pack; branchless select on the scalar fallback), then hand the
+// staged block to `sink(rows, count)` so the sink appends in bulk.
 
 // Generic ranged decode-and-compare: one DecodeRange per morsel (works
 // for every scheme, including horizontal ones whose references are
-// bound), no per-row virtual calls.
+// bound), one predicate kernel call per morsel.
 template <typename Sink>
 void FilterGeneric(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
                    Sink&& sink) {
@@ -26,18 +28,31 @@ void FilterGeneric(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
   ForEachDecodedMorsel(
       column, 0, column.size(),
       [&](size_t begin, const int64_t* values, size_t len) {
-        size_t n = 0;
-        for (size_t i = 0; i < len; ++i) {
-          staged[n] = static_cast<uint32_t>(begin + i);
-          n += static_cast<size_t>(values[i] >= lo && values[i] <= hi);
-        }
-        sink(staged, n);
+        sink(staged, simd::FilterInRange(values, len, lo, hi,
+                                         static_cast<uint32_t>(begin),
+                                         staged));
       });
 }
 
-// Dict fast path: translate the value range into a code range once, then
-// compare bit-packed codes morsel by morsel — the scan never touches
-// values.
+// Code-space fast path shared by FOR and Dict: the predicate is rebased
+// into the packed domain once, then each morsel is a raw unpack plus an
+// unsigned compare kernel — values are never reconstructed, and
+// non-matching morsels cost nothing beyond the unpack.
+template <typename DecodeCodes, typename Sink>
+void FilterCodes(size_t rows, uint64_t code_lo, uint64_t code_hi,
+                 DecodeCodes&& decode_codes, Sink&& sink) {
+  uint64_t codes[kMorselRows];
+  uint32_t staged[kMorselRows];
+  ForEachMorsel(0, rows, [&](size_t begin, size_t len) {
+    decode_codes(begin, len, codes);
+    sink(staged, simd::FilterInRangeU64(codes, len, code_lo, code_hi,
+                                        static_cast<uint32_t>(begin),
+                                        staged));
+  });
+}
+
+// Dict: translate the value range into a code range via two binary
+// searches over the sorted dictionary.
 template <typename Sink>
 void FilterDict(const enc::DictColumn& column, int64_t lo, int64_t hi,
                 Sink&& sink) {
@@ -47,19 +62,43 @@ void FilterDict(const enc::DictColumn& column, int64_t lo, int64_t hi,
   if (begin_it >= end_it) {
     return;
   }
-  const uint64_t code_lo = static_cast<uint64_t>(begin_it - dict.begin());
-  const uint64_t code_hi = static_cast<uint64_t>(end_it - dict.begin()) - 1;
-  uint64_t codes[kMorselRows];
-  uint32_t staged[kMorselRows];
-  ForEachMorsel(0, column.size(), [&](size_t begin, size_t len) {
-    column.DecodeCodes(begin, len, codes);
-    size_t n = 0;
-    for (size_t i = 0; i < len; ++i) {
-      staged[n] = static_cast<uint32_t>(begin + i);
-      n += static_cast<size_t>(codes[i] >= code_lo && codes[i] <= code_hi);
-    }
-    sink(staged, n);
-  });
+  FilterCodes(
+      column.size(), static_cast<uint64_t>(begin_it - dict.begin()),
+      static_cast<uint64_t>(end_it - dict.begin()) - 1,
+      [&](size_t begin, size_t len, uint64_t* out) {
+        column.DecodeCodes(begin, len, out);
+      },
+      sink);
+}
+
+// FOR: rebase [lo, hi] by the frame base and clamp to the packed
+// offset domain [0, 2^width - 1]; morsels then compare raw offsets.
+template <typename Sink>
+void FilterFor(const enc::ForColumn& column, int64_t lo, int64_t hi,
+               Sink&& sink) {
+  const int64_t base = column.base();
+  if (hi < base) {
+    return;  // The whole column is >= base.
+  }
+  // Wrap-around subtraction mirrors Encode's offset computation exactly,
+  // so the rebase is correct for any int64 bounds.
+  const uint64_t code_lo =
+      lo <= base ? 0
+                 : static_cast<uint64_t>(lo) - static_cast<uint64_t>(base);
+  const uint64_t code_hi =
+      static_cast<uint64_t>(hi) - static_cast<uint64_t>(base);
+  const int width = column.bit_width();
+  const uint64_t max_code =
+      width >= 64 ? ~uint64_t{0} : (uint64_t{1} << width) - 1;
+  if (code_lo > max_code) {
+    return;  // Predicate entirely above the representable offsets.
+  }
+  FilterCodes(
+      column.size(), code_lo, std::min(code_hi, max_code),
+      [&](size_t begin, size_t len, uint64_t* out) {
+        column.DecodeOffsets(begin, len, out);
+      },
+      sink);
 }
 
 template <typename Sink>
@@ -68,13 +107,14 @@ void FilterDispatch(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
   if (lo > hi) {
     return;
   }
-  // One scheme dispatch per scan; the Dict code-domain path is the only
-  // scheme-specific kernel left (FOR/BitPack compare decoded values —
-  // their DecodeRange is a two-instruction-per-row loop already).
+  // One scheme dispatch per scan; FOR and Dict run in the packed code
+  // domain, everything else decodes values and compares.
   DispatchRef(column, [&](const auto& col) {
     using Column = std::decay_t<decltype(col)>;
     if constexpr (std::is_same_v<Column, enc::DictColumn>) {
       FilterDict(col, lo, hi, sink);
+    } else if constexpr (std::is_same_v<Column, enc::ForColumn>) {
+      FilterFor(col, lo, hi, sink);
     } else {
       FilterGeneric(col, lo, hi, sink);
     }

@@ -5,6 +5,7 @@
 
 #include <limits>
 
+#include "common/bit_util.h"
 #include "encoding/bitpack.h"
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
@@ -186,13 +187,11 @@ TEST(DictTest, CorruptCodeRejectedOnDeserialize) {
   BufferWriter writer;
   result.value()->Serialize(&writer);
   auto bytes = std::move(writer).Finish();
-  // The dictionary holds 3 entries (codes 0..2, 2 bits). Overwrite the
-  // packed code region's first byte with all-ones codes (3 = out of range).
-  bytes[bytes.size() - 9] = 0xFF;  // Last payload byte before padding...
-  // Corrupt every candidate payload byte to be safe.
-  for (size_t i = bytes.size() - 16; i < bytes.size(); ++i) {
-    bytes[i] = 0xFF;
-  }
+  // The dictionary holds 3 entries (codes 0..2, 2 bits), so the packed
+  // payload is a single data byte followed by kDecodePadBytes of load
+  // slack. Overwrite that data byte with all-ones codes (3 = out of
+  // range).
+  bytes[bytes.size() - bit_util::kDecodePadBytes - 1] = 0xFF;
   BufferReader reader(bytes);
   auto reloaded = DeserializeEncodedColumn(&reader);
   EXPECT_FALSE(reloaded.ok());
