@@ -181,9 +181,17 @@ void RunAll(const bench::Flags& flags) {
       }
       sink += acc;
     });
+    RunBench(&reporter, "point_access/rle", points.size(), reps, [&] {
+      int64_t acc = 0;
+      for (uint32_t p : points) {
+        acc += rle_column->Get(p);
+      }
+      sink += acc;
+    });
   }
 
-  // Selective gather at 10% selectivity.
+  // Selective gather at 10% selectivity — the sparse-decode fast path
+  // (EncodedColumn::GatherRange) of every scheme family.
   {
     Rng rng(8);
     const auto selection =
@@ -193,6 +201,10 @@ void RunAll(const bench::Flags& flags) {
     for_column->Gather(selection, ref_values.data());
     RunBench(&reporter, "gather_0.1/for", selection.size(), reps,
              [&] { for_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1/dict", selection.size(), reps,
+             [&] { dict_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1/rle", selection.size(), reps,
+             [&] { rle_column->Gather(selection, gathered.data()); });
     RunBench(&reporter, "gather_0.1/diff", selection.size(), reps,
              [&] { diff_column->Gather(selection, gathered.data()); });
     RunBench(&reporter, "gather_0.1/diff_with_ref", selection.size(), reps,
@@ -203,6 +215,21 @@ void RunAll(const bench::Flags& flags) {
     RunBench(&reporter, "gather_0.1/hierarchical", selection.size(), reps,
              [&] { hier_column->Gather(selection, gathered.data()); });
     RunBench(&reporter, "gather_0.1/delta", selection.size(), reps,
+             [&] { delta_column->Gather(selection, gathered.data()); });
+  }
+
+  // Sparse gather at 1% — positioned kernels with long gaps (Delta takes
+  // its cursor path here, bit-packed schemes the vpgatherqq path).
+  {
+    Rng rng(12);
+    const auto selection =
+        query::GenerateSelectionVector(rows, 0.01, &rng);
+    std::vector<int64_t> gathered(selection.size());
+    RunBench(&reporter, "gather_0.01/for", selection.size(), reps,
+             [&] { for_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.01/diff", selection.size(), reps,
+             [&] { diff_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.01/delta", selection.size(), reps,
              [&] { delta_column->Gather(selection, gathered.data()); });
   }
 

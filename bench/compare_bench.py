@@ -1,14 +1,26 @@
 #!/usr/bin/env python3
-"""Diff two BENCH_*.json files and fail on per-kernel perf regressions.
+"""Diff BENCH_*.json files and fail on per-kernel perf regressions.
 
 Usage:
-    compare_bench.py BASELINE.json CANDIDATE.json [--threshold 0.15]
+    compare_bench.py BASELINE.json CANDIDATE.json [CANDIDATE2.json ...]
+        [--threshold 0.15] [--override PATTERN=THRESHOLD ...]
 
-Both files are JSON arrays of {name, rows, ns_per_row, gb_per_s} objects
+All files are JSON arrays of {name, rows, ns_per_row, gb_per_s} objects
 as emitted by any bench binary's --json flag (see bench_util.h). The
 script matches kernels by name and exits non-zero when any kernel's
-ns_per_row regressed by more than --threshold (a fraction; the default
+ns_per_row regressed by more than its threshold (a fraction; the default
 0.15 fails on >15% regression).
+
+Multiple candidate files implement a min-of-N gate: each kernel's
+candidate time is the minimum across the files. Memory-bandwidth-bound
+kernels (the RLE decode family) swing +-20% run to run on a shared VM,
+so CI runs the bench twice and gates on the better run — a real
+regression shows up in both, noise rarely does.
+
+--override narrows or widens the gate per kernel: the PATTERN is an
+fnmatch glob over kernel names and THRESHOLD a fraction, e.g.
+    --override 'decode_*/rle=0.50' --override 'point_access/delta=0.10'
+The last matching override wins; unmatched kernels use --threshold.
 
 Kernels present only in the candidate are listed as new; kernels present
 only in the baseline are warned about but do not fail the run (use
@@ -18,6 +30,7 @@ measured on different hardware should pass a wider --threshold.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -37,16 +50,52 @@ def load(path):
     return results
 
 
+def load_min_of(paths):
+    """Per-kernel minimum ns_per_row across candidate files."""
+    merged = {}
+    for path in paths:
+        for name, ns in load(path).items():
+            if name not in merged or ns < merged[name]:
+                merged[name] = ns
+    return merged
+
+
+def parse_overrides(specs):
+    overrides = []
+    for spec in specs:
+        pattern, sep, value = spec.rpartition("=")
+        if not sep or not pattern:
+            raise ValueError(f"bad --override {spec!r}; want PATTERN=FRACTION")
+        overrides.append((pattern, float(value)))
+    return overrides
+
+
+def threshold_for(name, default, overrides):
+    chosen = default
+    for pattern, value in overrides:
+        if fnmatch.fnmatch(name, pattern):
+            chosen = value
+    return chosen
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Fail on per-kernel ns_per_row regressions between "
-        "two bench JSON files.")
+        "a baseline and one or more candidate bench JSON files.")
     parser.add_argument("baseline", help="baseline BENCH_*.json")
-    parser.add_argument("candidate", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "candidates", nargs="+",
+        help="candidate BENCH_*.json files; with several, each kernel "
+        "is gated on its minimum across them (min-of-N re-run)")
     parser.add_argument(
         "--threshold", type=float, default=0.15,
         help="allowed fractional ns_per_row regression per kernel "
         "(default 0.15 = 15%%)")
+    parser.add_argument(
+        "--override", action="append", default=[],
+        metavar="PATTERN=FRACTION",
+        help="per-kernel threshold override; PATTERN is an fnmatch glob "
+        "over kernel names, last match wins (repeatable)")
     parser.add_argument(
         "--fail-missing", action="store_true",
         help="also fail when a baseline kernel is missing from the "
@@ -54,7 +103,8 @@ def main():
     args = parser.parse_args()
 
     baseline = load(args.baseline)
-    candidate = load(args.candidate)
+    candidate = load_min_of(args.candidates)
+    overrides = parse_overrides(args.override)
 
     regressions = []
     missing = sorted(set(baseline) - set(candidate))
@@ -62,17 +112,18 @@ def main():
 
     width = max((len(n) for n in baseline), default=4)
     print(f"{'kernel':<{width}}  {'base ns':>10}  {'cand ns':>10}  "
-          f"{'delta':>8}")
+          f"{'delta':>8}  {'gate':>6}")
     for name in sorted(set(baseline) & set(candidate)):
         base = baseline[name]
         cand = candidate[name]
+        gate = threshold_for(name, args.threshold, overrides)
         delta = (cand - base) / base if base > 0 else 0.0
         flag = ""
-        if delta > args.threshold:
-            regressions.append((name, base, cand, delta))
+        if delta > gate:
+            regressions.append((name, base, cand, delta, gate))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base:>10.4f}  {cand:>10.4f}  "
-              f"{delta:>+7.1%}{flag}")
+              f"{delta:>+7.1%}  {gate:>5.0%}{flag}")
 
     for name in new:
         print(f"{name:<{width}}  {'-':>10}  {candidate[name]:>10.4f}  "
@@ -82,17 +133,18 @@ def main():
               f"   (missing from candidate)", file=sys.stderr)
 
     if regressions:
-        print(f"\nFAIL: {len(regressions)} kernel(s) regressed more than "
-              f"{args.threshold:.0%} in ns_per_row:", file=sys.stderr)
-        for name, base, cand, delta in regressions:
-            print(f"  {name}: {base:.4f} -> {cand:.4f} ({delta:+.1%})",
-                  file=sys.stderr)
+        print(f"\nFAIL: {len(regressions)} kernel(s) regressed past their "
+              f"gate in ns_per_row:", file=sys.stderr)
+        for name, base, cand, delta, gate in regressions:
+            print(f"  {name}: {base:.4f} -> {cand:.4f} ({delta:+.1%}, "
+                  f"gate {gate:.0%})", file=sys.stderr)
         return 1
     if missing and args.fail_missing:
         print(f"\nFAIL: {len(missing)} baseline kernel(s) missing from "
               f"candidate", file=sys.stderr)
         return 1
-    print(f"\nOK: no kernel regressed more than {args.threshold:.0%}")
+    print(f"\nOK: no kernel regressed past its gate "
+          f"(default {args.threshold:.0%})")
     return 0
 
 

@@ -72,6 +72,19 @@ Status BufferReader::ReadInt64Array(std::vector<int64_t>* out) {
   return Status::OK();
 }
 
+Status BufferReader::ReadInt64Values(size_t count,
+                                     std::vector<int64_t>* out) {
+  if (count > remaining() / sizeof(int64_t)) {
+    return Status::Corruption("int64 value count exceeds remaining bytes");
+  }
+  out->resize(count);
+  if (count > 0) {
+    std::memcpy(out->data(), data_.data() + pos_, count * sizeof(int64_t));
+  }
+  pos_ += count * sizeof(int64_t);
+  return Status::OK();
+}
+
 Status BufferReader::ReadUint32Array(std::vector<uint32_t>* out) {
   size_t count = 0;
   CORRA_RETURN_NOT_OK(ReadLength(sizeof(uint32_t), &count));

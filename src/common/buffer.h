@@ -81,6 +81,11 @@ class BufferReader {
   /// Reads a length-prefixed int64 array written by WriteInt64Array.
   Status ReadInt64Array(std::vector<int64_t>* out);
 
+  /// Reads exactly `count` raw int64 values (no length prefix). Used by
+  /// readers that already consumed the length — e.g. format sniffers
+  /// that distinguish a legacy array length from an extension marker.
+  Status ReadInt64Values(size_t count, std::vector<int64_t>* out);
+
   /// Reads a length-prefixed uint32 array written by WriteUint32Array.
   Status ReadUint32Array(std::vector<uint32_t>* out);
 

@@ -41,6 +41,18 @@ struct KernelTable {
   void (*add_ref_base)(const int64_t*, const uint64_t*, int64_t, size_t,
                        int64_t*);
   void (*add_ref_zigzag)(const int64_t*, const uint64_t*, size_t, int64_t*);
+  void (*zigzag_prefix_sum)(const uint64_t*, size_t, int64_t, int64_t*);
+  int64_t (*zigzag_sum_packed)(const uint8_t*, int, size_t, size_t);
+  void (*delta_decode)(const uint8_t*, int, size_t, size_t, int64_t,
+                       int64_t*);
+  int64_t (*delta_point)(const uint8_t*, int, const int64_t*, int, size_t,
+                         size_t);
+  void (*delta_gather)(const uint8_t*, int, const int64_t*, int, size_t,
+                       const uint32_t*, size_t, int64_t*);
+  void (*expand_runs)(const int64_t*, const uint32_t*, size_t, size_t,
+                      size_t, int64_t*);
+  void (*gather_bits)(const uint8_t*, int, const uint32_t*, size_t,
+                      uint64_t*);
   const char* name;
 };
 

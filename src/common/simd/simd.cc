@@ -157,4 +157,90 @@ void AddRefZigZagScalar(const int64_t* ref, const uint64_t* zigzag,
   ScalarTable().add_ref_zigzag(ref, zigzag, count, out);
 }
 
+void ZigZagPrefixSum(const uint64_t* zigzag, size_t count, int64_t seed,
+                     int64_t* out) {
+  ActiveTable().zigzag_prefix_sum(zigzag, count, seed, out);
+}
+
+void ZigZagPrefixSumScalar(const uint64_t* zigzag, size_t count, int64_t seed,
+                           int64_t* out) {
+  ScalarTable().zigzag_prefix_sum(zigzag, count, seed, out);
+}
+
+int64_t ZigZagSumPacked(const uint8_t* data, int bit_width, size_t begin,
+                        size_t count) {
+  return ActiveTable().zigzag_sum_packed(data, bit_width, begin, count);
+}
+
+int64_t ZigZagSumPackedScalar(const uint8_t* data, int bit_width,
+                              size_t begin, size_t count) {
+  return ScalarTable().zigzag_sum_packed(data, bit_width, begin, count);
+}
+
+void DeltaDecodePacked(const uint8_t* data, int bit_width, size_t begin,
+                       size_t count, int64_t seed, int64_t* out) {
+  ActiveTable().delta_decode(data, bit_width, begin, count, seed, out);
+}
+
+void DeltaDecodePackedScalar(const uint8_t* data, int bit_width, size_t begin,
+                             size_t count, int64_t seed, int64_t* out) {
+  ScalarTable().delta_decode(data, bit_width, begin, count, seed, out);
+}
+
+DeltaPointFn ResolveDeltaPointKernel() { return ActiveTable().delta_point; }
+
+int64_t DeltaPointPacked(const uint8_t* data, int bit_width,
+                         const int64_t* checkpoints, int interval_shift,
+                         size_t column_rows, size_t row) {
+  return ActiveTable().delta_point(data, bit_width, checkpoints,
+                                   interval_shift, column_rows, row);
+}
+
+int64_t DeltaPointPackedScalar(const uint8_t* data, int bit_width,
+                               const int64_t* checkpoints, int interval_shift,
+                               size_t column_rows, size_t row) {
+  return ScalarTable().delta_point(data, bit_width, checkpoints,
+                                   interval_shift, column_rows, row);
+}
+
+void DeltaGatherPacked(const uint8_t* data, int bit_width,
+                       const int64_t* checkpoints, int interval_shift,
+                       size_t column_rows, const uint32_t* rows, size_t count,
+                       int64_t* out) {
+  ActiveTable().delta_gather(data, bit_width, checkpoints, interval_shift,
+                             column_rows, rows, count, out);
+}
+
+void DeltaGatherPackedScalar(const uint8_t* data, int bit_width,
+                             const int64_t* checkpoints, int interval_shift,
+                             size_t column_rows, const uint32_t* rows,
+                             size_t count, int64_t* out) {
+  ScalarTable().delta_gather(data, bit_width, checkpoints, interval_shift,
+                             column_rows, rows, count, out);
+}
+
+void ExpandRuns(const int64_t* run_values, const uint32_t* run_ends,
+                size_t run_begin, size_t row_begin, size_t count,
+                int64_t* out) {
+  ActiveTable().expand_runs(run_values, run_ends, run_begin, row_begin,
+                            count, out);
+}
+
+void ExpandRunsScalar(const int64_t* run_values, const uint32_t* run_ends,
+                      size_t run_begin, size_t row_begin, size_t count,
+                      int64_t* out) {
+  ScalarTable().expand_runs(run_values, run_ends, run_begin, row_begin,
+                            count, out);
+}
+
+void GatherBits(const uint8_t* data, int bit_width, const uint32_t* rows,
+                size_t count, uint64_t* out) {
+  ActiveTable().gather_bits(data, bit_width, rows, count, out);
+}
+
+void GatherBitsScalar(const uint8_t* data, int bit_width,
+                      const uint32_t* rows, size_t count, uint64_t* out) {
+  ScalarTable().gather_bits(data, bit_width, rows, count, out);
+}
+
 }  // namespace corra::simd

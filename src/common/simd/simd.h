@@ -124,6 +124,108 @@ void AddRefZigZag(const int64_t* ref, const uint64_t* zigzag, size_t count,
 void AddRefZigZagScalar(const int64_t* ref, const uint64_t* zigzag,
                         size_t count, int64_t* out);
 
+// --- Sparse-decode kernels ------------------------------------------------
+
+/// out[i] = seed + ZigZagDecode(zigzag[0]) + ... + ZigZagDecode(zigzag[i])
+/// (wrap-around arithmetic) — the Delta reconstruction: a running prefix
+/// sum over zig-zag deltas seeded with a checkpoint value. The AVX2
+/// backend runs a log-step in-register prefix sum (shift-add within the
+/// 128-bit lanes, then a cross-lane carry broadcast), so the loop-carried
+/// dependency is per 8 values instead of per value.
+void ZigZagPrefixSum(const uint64_t* zigzag, size_t count, int64_t seed,
+                     int64_t* out);
+void ZigZagPrefixSumScalar(const uint64_t* zigzag, size_t count, int64_t seed,
+                           int64_t* out);
+
+/// Wrap-around sum of ZigZagDecode over `count` consecutive values of the
+/// bit-packed stream, starting at value index `begin` — the Delta
+/// point-access fold (checkpoint + fold of the replay window), fused with
+/// the unpack so the replay never materializes: narrow widths (<= 14)
+/// decode four values per 8-byte load with one variable shift, medium
+/// widths (<= 28) two per load, and the whole fold is ~3 instructions per
+/// delta. `data` must carry bit_util::kDecodePadBytes of readable slack.
+int64_t ZigZagSumPacked(const uint8_t* data, int bit_width, size_t begin,
+                        size_t count);
+int64_t ZigZagSumPackedScalar(const uint8_t* data, int bit_width,
+                              size_t begin, size_t count);
+
+/// Expands run-length runs into the dense row range [row_begin,
+/// row_begin + count): run r covers rows [run_ends[r-1], run_ends[r]),
+/// and `run_begin` must be the run containing row_begin. Runs are
+/// emitted with full-width broadcast stores instead of a per-row loop.
+void ExpandRuns(const int64_t* run_values, const uint32_t* run_ends,
+                size_t run_begin, size_t row_begin, size_t count,
+                int64_t* out);
+void ExpandRunsScalar(const int64_t* run_values, const uint32_t* run_ends,
+                      size_t run_begin, size_t row_begin, size_t count,
+                      int64_t* out);
+
+/// Fused Delta range decode: out[i] = seed + ZigZagDecode(delta[begin]) +
+/// ... + ZigZagDecode(delta[begin + i]) for i in [0, count), reading the
+/// deltas straight from the bit-packed stream (unpack, zig-zag decode,
+/// and log-step prefix sum in one pass — the packed window is never
+/// materialized). `data` must carry bit_util::kDecodePadBytes of slack.
+void DeltaDecodePacked(const uint8_t* data, int bit_width, size_t begin,
+                       size_t count, int64_t seed, int64_t* out);
+void DeltaDecodePackedScalar(const uint8_t* data, int bit_width, size_t begin,
+                             size_t count, int64_t seed, int64_t* out);
+
+/// Signature of the per-backend Delta point kernel (DeltaPointPacked).
+using DeltaPointFn = int64_t (*)(const uint8_t* data, int bit_width,
+                                 const int64_t* checkpoints,
+                                 int interval_shift, size_t column_rows,
+                                 size_t row);
+
+/// The active backend's Delta point kernel, for callers that cache the
+/// resolved pointer next to their column state: point access is the one
+/// kernel invoked per *row* rather than per range, so the wrapper hop
+/// and dispatch-table load are a measurable share of its budget.
+DeltaPointFn ResolveDeltaPointKernel();
+
+/// Single-row Delta point access: the reconstructed value at `row` of a
+/// checkpointed zig-zag delta stream (same layout as DeltaGatherPacked).
+/// Seeks from the *nearest* checkpoint — a forward fold from the
+/// covering checkpoint or a backward fold from the next one — with the
+/// direction chosen by conditional select, so the expected replay is
+/// interval/4 deltas and the only hard-to-predict branch is the fold's
+/// loop exit.
+int64_t DeltaPointPacked(const uint8_t* data, int bit_width,
+                         const int64_t* checkpoints, int interval_shift,
+                         size_t column_rows, size_t row);
+int64_t DeltaPointPackedScalar(const uint8_t* data, int bit_width,
+                               const int64_t* checkpoints, int interval_shift,
+                               size_t column_rows, size_t row);
+
+/// Batched Delta sparse gather: out[i] = the reconstructed value at row
+/// rows[i] of a checkpointed zig-zag delta stream. `checkpoints[k]` is
+/// the absolute value at row k << interval_shift; `column_rows` is the
+/// stream's total row count. The whole selection walk runs inside one
+/// kernel call: a running (position, value) cursor advances by fused
+/// packed zig-zag folds over each gap, re-anchoring through the nearest
+/// checkpoint (forward or backward) whenever that is closer — so the
+/// per-row cost is bounded by interval/2 deltas and there is no
+/// per-position call overhead. Tolerates out-of-order positions (they
+/// re-anchor). `data` must carry bit_util::kDecodePadBytes of slack.
+void DeltaGatherPacked(const uint8_t* data, int bit_width,
+                       const int64_t* checkpoints, int interval_shift,
+                       size_t column_rows, const uint32_t* rows, size_t count,
+                       int64_t* out);
+void DeltaGatherPackedScalar(const uint8_t* data, int bit_width,
+                             const int64_t* checkpoints, int interval_shift,
+                             size_t column_rows, const uint32_t* rows,
+                             size_t count, int64_t* out);
+
+/// Positioned gather from a bit-packed stream: out[i] = the value at
+/// position rows[i] (width 0..64; rows need not be sorted). This is the
+/// selection-driven counterpart of UnpackRange — selected values are
+/// reconstructed directly from their bit offsets (vpgatherqq + variable
+/// shift on AVX2), never materializing the rows in between. `data` must
+/// carry bit_util::kDecodePadBytes of readable slack.
+void GatherBits(const uint8_t* data, int bit_width, const uint32_t* rows,
+                size_t count, uint64_t* out);
+void GatherBitsScalar(const uint8_t* data, int bit_width,
+                      const uint32_t* rows, size_t count, uint64_t* out);
+
 }  // namespace corra::simd
 
 #endif  // CORRA_COMMON_SIMD_SIMD_H_

@@ -320,6 +320,455 @@ void AddRefZigZagAvx2(const int64_t* ref, const uint64_t* zigzag,
   }
 }
 
+// Vector zig-zag decode: (z >> 1) ^ -(z & 1) per 64-bit lane.
+inline __m256i ZigZagDecode4(__m256i z) {
+  const __m256i half = _mm256_srli_epi64(z, 1);
+  const __m256i sign = _mm256_sub_epi64(
+      _mm256_setzero_si256(), _mm256_and_si256(z, _mm256_set1_epi64x(1)));
+  return _mm256_xor_si256(half, sign);
+}
+
+// In-register inclusive prefix sum of 4 qword lanes:
+// [a, b, c, d] -> [a, a+b, a+b+c, a+b+c+d].
+inline __m256i PrefixSum4(__m256i d) {
+  // Log-step within each 128-bit lane: [a, a+b | c, c+d].
+  d = _mm256_add_epi64(d, _mm256_slli_si256(d, 8));
+  // Carry the low lane's total (a+b) into the high lane.
+  const __m256i low_total =
+      _mm256_permute4x64_epi64(d, _MM_SHUFFLE(1, 1, 1, 1));
+  return _mm256_add_epi64(
+      d, _mm256_blend_epi32(_mm256_setzero_si256(), low_total, 0xF0));
+}
+
+void ZigZagPrefixSumAvx2(const uint64_t* zigzag, size_t count, int64_t seed,
+                         int64_t* out) {
+  // Two independent 4-lane prefix sums per iteration; the loop-carried
+  // dependency is one add + one lane broadcast per 8 values instead of
+  // one add per value.
+  __m256i carry = _mm256_set1_epi64x(seed);
+  size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i p0 = PrefixSum4(ZigZagDecode4(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(zigzag + i))));
+    const __m256i p1 = PrefixSum4(ZigZagDecode4(_mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(zigzag + i + 4))));
+    const __m256i o0 = _mm256_add_epi64(p0, carry);
+    const __m256i o1 = _mm256_add_epi64(
+        p1, _mm256_permute4x64_epi64(o0, _MM_SHUFFLE(3, 3, 3, 3)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), o0);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), o1);
+    carry = _mm256_permute4x64_epi64(o1, _MM_SHUFFLE(3, 3, 3, 3));
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), carry);
+  uint64_t acc = lanes[0];
+  for (; i < count; ++i) {
+    const uint64_t z = zigzag[i];
+    acc += (z >> 1) ^ (~(z & 1) + 1);
+    out[i] = static_cast<int64_t>(acc);
+  }
+}
+
+int64_t ZigZagSumPackedAvx2(const uint8_t* data, int bit_width, size_t begin,
+                            size_t count) {
+  if (bit_width == 0 || count == 0) {
+    return 0;
+  }
+  const uint64_t mask = WidthMask(bit_width);
+  const size_t w = static_cast<size_t>(bit_width);
+  size_t bit = begin * w;
+  size_t i = 0;
+  uint64_t sum = 0;
+  if (bit_width <= 14) {
+    // Four consecutive values fit one 8-byte load (7 + 4*14 <= 63):
+    // broadcast the word, shift each lane to its value, decode, add.
+    const __m256i vmask = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+    const __m256i lane_shift = _mm256_setr_epi64x(
+        0, bit_width, 2 * bit_width, 3 * bit_width);
+    __m256i acc = _mm256_setzero_si256();
+    for (; i + 4 <= count; i += 4, bit += 4 * w) {
+      uint64_t word;
+      std::memcpy(&word, data + (bit >> 3), sizeof(word));
+      const __m256i shift = _mm256_add_epi64(
+          _mm256_set1_epi64x(static_cast<int64_t>(bit & 7)), lane_shift);
+      const __m256i v = _mm256_and_si256(
+          _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<int64_t>(word)),
+                            shift),
+          vmask);
+      acc = _mm256_add_epi64(acc, ZigZagDecode4(v));
+    }
+    alignas(32) uint64_t lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+    sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+  }
+  if (bit_width <= 28) {
+    // Widths 15..28 (and the narrow-width tail): two values per 8-byte
+    // load, same shape as the scalar backend.
+    uint64_t acc0 = 0;
+    uint64_t acc1 = 0;
+    for (; i + 2 <= count; i += 2, bit += 2 * w) {
+      uint64_t word;
+      std::memcpy(&word, data + (bit >> 3), sizeof(word));
+      const int shift = static_cast<int>(bit & 7);
+      const uint64_t z0 = (word >> shift) & mask;
+      const uint64_t z1 = (word >> (shift + bit_width)) & mask;
+      acc0 += (z0 >> 1) ^ (~(z0 & 1) + 1);
+      acc1 += (z1 >> 1) ^ (~(z1 & 1) + 1);
+    }
+    sum += acc0 + acc1;
+  }
+  // Per-value tail, and the whole fold for widths > 28.
+  for (; i < count; ++i, bit += w) {
+    const size_t byte = bit >> 3;
+    const int shift = static_cast<int>(bit & 7);
+    uint64_t word;
+    std::memcpy(&word, data + byte, sizeof(word));
+    uint64_t v = word >> shift;
+    if (bit_width > 57 && shift + bit_width > 64) {
+      uint64_t next;
+      std::memcpy(&next, data + byte + 8, sizeof(next));
+      v |= next << (64 - shift);
+    }
+    v &= mask;
+    sum += (v >> 1) ^ (~(v & 1) + 1);
+  }
+  return static_cast<int64_t>(sum);
+}
+
+void DeltaDecodeAvx2(const uint8_t* data, int bit_width, size_t begin,
+                     size_t count, int64_t seed, int64_t* out) {
+  if (bit_width == 0) {
+    const __m256i v = _mm256_set1_epi64x(seed);
+    size_t i = 0;
+    for (; i + 4 <= count; i += 4) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), v);
+    }
+    for (; i < count; ++i) {
+      out[i] = seed;
+    }
+    return;
+  }
+  const size_t w = static_cast<size_t>(bit_width);
+  size_t i = 0;
+  if (bit_width <= 14) {
+    // Fully fused: 8 values per iteration come out of two 8-byte loads,
+    // are zig-zag decoded and prefix-summed in registers, and stored —
+    // the packed window never hits a scratch buffer. The loop-carried
+    // carry is one add + one lane broadcast per 8 values.
+    const __m256i vmask =
+        _mm256_set1_epi64x(static_cast<int64_t>(WidthMask(bit_width)));
+    const __m256i lane_shift = _mm256_setr_epi64x(
+        0, bit_width, 2 * bit_width, 3 * bit_width);
+    __m256i carry = _mm256_set1_epi64x(seed);
+    size_t bit = begin * w;
+    // The in-word phase repeats every iteration (the cursor advances by
+    // 8*w bits, a whole byte count), so both shift vectors hoist out of
+    // the loop.
+    const __m256i sh0 = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<int64_t>(bit & 7)), lane_shift);
+    const __m256i sh1 = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<int64_t>((bit + 4 * w) & 7)),
+        lane_shift);
+    for (; i + 8 <= count; i += 8, bit += 8 * w) {
+      uint64_t word0;
+      uint64_t word1;
+      std::memcpy(&word0, data + (bit >> 3), sizeof(word0));
+      std::memcpy(&word1, data + ((bit + 4 * w) >> 3), sizeof(word1));
+      const __m256i z0 = _mm256_and_si256(
+          _mm256_srlv_epi64(
+              _mm256_set1_epi64x(static_cast<int64_t>(word0)), sh0),
+          vmask);
+      const __m256i z1 = _mm256_and_si256(
+          _mm256_srlv_epi64(
+              _mm256_set1_epi64x(static_cast<int64_t>(word1)), sh1),
+          vmask);
+      const __m256i p0 = PrefixSum4(ZigZagDecode4(z0));
+      const __m256i p1 = PrefixSum4(ZigZagDecode4(z1));
+      const __m256i o0 = _mm256_add_epi64(p0, carry);
+      const __m256i o1 = _mm256_add_epi64(
+          p1, _mm256_permute4x64_epi64(o0, _MM_SHUFFLE(3, 3, 3, 3)));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), o0);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i + 4), o1);
+      carry = _mm256_permute4x64_epi64(o1, _MM_SHUFFLE(3, 3, 3, 3));
+    }
+    if (i > 0) {
+      seed = out[i - 1];
+    }
+    // Scalar tail.
+    uint64_t acc = static_cast<uint64_t>(seed);
+    const uint64_t mask = WidthMask(bit_width);
+    for (; i < count; ++i, bit += w) {
+      uint64_t word;
+      std::memcpy(&word, data + (bit >> 3), sizeof(word));
+      const uint64_t z = (word >> (bit & 7)) & mask;
+      acc += (z >> 1) ^ (~(z & 1) + 1);
+      out[i] = static_cast<int64_t>(acc);
+    }
+    return;
+  }
+  // Wider deltas: chunked unpack through the specialized kernels, then
+  // the in-register prefix sum.
+  uint64_t deltas[512];
+  while (i < count) {
+    const size_t len = count - i < 512 ? count - i : 512;
+    UnpackRangeWith(*Avx2Table(), data, bit_width, begin + i, len, deltas);
+    ZigZagPrefixSumAvx2(deltas, len, seed, out + i);
+    seed = out[i + len - 1];
+    i += len;
+  }
+}
+
+
+// Fold of exactly `fixed` delta slots starting at `begin`, with only the
+// first `count` contributing (lane-index mask). The trip count depends
+// only on `fixed` — constant for a given column — so the loop exit is
+// perfectly predicted even though `count` varies per access; replay
+// windows with data-dependent lengths would otherwise cost 2-3 branch
+// mispredicts per point access. Caller guarantees begin + fixed <=
+// column_rows (packed-stream reads stay inside the payload + pad),
+// 1 <= bit_width <= 14, and fixed % 4 == 0.
+template <size_t kIters>
+int64_t MaskedZigZagFoldUnrolledAvx2(const uint8_t* data, int bit_width,
+                                     size_t begin, size_t count) {
+  const size_t w = static_cast<size_t>(bit_width);
+  const __m256i vmask =
+      _mm256_set1_epi64x(static_cast<int64_t>(WidthMask(bit_width)));
+  const __m256i lane_shift =
+      _mm256_setr_epi64x(0, bit_width, 2 * bit_width, 3 * bit_width);
+  const __m256i vcount = _mm256_set1_epi64x(static_cast<int64_t>(count));
+  const size_t begin_bit = begin * w;
+  // The cursor advances 4*w bits per group, so the in-word phase
+  // alternates with period two; both shift vectors hoist out.
+  const __m256i sh[2] = {
+      _mm256_add_epi64(
+          _mm256_set1_epi64x(static_cast<int64_t>(begin_bit & 7)),
+          lane_shift),
+      _mm256_add_epi64(
+          _mm256_set1_epi64x(static_cast<int64_t>((begin_bit + 4 * w) & 7)),
+          lane_shift)};
+  __m256i acc = _mm256_setzero_si256();
+  [&]<size_t... K>(std::index_sequence<K...>) {
+    ((acc = _mm256_add_epi64(
+          acc,
+          [&] {
+            const size_t bit = begin_bit + 4 * K * w;
+            uint64_t word;
+            std::memcpy(&word, data + (bit >> 3), sizeof(word));
+            const __m256i z = _mm256_and_si256(
+                _mm256_srlv_epi64(
+                    _mm256_set1_epi64x(static_cast<int64_t>(word)),
+                    sh[K & 1]),
+                vmask);
+            const __m256i live = _mm256_cmpgt_epi64(
+                vcount, _mm256_setr_epi64x(4 * K, 4 * K + 1, 4 * K + 2,
+                                           4 * K + 3));
+            return _mm256_and_si256(ZigZagDecode4(z), live);
+          }())),
+     ...);
+  }(std::make_index_sequence<kIters>{});
+  const __m128i halves = _mm_add_epi64(_mm256_castsi256_si128(acc),
+                                       _mm256_extracti128_si256(acc, 1));
+  return _mm_cvtsi128_si64(
+      _mm_add_epi64(halves, _mm_unpackhi_epi64(halves, halves)));
+}
+
+int64_t MaskedZigZagFoldAvx2(const uint8_t* data, int bit_width,
+                             size_t begin, size_t count, size_t fixed) {
+  // The default interval's fold (32 slots) is fully unrolled with
+  // compile-time lane indices; other fixed sizes take the generic loop
+  // (still a constant trip count per column).
+  if (fixed == 16) {
+    return MaskedZigZagFoldUnrolledAvx2<4>(data, bit_width, begin, count);
+  }
+  if (fixed == 32) {
+    return MaskedZigZagFoldUnrolledAvx2<8>(data, bit_width, begin, count);
+  }
+  const size_t w = static_cast<size_t>(bit_width);
+  const __m256i vmask =
+      _mm256_set1_epi64x(static_cast<int64_t>(WidthMask(bit_width)));
+  const __m256i lane_shift =
+      _mm256_setr_epi64x(0, bit_width, 2 * bit_width, 3 * bit_width);
+  const __m256i vcount = _mm256_set1_epi64x(static_cast<int64_t>(count));
+  __m256i idx = _mm256_setr_epi64x(0, 1, 2, 3);
+  const __m256i four = _mm256_set1_epi64x(4);
+  __m256i acc = _mm256_setzero_si256();
+  size_t bit = begin * w;
+  for (size_t k = 0; k < fixed; k += 4, bit += 4 * w) {
+    uint64_t word;
+    std::memcpy(&word, data + (bit >> 3), sizeof(word));
+    const __m256i shift = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<int64_t>(bit & 7)), lane_shift);
+    const __m256i z = _mm256_and_si256(
+        _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<int64_t>(word)),
+                          shift),
+        vmask);
+    const __m256i live = _mm256_cmpgt_epi64(vcount, idx);
+    acc = _mm256_add_epi64(acc, _mm256_and_si256(ZigZagDecode4(z), live));
+    idx = _mm256_add_epi64(idx, four);
+  }
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return static_cast<int64_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+}
+
+int64_t DeltaPointAvx2(const uint8_t* data, int bit_width,
+                      const int64_t* checkpoints, int interval_shift,
+                      size_t column_rows, size_t row) {
+  // Nearest-checkpoint seek with the fold direction picked by pure
+  // arithmetic select: `backward` is 50/50 on uniform accesses, so a
+  // data-dependent branch here would mispredict half the time and cost
+  // more than the whole fold. The only remaining branch (the stream-end
+  // fallback) is taken for a handful of rows per column.
+  const size_t interval = size_t{1} << interval_shift;
+  const size_t checkpoint = row >> interval_shift;
+  const size_t checkpoint_row = checkpoint << interval_shift;
+  const size_t next_row = checkpoint_row + interval;
+  const size_t forward = row - checkpoint_row;
+  const size_t backward = static_cast<size_t>(
+      static_cast<size_t>(forward > interval / 2) &
+      static_cast<size_t>(next_row < column_rows));
+  // Arithmetic selects, not ternaries: gcc lowers these flag-multiplies
+  // to branch-free code, while the equivalent ternaries compiled to a
+  // 50/50-mispredicting branch and cost ~4 ns/access (measured).
+  const size_t begin = checkpoint_row + 1 + backward * forward;
+  const size_t count = forward + backward * (interval - 2 * forward);
+  const uint64_t anchor =
+      static_cast<uint64_t>(checkpoints[checkpoint + backward]);
+  const size_t fixed = interval / 2;
+  // The masked path needs count <= fixed; the last interval's forward
+  // replay can exceed it (no next checkpoint to seek back from).
+  uint64_t sum;
+  if (bit_width >= 1 && bit_width <= 14 && count <= fixed &&
+      begin + fixed <= column_rows) [[likely]] {
+    sum = static_cast<uint64_t>(
+        MaskedZigZagFoldAvx2(data, bit_width, begin, count, fixed));
+  } else {
+    sum = static_cast<uint64_t>(
+        ZigZagSumPackedAvx2(data, bit_width, begin, count));
+  }
+  // Negate the fold for a backward seek: value = next_checkpoint - sum.
+  const uint64_t sign = 0 - static_cast<uint64_t>(backward);
+  return static_cast<int64_t>(anchor + ((sum ^ sign) - sign));
+}
+
+void DeltaGatherAvx2(const uint8_t* data, int bit_width,
+                     const int64_t* checkpoints, int interval_shift,
+                     size_t column_rows, const uint32_t* rows, size_t count,
+                     int64_t* out) {
+  // Same running-cursor walk as the scalar backend; the per-gap folds
+  // land on the vectorized ZigZagSumPackedAvx2 (inlined — no dispatch
+  // inside the loop).
+  const size_t interval = size_t{1} << interval_shift;
+  size_t pos = 0;
+  uint64_t value = 0;
+  bool primed = false;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row = rows[i];
+    const size_t checkpoint = row >> interval_shift;
+    const size_t checkpoint_row = checkpoint << interval_shift;
+    if (!primed || row < pos || checkpoint_row > pos) {
+      const size_t next_row = checkpoint_row + interval;
+      const size_t forward = row - checkpoint_row;
+      if (forward <= interval / 2 || next_row >= column_rows) {
+        value = static_cast<uint64_t>(checkpoints[checkpoint]) +
+                static_cast<uint64_t>(ZigZagSumPackedAvx2(
+                    data, bit_width, checkpoint_row + 1, forward));
+      } else {
+        value = static_cast<uint64_t>(checkpoints[checkpoint + 1]) -
+                static_cast<uint64_t>(ZigZagSumPackedAvx2(
+                    data, bit_width, row + 1, next_row - row));
+      }
+      pos = row;
+      primed = true;
+    } else if (row > pos) {
+      value += static_cast<uint64_t>(
+          ZigZagSumPackedAvx2(data, bit_width, pos + 1, row - pos));
+      pos = row;
+    }
+    out[i] = static_cast<int64_t>(value);
+  }
+}
+
+void ExpandRunsAvx2(const int64_t* run_values, const uint32_t* run_ends,
+                    size_t run_begin, size_t row_begin, size_t count,
+                    int64_t* out) {
+  const size_t end = row_begin + count;
+  size_t run = run_begin;
+  size_t row = row_begin;
+  while (row < end) {
+    const size_t stop = run_ends[run] < end ? run_ends[run] : end;
+    const int64_t value = run_values[run];
+    const __m256i v = _mm256_set1_epi64x(value);
+    int64_t* dst = out + (row - row_begin);
+    const size_t n = stop - row;
+    size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + j), v);
+    }
+    for (; j < n; ++j) {
+      dst[j] = value;
+    }
+    row = stop;
+    ++run;
+  }
+}
+
+void GatherBitsAvx2(const uint8_t* data, int bit_width, const uint32_t* rows,
+                    size_t count, uint64_t* out) {
+  if (bit_width == 0) {
+    std::memset(out, 0, count * sizeof(uint64_t));
+    return;
+  }
+  const uint64_t mask = WidthMask(bit_width);
+  if (bit_width > 57) {
+    // shift + width can exceed the 8-byte load window; splice scalar.
+    for (size_t i = 0; i < count; ++i) {
+      const size_t bit_pos =
+          static_cast<size_t>(rows[i]) * static_cast<size_t>(bit_width);
+      const size_t byte = bit_pos >> 3;
+      const int shift = static_cast<int>(bit_pos & 7);
+      uint64_t word;
+      std::memcpy(&word, data + byte, sizeof(word));
+      uint64_t v = word >> shift;
+      if (shift + bit_width > 64) {
+        uint64_t next;
+        std::memcpy(&next, data + byte + 8, sizeof(next));
+        v |= next << (64 - shift);
+      }
+      out[i] = v & mask;
+    }
+    return;
+  }
+  // 4 positions per iteration: bit offsets via a 32x32->64 multiply
+  // (rows < 2^32, width <= 57, so the product fits), one vpgatherqq of
+  // the 8-byte windows, one variable shift, one mask. shift <= 7 and
+  // width <= 57 keep every value inside its gathered qword.
+  const __m256i vmask = _mm256_set1_epi64x(static_cast<int64_t>(mask));
+  const __m256i vwidth = _mm256_set1_epi64x(bit_width);
+  const __m256i vseven = _mm256_set1_epi64x(7);
+  size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i idx32 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(rows + i));
+    const __m256i rows64 = _mm256_cvtepu32_epi64(idx32);
+    const __m256i bit_pos = _mm256_mul_epu32(rows64, vwidth);
+    const __m256i byte = _mm256_srli_epi64(bit_pos, 3);
+    const __m256i shift = _mm256_and_si256(bit_pos, vseven);
+    const __m256i words = _mm256_i64gather_epi64(
+        reinterpret_cast<const long long*>(data), byte, 1);
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(out + i),
+        _mm256_and_si256(_mm256_srlv_epi64(words, shift), vmask));
+  }
+  for (; i < count; ++i) {
+    const size_t bit_pos =
+        static_cast<size_t>(rows[i]) * static_cast<size_t>(bit_width);
+    uint64_t word;
+    std::memcpy(&word, data + (bit_pos >> 3), sizeof(word));
+    out[i] = (word >> (bit_pos & 7)) & mask;
+  }
+}
+
 constexpr KernelTable MakeAvx2Table() {
   KernelTable table{};
   for (int w = 0; w <= kMaxKernelWidth; ++w) {
@@ -334,6 +783,13 @@ constexpr KernelTable MakeAvx2Table() {
   table.add_const = &AddConstAvx2;
   table.add_ref_base = &AddRefBaseAvx2;
   table.add_ref_zigzag = &AddRefZigZagAvx2;
+  table.zigzag_prefix_sum = &ZigZagPrefixSumAvx2;
+  table.zigzag_sum_packed = &ZigZagSumPackedAvx2;
+  table.delta_decode = &DeltaDecodeAvx2;
+  table.delta_point = &DeltaPointAvx2;
+  table.delta_gather = &DeltaGatherAvx2;
+  table.expand_runs = &ExpandRunsAvx2;
+  table.gather_bits = &GatherBitsAvx2;
   table.name = "avx2";
   return table;
 }

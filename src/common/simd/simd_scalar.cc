@@ -152,6 +152,218 @@ void AddRefZigZagScalarImpl(const int64_t* ref, const uint64_t* zigzag,
   }
 }
 
+// ZigZagDecode inlined so this file has no bit_util dependency.
+inline uint64_t ZigZagDecodeOne(uint64_t z) {
+  return (z >> 1) ^ (~(z & 1) + 1);
+}
+
+void ZigZagPrefixSumScalarImpl(const uint64_t* zigzag, size_t count,
+                               int64_t seed, int64_t* out) {
+  // The sum itself is a serial dependency; unrolling by 2 lets the
+  // zig-zag decodes of the next pair overlap the adds of the current one.
+  uint64_t acc = static_cast<uint64_t>(seed);
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const uint64_t d0 = ZigZagDecodeOne(zigzag[i]);
+    const uint64_t d1 = ZigZagDecodeOne(zigzag[i + 1]);
+    out[i] = static_cast<int64_t>(acc + d0);
+    acc += d0 + d1;
+    out[i + 1] = static_cast<int64_t>(acc);
+  }
+  if (i < count) {
+    acc += ZigZagDecodeOne(zigzag[i]);
+    out[i] = static_cast<int64_t>(acc);
+  }
+}
+
+int64_t ZigZagSumPackedScalarImpl(const uint8_t* data, int bit_width,
+                                  size_t begin, size_t count) {
+  if (bit_width == 0 || count == 0) {
+    return 0;
+  }
+  const uint64_t mask = WidthMask(bit_width);
+  const size_t w = static_cast<size_t>(bit_width);
+  size_t bit = begin * w;
+  uint64_t acc0 = 0;
+  uint64_t acc1 = 0;
+  size_t i = 0;
+  if (bit_width <= 28) {
+    // Two values per 8-byte load: shift + width stays <= 63 for the
+    // second value too (in-word shift <= 7 + 2*28).
+    for (; i + 2 <= count; i += 2, bit += 2 * w) {
+      uint64_t word;
+      std::memcpy(&word, data + (bit >> 3), sizeof(word));
+      const int shift = static_cast<int>(bit & 7);
+      acc0 += ZigZagDecodeOne((word >> shift) & mask);
+      acc1 += ZigZagDecodeOne((word >> (shift + bit_width)) & mask);
+    }
+  } else if (bit_width > 57) {
+    // A value can straddle 9 bytes; splice the tail from the next word.
+    for (; i < count; ++i, bit += w) {
+      const size_t byte = bit >> 3;
+      const int shift = static_cast<int>(bit & 7);
+      uint64_t word;
+      std::memcpy(&word, data + byte, sizeof(word));
+      uint64_t v = word >> shift;
+      if (shift + bit_width > 64) {
+        uint64_t next;
+        std::memcpy(&next, data + byte + 8, sizeof(next));
+        v |= next << (64 - shift);
+      }
+      acc0 += ZigZagDecodeOne(v & mask);
+    }
+  }
+  for (; i < count; ++i, bit += w) {
+    uint64_t word;
+    std::memcpy(&word, data + (bit >> 3), sizeof(word));
+    acc0 += ZigZagDecodeOne((word >> (bit & 7)) & mask);
+  }
+  return static_cast<int64_t>(acc0 + acc1);
+}
+
+void DeltaDecodeScalarImpl(const uint8_t* data, int bit_width, size_t begin,
+                           size_t count, int64_t seed, int64_t* out) {
+  if (bit_width == 0) {
+    for (size_t i = 0; i < count; ++i) {
+      out[i] = seed;
+    }
+    return;
+  }
+  // Chunked unpack + prefix sum through the existing kernels: the chunk
+  // stays L1-resident and both passes are already unrolled.
+  uint64_t deltas[512];
+  size_t done = 0;
+  while (done < count) {
+    const size_t len = count - done < 512 ? count - done : 512;
+    UnpackRangeWith(ScalarTable(), data, bit_width, begin + done, len,
+                    deltas);
+    ZigZagPrefixSumScalarImpl(deltas, len, seed, out + done);
+    seed = out[done + len - 1];
+    done += len;
+  }
+}
+
+
+int64_t DeltaPointScalarImpl(const uint8_t* data, int bit_width,
+                      const int64_t* checkpoints, int interval_shift,
+                      size_t column_rows, size_t row) {
+  // Nearest-checkpoint seek with the fold direction picked by
+  // conditional select (no hard-to-predict branch before the fold).
+  const size_t interval = size_t{1} << interval_shift;
+  const size_t checkpoint = row >> interval_shift;
+  const size_t checkpoint_row = checkpoint << interval_shift;
+  const size_t next_row = checkpoint_row + interval;
+  const size_t forward = row - checkpoint_row;
+  const bool backward = forward > interval / 2 && next_row < column_rows;
+  const size_t begin = backward ? row + 1 : checkpoint_row + 1;
+  const size_t count = backward ? next_row - row : forward;
+  const uint64_t anchor =
+      static_cast<uint64_t>(checkpoints[checkpoint + (backward ? 1 : 0)]);
+  const uint64_t sum =
+      static_cast<uint64_t>(ZigZagSumPackedScalarImpl(data, bit_width, begin, count));
+  return static_cast<int64_t>(anchor + (backward ? ~sum + 1 : sum));
+}
+
+void DeltaGatherScalarImpl(const uint8_t* data, int bit_width,
+                           const int64_t* checkpoints, int interval_shift,
+                           size_t column_rows, const uint32_t* rows,
+                           size_t count, int64_t* out) {
+  // Running-cursor walk over the selection; every gap is one fused
+  // packed zig-zag fold, and a position that is closer to a checkpoint
+  // than to the cursor (or behind the cursor) re-anchors through the
+  // nearest checkpoint instead.
+  const size_t interval = size_t{1} << interval_shift;
+  size_t pos = 0;
+  uint64_t value = 0;
+  bool primed = false;
+  for (size_t i = 0; i < count; ++i) {
+    const size_t row = rows[i];
+    const size_t checkpoint = row >> interval_shift;
+    const size_t checkpoint_row = checkpoint << interval_shift;
+    if (!primed || row < pos || checkpoint_row > pos) {
+      const size_t next_row = checkpoint_row + interval;
+      const size_t forward = row - checkpoint_row;
+      if (forward <= interval / 2 || next_row >= column_rows) {
+        value = static_cast<uint64_t>(checkpoints[checkpoint]) +
+                static_cast<uint64_t>(ZigZagSumPackedScalarImpl(
+                    data, bit_width, checkpoint_row + 1, forward));
+      } else {
+        value = static_cast<uint64_t>(checkpoints[checkpoint + 1]) -
+                static_cast<uint64_t>(ZigZagSumPackedScalarImpl(
+                    data, bit_width, row + 1, next_row - row));
+      }
+      pos = row;
+      primed = true;
+    } else if (row > pos) {
+      value += static_cast<uint64_t>(
+          ZigZagSumPackedScalarImpl(data, bit_width, pos + 1, row - pos));
+      pos = row;
+    }
+    out[i] = static_cast<int64_t>(value);
+  }
+}
+
+void ExpandRunsScalarImpl(const int64_t* run_values, const uint32_t* run_ends,
+                          size_t run_begin, size_t row_begin, size_t count,
+                          int64_t* out) {
+  const size_t end = row_begin + count;
+  size_t run = run_begin;
+  size_t row = row_begin;
+  while (row < end) {
+    const size_t stop = run_ends[run] < end ? run_ends[run] : end;
+    const int64_t v = run_values[run];
+    size_t n = stop - row;
+    int64_t* dst = out + (row - row_begin);
+    // Word-at-a-time fill; the compiler widens this to vector stores.
+    for (; n >= 4; n -= 4, dst += 4) {
+      dst[0] = v;
+      dst[1] = v;
+      dst[2] = v;
+      dst[3] = v;
+    }
+    for (; n > 0; --n, ++dst) {
+      *dst = v;
+    }
+    row = stop;
+    ++run;
+  }
+}
+
+void GatherBitsScalarImpl(const uint8_t* data, int bit_width,
+                          const uint32_t* rows, size_t count, uint64_t* out) {
+  if (bit_width == 0) {
+    std::memset(out, 0, count * sizeof(uint64_t));
+    return;
+  }
+  const uint64_t mask = WidthMask(bit_width);
+  if (bit_width > 57) {
+    // A value can straddle 9 bytes; splice the tail from the next word.
+    for (size_t i = 0; i < count; ++i) {
+      const size_t bit_pos =
+          static_cast<size_t>(rows[i]) * static_cast<size_t>(bit_width);
+      const size_t byte = bit_pos >> 3;
+      const int shift = static_cast<int>(bit_pos & 7);
+      uint64_t word;
+      std::memcpy(&word, data + byte, sizeof(word));
+      uint64_t v = word >> shift;
+      if (shift + bit_width > 64) {
+        uint64_t next;
+        std::memcpy(&next, data + byte + 8, sizeof(next));
+        v |= next << (64 - shift);
+      }
+      out[i] = v & mask;
+    }
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const size_t bit_pos =
+        static_cast<size_t>(rows[i]) * static_cast<size_t>(bit_width);
+    uint64_t word;
+    std::memcpy(&word, data + (bit_pos >> 3), sizeof(word));
+    out[i] = (word >> (bit_pos & 7)) & mask;
+  }
+}
+
 constexpr KernelTable MakeScalarTable() {
   KernelTable table{};
   for (int w = 0; w <= kMaxKernelWidth; ++w) {
@@ -166,6 +378,13 @@ constexpr KernelTable MakeScalarTable() {
   table.add_const = &AddConstScalarImpl;
   table.add_ref_base = &AddRefBaseScalarImpl;
   table.add_ref_zigzag = &AddRefZigZagScalarImpl;
+  table.zigzag_prefix_sum = &ZigZagPrefixSumScalarImpl;
+  table.zigzag_sum_packed = &ZigZagSumPackedScalarImpl;
+  table.delta_decode = &DeltaDecodeScalarImpl;
+  table.delta_point = &DeltaPointScalarImpl;
+  table.delta_gather = &DeltaGatherScalarImpl;
+  table.expand_runs = &ExpandRunsScalarImpl;
+  table.gather_bits = &GatherBitsScalarImpl;
   table.name = "scalar";
   return table;
 }

@@ -206,18 +206,33 @@ int64_t DforColumn::Get(size_t row) const {
   return ref_->Get(row) + DiffAt(row);
 }
 
-void DforColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = ref_->Get(rows[i]) + DiffAt(rows[i]);
-  }
-}
-
 void DforColumn::GatherWithReference(std::span<const uint32_t> rows,
                                      const int64_t* ref_values,
                                      int64_t* out) const {
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = ref_values[i] + DiffAt(rows[i]);
+  // Frame-grouped positioned gather: positions sharing a frame are
+  // rebased to frame-local indices and gathered from the frame's
+  // byte-aligned payload slice with one SIMD GatherBits per group, then
+  // combined with the reference values and the frame base in one
+  // vectorized add. A frame switch (or an out-of-order caller) simply
+  // starts a new group.
+  uint32_t local[enc::kMorselRows];
+  uint64_t offsets[enc::kMorselRows];
+  size_t i = 0;
+  while (i < rows.size()) {
+    const size_t f = rows[i] / kFrameSize;
+    const uint32_t frame_first = static_cast<uint32_t>(f * kFrameSize);
+    size_t j = i;
+    while (j < rows.size() && j - i < enc::kMorselRows &&
+           rows[j] / kFrameSize == f) {
+      local[j - i] = rows[j] - frame_first;
+      ++j;
+    }
+    const size_t len = j - i;
+    simd::GatherBits(payload_.data() + (frame_bit_starts_[f] >> 3),
+                     frame_widths_[f], local, len, offsets);
+    simd::AddRefAndBase(ref_values + i, offsets, frame_bases_[f], len,
+                        out + i);
+    i = j;
   }
 }
 

@@ -1,9 +1,11 @@
 #include "core/c3/numerical.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::c3 {
 
@@ -151,21 +153,23 @@ int64_t NumericalColumn::Get(size_t row) const {
          static_cast<int64_t>(packed_.Get(row));
 }
 
-void NumericalColumn::Gather(std::span<const uint32_t> rows,
-                             int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = Predict(ref_->Get(rows[i])) + base_ +
-             static_cast<int64_t>(packed_.Get(rows[i]));
-  }
-}
-
 void NumericalColumn::GatherWithReference(std::span<const uint32_t> rows,
                                           const int64_t* ref_values,
                                           int64_t* out) const {
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = Predict(ref_values[i]) + base_ +
-             static_cast<int64_t>(packed_.Get(rows[i]));
+  // Positioned SIMD gather of the packed residuals, then the affine
+  // model over the staged chunk.
+  uint64_t residuals[enc::kMorselRows];
+  const int64_t base = base_;
+  size_t done = 0;
+  while (done < rows.size()) {
+    const size_t len = std::min(rows.size() - done, enc::kMorselRows);
+    simd::GatherBits(bytes_.data(), packed_.bit_width(), rows.data() + done,
+                     len, residuals);
+    for (size_t i = 0; i < len; ++i) {
+      out[done + i] = Predict(ref_values[done + i]) + base +
+                      static_cast<int64_t>(residuals[i]);
+    }
+    done += len;
   }
 }
 

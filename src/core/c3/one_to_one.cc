@@ -160,15 +160,6 @@ int64_t OneToOneColumn::Get(size_t row) const {
   return MapValue(ref_->Get(row));
 }
 
-void OneToOneColumn::Gather(std::span<const uint32_t> rows,
-                            int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = MapValue(ref_->Get(rows[i]));
-  }
-  outliers_.Patch(rows, out);
-}
-
 void OneToOneColumn::GatherWithReference(std::span<const uint32_t> rows,
                                          const int64_t* ref_values,
                                          int64_t* out) const {

@@ -5,7 +5,6 @@
 
 #include "common/bit_util.h"
 #include "common/simd/simd.h"
-#include "core/ref_dispatch.h"
 
 namespace corra {
 
@@ -231,25 +230,31 @@ int64_t DiffEncodedColumn::Get(size_t row) const {
   return ref_->Get(row) + DiffAt(row);
 }
 
-void DiffEncodedColumn::Gather(std::span<const uint32_t> rows,
-                               int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  // Dispatch on the reference's concrete type once, then run a tight loop
-  // with an inlined accessor (the per-row virtual call would otherwise
-  // dominate this hot path).
-  DispatchRef(*ref_, [&](const auto& ref) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      out[i] = ref.Get(rows[i]) + DiffAt(rows[i]);
-    }
-  });
-  outliers_.Patch(rows, out);
-}
-
 void DiffEncodedColumn::GatherWithReference(std::span<const uint32_t> rows,
                                             const int64_t* ref_values,
                                             int64_t* out) const {
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = ref_values[i] + DiffAt(rows[i]);
+  // Positioned SIMD gather of the packed diff codes, then the same
+  // mode-hoisted combine passes as DecodeRangeWithReference; the sparse
+  // outlier positions are patched over the result at the end.
+  uint64_t codes[enc::kMorselRows];
+  size_t done = 0;
+  while (done < rows.size()) {
+    const size_t len = std::min(rows.size() - done, enc::kMorselRows);
+    simd::GatherBits(bytes_.data(), packed_.bit_width(), rows.data() + done,
+                     len, codes);
+    switch (mode_) {
+      case DiffMode::kRaw:
+        simd::AddRefAndBase(ref_values + done, codes, 0, len, out + done);
+        break;
+      case DiffMode::kZigZag:
+        simd::AddRefZigZag(ref_values + done, codes, len, out + done);
+        break;
+      case DiffMode::kWindow:
+        simd::AddRefAndBase(ref_values + done, codes, base_, len,
+                            out + done);
+        break;
+    }
+    done += len;
   }
   outliers_.Patch(rows, out);
 }

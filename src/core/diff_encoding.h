@@ -71,7 +71,6 @@ class DiffEncodedColumn final : public SingleRefColumn {
   size_t size() const override { return packed_.size(); }
   size_t SizeBytes() const override;
   int64_t Get(size_t row) const override;
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
   void GatherWithReference(std::span<const uint32_t> rows,
                            const int64_t* ref_values,
                            int64_t* out) const override;

@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "common/bit_util.h"
-#include "core/ref_dispatch.h"
+#include "common/simd/simd.h"
 
 namespace corra {
 
@@ -172,24 +172,22 @@ int64_t HierarchicalColumn::Get(size_t row) const {
   return values_[offsets_[ref] + local_.Get(row)];
 }
 
-void HierarchicalColumn::Gather(std::span<const uint32_t> rows,
-                                int64_t* out) const {
-  assert(ref_ != nullptr && "reference not bound");
-  // Batch-level dispatch on the reference type; see ref_dispatch.h.
-  DispatchRef(*ref_, [&](const auto& ref_column) {
-    for (size_t i = 0; i < rows.size(); ++i) {
-      const size_t ref = static_cast<size_t>(ref_column.Get(rows[i]));
-      out[i] = values_[offsets_[ref] + local_.Get(rows[i])];
-    }
-  });
-}
-
 void HierarchicalColumn::GatherWithReference(std::span<const uint32_t> rows,
                                              const int64_t* ref_values,
                                              int64_t* out) const {
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const size_t ref = static_cast<size_t>(ref_values[i]);
-    out[i] = values_[offsets_[ref] + local_.Get(rows[i])];
+  // Positioned SIMD gather of the packed local indices, then Alg. 1's
+  // metadata translation over the staged chunk.
+  uint64_t local[enc::kMorselRows];
+  size_t done = 0;
+  while (done < rows.size()) {
+    const size_t len = std::min(rows.size() - done, enc::kMorselRows);
+    simd::GatherBits(bytes_.data(), local_.bit_width(), rows.data() + done,
+                     len, local);
+    for (size_t i = 0; i < len; ++i) {
+      const size_t ref = static_cast<size_t>(ref_values[done + i]);
+      out[done + i] = values_[offsets_[ref] + local[i]];
+    }
+    done += len;
   }
 }
 

@@ -75,6 +75,26 @@ class SingleRefColumn : public enc::EncodedColumn {
     }
   }
 
+  /// Shared sparse-decode driver: gather the reference at morsel-sized
+  /// position chunks through its own GatherRange fast path, then run the
+  /// scheme's positioned kernel over the staged reference values. The
+  /// reference is fetched exactly once per selected row, with no per-row
+  /// virtual calls on either column.
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override {
+    int64_t ref_values[enc::kMorselRows];
+    size_t done = 0;
+    while (done < rows.size()) {
+      const size_t len = rows.size() - done < enc::kMorselRows
+                             ? rows.size() - done
+                             : enc::kMorselRows;
+      const auto chunk = rows.subspan(done, len);
+      ref_->GatherRange(chunk, ref_values);
+      GatherWithReference(chunk, ref_values, out + done);
+      done += len;
+    }
+  }
+
  protected:
   explicit SingleRefColumn(uint32_t ref_index) : ref_index_(ref_index) {}
 

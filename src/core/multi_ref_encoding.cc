@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra {
 
@@ -271,13 +272,14 @@ int64_t MultiRefColumn::Get(size_t row) const {
   return sum;
 }
 
-void MultiRefColumn::Gather(std::span<const uint32_t> rows,
-                            int64_t* out) const {
+void MultiRefColumn::GatherRange(std::span<const uint32_t> rows,
+                                 int64_t* out) const {
   assert(!bound_groups_.empty() && "references not bound");
-  // Column-at-a-time in cache-sized chunks: one virtual Gather per
-  // reference column per chunk (tight loop inside), instead of one
-  // virtual Get per (row, column) pair. Group sums are accumulated per
-  // chunk, then combined per row through the formula mask.
+  // Column-at-a-time in cache-sized chunks: one positioned GatherRange
+  // per reference column per chunk (each scheme's sparse fast path),
+  // instead of one virtual Get per (row, column) pair. The formula codes
+  // are gathered from the packed stream in bulk too; group sums are
+  // accumulated per chunk, then combined per row through the mask.
   constexpr size_t kChunk = 4096;
   const size_t num_groups = bound_groups_.size();
   std::vector<std::vector<int64_t>> group_sums(num_groups);
@@ -285,20 +287,23 @@ void MultiRefColumn::Gather(std::span<const uint32_t> rows,
     sums.resize(kChunk);
   }
   std::vector<int64_t> scratch(kChunk);
+  std::vector<uint64_t> codes(kChunk);
   for (size_t begin = 0; begin < rows.size(); begin += kChunk) {
     const size_t len = std::min(kChunk, rows.size() - begin);
     const auto chunk = rows.subspan(begin, len);
     for (size_t g = 0; g < num_groups; ++g) {
       std::fill_n(group_sums[g].data(), len, 0);
       for (const enc::EncodedColumn* col : bound_groups_[g]) {
-        col->Gather(chunk, scratch.data());
+        col->GatherRange(chunk, scratch.data());
         for (size_t i = 0; i < len; ++i) {
           group_sums[g][i] += scratch[i];
         }
       }
     }
+    simd::GatherBits(bytes_.data(), codes_.bit_width(), chunk.data(), len,
+                     codes.data());
     for (size_t i = 0; i < len; ++i) {
-      const uint8_t mask = table_.formulas[codes_.Get(chunk[i])];
+      const uint8_t mask = table_.formulas[codes[i]];
       int64_t sum = 0;
       for (size_t g = 0; g < num_groups; ++g) {
         if (mask & (1u << g)) {

@@ -80,7 +80,8 @@ class MultiRefColumn final : public enc::EncodedColumn {
   size_t size() const override { return codes_.size(); }
   size_t SizeBytes() const override;
   int64_t Get(size_t row) const override;
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override;
   void DecodeRange(size_t row_begin, size_t count,
                    int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::enc {
 
@@ -66,11 +67,11 @@ size_t BitPackColumn::SizeBytes() const {
   return bit_util::CeilDiv(reader_.size() * reader_.bit_width(), 8);
 }
 
-void BitPackColumn::Gather(std::span<const uint32_t> rows,
-                           int64_t* out) const {
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = static_cast<int64_t>(reader_.Get(rows[i]));
-  }
+void BitPackColumn::GatherRange(std::span<const uint32_t> rows,
+                                int64_t* out) const {
+  // Positioned SIMD gather straight from the packed stream.
+  simd::GatherBits(bytes_.data(), reader_.bit_width(), rows.data(),
+                   rows.size(), reinterpret_cast<uint64_t*>(out));
 }
 
 void BitPackColumn::DecodeAll(int64_t* out) const {

@@ -1,20 +1,49 @@
 #include "encoding/delta.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/bit_util.h"
+#include "common/simd/simd.h"
 
 namespace corra::enc {
 
+namespace {
+
+// Extended-format marker for the serialized layout: the legacy layout
+// starts with the checkpoint array's uint64 length prefix, which can
+// never be UINT64_MAX, so the marker unambiguously announces that a
+// checkpoint interval field follows. Columns whose interval matches the
+// legacy constant keep writing the legacy layout byte-for-byte (and
+// stay readable by older readers); every legacy file was written with
+// that constant, so the sniffing reader maps the legacy layout to it.
+constexpr uint64_t kIntervalMarker = ~uint64_t{0};
+constexpr size_t kLegacySerializedInterval = 128;
+
+bool ValidInterval(size_t interval) {
+  return interval >= DeltaColumn::kMinCheckpointInterval &&
+         interval <= DeltaColumn::kMaxCheckpointInterval &&
+         (interval & (interval - 1)) == 0;
+}
+
+}  // namespace
+
 DeltaColumn::DeltaColumn(std::vector<int64_t> checkpoints,
                          std::vector<uint8_t> bytes, int bit_width,
-                         size_t count)
+                         size_t count, size_t interval)
     : checkpoints_(std::move(checkpoints)),
       bytes_(std::move(bytes)),
-      reader_(bytes_.data(), bit_width, count) {}
+      reader_(bytes_.data(), bit_width, count),
+      interval_(interval),
+      interval_shift_(std::countr_zero(interval)),
+      point_kernel_(simd::ResolveDeltaPointKernel()) {}
 
 Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Encode(
-    std::span<const int64_t> values) {
+    std::span<const int64_t> values, size_t checkpoint_interval) {
+  if (!ValidInterval(checkpoint_interval)) {
+    return Status::InvalidArgument(
+        "Delta checkpoint interval must be a power of two in [32, 2048]");
+  }
   // First pass: width of the widest zig-zag delta.
   uint64_t max_zz = 0;
   for (size_t i = 1; i < values.size(); ++i) {
@@ -27,10 +56,10 @@ Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Encode(
   const int width = bit_util::BitWidth(max_zz);
 
   std::vector<int64_t> checkpoints;
-  checkpoints.reserve(values.size() / kCheckpointInterval + 1);
+  checkpoints.reserve(values.size() / checkpoint_interval + 1);
   BitWriter writer(width);
   for (size_t i = 0; i < values.size(); ++i) {
-    if (i % kCheckpointInterval == 0) {
+    if (i % checkpoint_interval == 0) {
       checkpoints.push_back(values[i]);
     }
     const int64_t prev = i == 0 ? 0 : values[i - 1];
@@ -42,10 +71,11 @@ Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Encode(
   }
   return std::unique_ptr<DeltaColumn>(
       new DeltaColumn(std::move(checkpoints), std::move(writer).Finish(),
-                      width, values.size()));
+                      width, values.size(), checkpoint_interval));
 }
 
-size_t DeltaColumn::EstimateSizeBytes(std::span<const int64_t> values) {
+size_t DeltaColumn::EstimateSizeBytes(std::span<const int64_t> values,
+                                      size_t checkpoint_interval) {
   uint64_t max_zz = 0;
   for (size_t i = 1; i < values.size(); ++i) {
     const int64_t delta = static_cast<int64_t>(
@@ -54,15 +84,33 @@ size_t DeltaColumn::EstimateSizeBytes(std::span<const int64_t> values) {
   }
   const int width = bit_util::BitWidth(max_zz);
   const size_t checkpoints =
-      values.empty() ? 0 : (values.size() - 1) / kCheckpointInterval + 1;
+      values.empty() ? 0 : (values.size() - 1) / checkpoint_interval + 1;
   return bit_util::CeilDiv(values.size() * width, 8) +
          checkpoints * sizeof(int64_t);
 }
 
 Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Deserialize(
     BufferReader* reader) {
+  // Format sniff: the legacy layout begins with the checkpoint array's
+  // length prefix; the extended layout begins with kIntervalMarker
+  // followed by the interval. Legacy columns always used the default.
+  uint64_t first = 0;
+  CORRA_RETURN_NOT_OK(reader->Read(&first));
+  size_t interval = kLegacySerializedInterval;
   std::vector<int64_t> checkpoints;
-  CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&checkpoints));
+  if (first == kIntervalMarker) {
+    uint64_t stored_interval = 0;
+    CORRA_RETURN_NOT_OK(reader->Read(&stored_interval));
+    if (stored_interval > kMaxCheckpointInterval ||
+        !ValidInterval(static_cast<size_t>(stored_interval))) {
+      return Status::Corruption("Delta checkpoint interval invalid");
+    }
+    interval = static_cast<size_t>(stored_interval);
+    CORRA_RETURN_NOT_OK(reader->ReadInt64Array(&checkpoints));
+  } else {
+    CORRA_RETURN_NOT_OK(
+        reader->ReadInt64Values(static_cast<size_t>(first), &checkpoints));
+  }
   uint8_t width = 0;
   uint64_t count = 0;
   CORRA_RETURN_NOT_OK(reader->Read(&width));
@@ -71,7 +119,7 @@ Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Deserialize(
     return Status::Corruption("Delta width > 64");
   }
   const size_t expected_checkpoints =
-      count == 0 ? 0 : (count - 1) / kCheckpointInterval + 1;
+      count == 0 ? 0 : (count - 1) / interval + 1;
   if (checkpoints.size() != expected_checkpoints) {
     return Status::Corruption("Delta checkpoint count mismatch");
   }
@@ -83,7 +131,7 @@ Result<std::unique_ptr<DeltaColumn>> DeltaColumn::Deserialize(
   std::vector<uint8_t> bytes(payload.begin(), payload.end());
   bytes.resize(bit_util::PackedBytes(count, width), 0);  // Decode slack.
   return std::unique_ptr<DeltaColumn>(new DeltaColumn(
-      std::move(checkpoints), std::move(bytes), width, count));
+      std::move(checkpoints), std::move(bytes), width, count, interval));
 }
 
 size_t DeltaColumn::SizeBytes() const {
@@ -91,66 +139,67 @@ size_t DeltaColumn::SizeBytes() const {
          checkpoints_.size() * sizeof(int64_t);
 }
 
-int64_t DeltaColumn::Get(size_t row) const {
-  // Seek from the *nearest* checkpoint, not just the one below: a prefix
-  // of deltas after the covering checkpoint sums forward to the value,
-  // and a suffix of deltas up to the *next* checkpoint sums backward
-  // (value = next_checkpoint - sum). Picking the closer side halves the
-  // expected replay from kCheckpointInterval / 2 to kCheckpointInterval
-  // / 4 deltas, and the replay itself is one bulk unpack (SIMD kernel
-  // layer) plus a zig-zag fold instead of a per-delta bit fetch.
-  const size_t checkpoint = row / kCheckpointInterval;
-  const size_t checkpoint_row = checkpoint * kCheckpointInterval;
-  const size_t next_row = checkpoint_row + kCheckpointInterval;
-  const size_t forward = row - checkpoint_row;
-
-  uint64_t deltas[kCheckpointInterval];
-  uint64_t sum = 0;
-  if (forward <= kCheckpointInterval / 2 || next_row >= reader_.size()) {
-    // Forward: checkpoint + deltas (checkpoint_row, row].
-    reader_.DecodeRange(checkpoint_row + 1, forward, deltas);
-    for (size_t i = 0; i < forward; ++i) {
-      sum += static_cast<uint64_t>(bit_util::ZigZagDecode(deltas[i]));
-    }
-    return static_cast<int64_t>(
-        static_cast<uint64_t>(checkpoints_[checkpoint]) + sum);
-  }
-  // Backward: next checkpoint - deltas (row, next_row].
-  const size_t backward = next_row - row;
-  reader_.DecodeRange(row + 1, backward, deltas);
-  for (size_t i = 0; i < backward; ++i) {
-    sum += static_cast<uint64_t>(bit_util::ZigZagDecode(deltas[i]));
-  }
-  return static_cast<int64_t>(
-      static_cast<uint64_t>(checkpoints_[checkpoint + 1]) - sum);
+int64_t DeltaColumn::SeekValue(size_t row) const {
+  // One fused kernel call: seek from the *nearest* checkpoint (forward
+  // from the covering one or backward from the next), with the replay
+  // folded straight out of the packed stream. Expected replay is
+  // interval / 4 deltas; see simd::DeltaPointPacked.
+  return point_kernel_(bytes_.data(), reader_.bit_width(),
+                       checkpoints_.data(), interval_shift_, reader_.size(),
+                       row);
 }
 
-void DeltaColumn::Gather(std::span<const uint32_t> rows,
-                         int64_t* out) const {
-  // Checkpoint-seek-then-run over the sorted positions: keep the running
-  // value from the previous position and only re-seek to a checkpoint
-  // when it is closer than the current decode cursor. Dense-ish sorted
-  // selections decode each delta at most once instead of re-scanning
-  // from a checkpoint per row (what the base-class Get loop would do).
-  int64_t value = 0;
-  size_t pos = 0;     // Row the running value corresponds to.
-  bool primed = false;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const size_t row = rows[i];
-    const size_t checkpoint_row =
-        row / kCheckpointInterval * kCheckpointInterval;
-    if (!primed || checkpoint_row > pos || row < pos) {
-      value = checkpoints_[row / kCheckpointInterval];
-      pos = checkpoint_row;
-      primed = true;
+int64_t DeltaColumn::Get(size_t row) const { return SeekValue(row); }
+
+void DeltaColumn::GatherRange(std::span<const uint32_t> rows,
+                              int64_t* out) const {
+  const size_t n = rows.size();
+  if (n == 0) {
+    return;
+  }
+  // Two checkpoint-indexed strategies, picked by selection density
+  // (measured crossover at an average gap of ~24 deltas, see the bench):
+  //
+  //  * sparse: one batched kernel call walks the selection with a
+  //    running cursor, folding each gap straight out of the packed
+  //    stream and re-anchoring through the nearest checkpoint. Work per
+  //    row is bounded by the gap (<= interval/2), but the
+  //    variable-length folds cost a branch mispredict or two per row.
+  //  * dense: reconstruct each covering window (anchored at its
+  //    checkpoint, at most one morsel long) with the fused branch-free
+  //    unpack+zigzag+prefix-sum kernel, then pick the selected values.
+  //    Work per row is (gap+1) * ~0.5ns but entirely predictable.
+  //
+  // An unsorted selection (detected by span) takes the sparse path,
+  // which tolerates out-of-order positions by re-anchoring.
+  constexpr size_t kDenseGatherMaxGap = 24;
+  const size_t span = rows[n - 1] >= rows[0] ? rows[n - 1] - rows[0] + 1 : 0;
+  if (span == 0 || span > n * kDenseGatherMaxGap) {
+    simd::DeltaGatherPacked(bytes_.data(), reader_.bit_width(),
+                            checkpoints_.data(), interval_shift_,
+                            reader_.size(), rows.data(), n, out);
+    return;
+  }
+  int64_t values[kMorselRows + 1];
+  size_t i = 0;
+  while (i < n) {
+    const size_t k = rows[i] >> interval_shift_;
+    const size_t anchor = k << interval_shift_;
+    const size_t window_end = std::min(anchor + kMorselRows, reader_.size());
+    size_t j = i;
+    size_t last_row = rows[i];
+    while (j < n && rows[j] >= last_row && rows[j] < window_end) {
+      last_row = rows[j];
+      ++j;
     }
-    for (; pos < row; ) {
-      ++pos;
-      value = static_cast<int64_t>(
-          static_cast<uint64_t>(value) +
-          static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(pos))));
+    // values[v] is the reconstructed value at row anchor + v; slot 0 is
+    // the checkpoint itself, so the pick loop is branch-free.
+    values[0] = checkpoints_[k];
+    simd::DeltaDecodePacked(bytes_.data(), reader_.bit_width(), anchor + 1,
+                            last_row - anchor, checkpoints_[k], values + 1);
+    for (; i < j; ++i) {
+      out[i] = values[rows[i] - anchor];
     }
-    out[i] = value;
   }
 }
 
@@ -163,33 +212,21 @@ void DeltaColumn::DecodeRange(size_t row_begin, size_t count,
   if (count == 0) {
     return;
   }
-  // Seek to the covering checkpoint, then run forward; rows before
-  // `row_begin` are decoded (at most kCheckpointInterval - 1 of them)
-  // but not emitted. Later checkpoints inside the range re-anchor the
-  // running value, which keeps the loop correct across checkpoint-
-  // straddling morsels.
-  const size_t end = row_begin + count;
-  size_t i = row_begin / kCheckpointInterval * kCheckpointInterval;
-  int64_t value = checkpoints_[i / kCheckpointInterval];
-  for (;; ++i) {
-    if (i % kCheckpointInterval == 0) {
-      value = checkpoints_[i / kCheckpointInterval];
-    } else {
-      value = static_cast<int64_t>(
-          static_cast<uint64_t>(value) +
-          static_cast<uint64_t>(bit_util::ZigZagDecode(reader_.Get(i))));
-    }
-    if (i >= row_begin) {
-      out[i - row_begin] = value;
-    }
-    if (i + 1 >= end) {
-      break;
-    }
-  }
+  // One checkpoint seek for the first value, then the rest of the range
+  // is a single fused unpack + zig-zag + prefix-sum kernel call over the
+  // packed stream. No re-anchoring is needed inside the range: the
+  // wrap-around prefix sum reproduces every checkpoint value exactly.
+  out[0] = SeekValue(row_begin);
+  simd::DeltaDecodePacked(bytes_.data(), reader_.bit_width(), row_begin + 1,
+                          count - 1, out[0], out + 1);
 }
 
 void DeltaColumn::Serialize(BufferWriter* writer) const {
   writer->Write<uint8_t>(static_cast<uint8_t>(Scheme::kDelta));
+  if (interval_ != kLegacySerializedInterval) {
+    writer->Write<uint64_t>(kIntervalMarker);
+    writer->Write<uint64_t>(interval_);
+  }
   writer->WriteInt64Array(checkpoints_);
   writer->Write<uint8_t>(static_cast<uint8_t>(reader_.bit_width()));
   writer->Write<uint64_t>(reader_.size());

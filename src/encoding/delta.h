@@ -1,11 +1,19 @@
 // Delta encoding with checkpoints.
 //
 // Each value is stored as the zig-zag difference to its predecessor;
-// absolute values are checkpointed every kCheckpointInterval rows so random
-// access costs at most one checkpoint plus a bounded scan. The paper
-// excludes Delta from its baseline precisely because of this checkpoint
-// cost — implementing it lets the scheme selector demonstrate that choice
-// instead of asserting it.
+// absolute values are checkpointed every `checkpoint_interval` rows so
+// random access costs at most one checkpoint plus a bounded replay. The
+// paper excludes Delta from its baseline precisely because of this
+// checkpoint cost — implementing it lets the scheme selector demonstrate
+// that choice instead of asserting it.
+//
+// Sparse decode: DecodeRange is one checkpoint seek plus the fused
+// unpack+zigzag+prefix-sum kernel (simd::DeltaDecodePacked); Get is one
+// nearest-checkpoint fixed-trip masked fold (simd::DeltaPointPacked);
+// GatherRange splits by selection density between fused window
+// reconstruction and a batched running-cursor kernel
+// (simd::DeltaGatherPacked). No path materializes a packed window or
+// bottoms out in per-delta bit fetches.
 
 #ifndef CORRA_ENCODING_DELTA_H_
 #define CORRA_ENCODING_DELTA_H_
@@ -15,30 +23,59 @@
 #include <vector>
 
 #include "common/bit_stream.h"
+#include "common/simd/simd.h"
 #include "encoding/encoded_column.h"
 
 namespace corra::enc {
 
 class DeltaColumn final : public EncodedColumn {
  public:
-  /// Rows between consecutive absolute-value checkpoints.
+  /// Default rows between consecutive absolute-value checkpoints.
   ///
-  /// Space/speed trade-off: each checkpoint costs 8 bytes, so the
-  /// overhead is 64 / kCheckpointInterval bits per row — at 128 that is
-  /// 0.5 bits/row, negligible next to typical delta widths (2-16 bits).
-  /// Random access replays at most kCheckpointInterval / 2 deltas (Get
-  /// seeks from the nearest checkpoint in either direction), i.e. one
-  /// ~64-value bulk unpack, which is a single SIMD kernel call. Halving
-  /// the interval would only shave ~half of an already L1-resident
-  /// unpack while doubling the metadata; doubling it pushes the replay
-  /// past the 64-value kernel block and measurably slows point access.
-  static constexpr size_t kCheckpointInterval = 128;
+  /// Space/point-latency trade-off: each checkpoint costs 8 bytes, so
+  /// the metadata overhead is 64 / interval bits per row, while point
+  /// access replays at most interval / 2 deltas (Get seeks from the
+  /// nearest checkpoint in either direction — expected replay is
+  /// interval / 4, folded by the fixed-trip masked SIMD kernel). Both
+  /// dimensions, measured at 1M rows of 13-bit deltas on the AVX2 dev
+  /// box (random point accesses; total column size incl. checkpoints):
+  ///
+  ///   interval   overhead      point access   column size
+  ///        32    2.0  bit/row   ~16 ns/row    1.97 MB  <- default
+  ///        64    1.0  bit/row   ~21 ns/row    1.84 MB
+  ///       128    0.5  bit/row   ~38 ns/row    1.77 MB
+  ///       256    0.25 bit/row   ~64 ns/row    1.74 MB
+  ///      1024    0.06 bit/row  ~234 ns/row    1.71 MB
+  ///
+  /// 32 is the densified default: point latency is dominated by the
+  /// fixed per-access cost (dispatch, two L2 lines, fold prologue) at an
+  /// 8-delta expected replay, so a denser index would buy nothing,
+  /// while each doubling of the interval adds the full marginal fold
+  /// cost. The price is ~2 bits/row of metadata (+15% on a 13-bit-delta
+  /// column) — columns that are only ever scanned (DecodeRange
+  /// amortizes one seek per range) should pass a larger interval to
+  /// Encode and reclaim that space.
+  static constexpr size_t kDefaultCheckpointInterval = 32;
 
+  /// Bounds on configurable intervals. Intervals must be powers of two
+  /// so the per-access checkpoint mapping stays a shift (a runtime
+  /// division would cost more than the replay it locates), and at most
+  /// one morsel so reconstruction windows stay L1-sized.
+  static constexpr size_t kMinCheckpointInterval = 32;
+  static constexpr size_t kMaxCheckpointInterval = kMorselRows;
+
+  /// Encodes `values` with a checkpoint every `checkpoint_interval` rows
+  /// (see kDefaultCheckpointInterval for the trade-off). The interval
+  /// must be a power of two in [kMinCheckpointInterval,
+  /// kMaxCheckpointInterval].
   static Result<std::unique_ptr<DeltaColumn>> Encode(
-      std::span<const int64_t> values);
+      std::span<const int64_t> values,
+      size_t checkpoint_interval = kDefaultCheckpointInterval);
 
   /// Compressed size estimate (deltas + checkpoints).
-  static size_t EstimateSizeBytes(std::span<const int64_t> values);
+  static size_t EstimateSizeBytes(
+      std::span<const int64_t> values,
+      size_t checkpoint_interval = kDefaultCheckpointInterval);
 
   static Result<std::unique_ptr<DeltaColumn>> Deserialize(
       BufferReader* reader);
@@ -47,21 +84,32 @@ class DeltaColumn final : public EncodedColumn {
   size_t size() const override { return reader_.size(); }
   size_t SizeBytes() const override;
   int64_t Get(size_t row) const override;
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
   void DecodeRange(size_t row_begin, size_t count,
                    int64_t* out) const override;
   void Serialize(BufferWriter* writer) const override;
 
   int bit_width() const { return reader_.bit_width(); }
+  size_t checkpoint_interval() const { return interval_; }
 
  private:
   DeltaColumn(std::vector<int64_t> checkpoints, std::vector<uint8_t> bytes,
-              int bit_width, size_t count);
+              int bit_width, size_t count, size_t interval);
+
+  // The logical value at `row`, replaying from the nearest checkpoint
+  // with an aligned bulk unpack + SIMD zig-zag fold.
+  int64_t SeekValue(size_t row) const;
 
   std::vector<int64_t> checkpoints_;  // Absolute value at row k*interval.
   std::vector<uint8_t> bytes_;        // Zig-zag deltas, bit-packed.
   BitReader reader_;
+  size_t interval_ = kDefaultCheckpointInterval;
+  int interval_shift_ = 5;  // log2(interval_): checkpoint mapping by shift.
+  // Point-kernel pointer resolved once at construction: Get is the one
+  // per-row hot path, so it skips the dispatch wrapper entirely.
+  simd::DeltaPointFn point_kernel_ = nullptr;
 };
 
 }  // namespace corra::enc

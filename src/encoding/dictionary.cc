@@ -82,10 +82,19 @@ size_t DictColumn::SizeBytes() const {
          dict_.size() * sizeof(int64_t);
 }
 
-void DictColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
+void DictColumn::GatherRange(std::span<const uint32_t> rows,
+                             int64_t* out) const {
+  // Positioned gather of the packed codes into a stack chunk, then one
+  // SIMD dictionary translate per chunk (same split as DecodeRange).
+  uint64_t codes[kMorselRows];
   const int64_t* dict = dict_.data();
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = dict[reader_.Get(rows[i])];
+  size_t done = 0;
+  while (done < rows.size()) {
+    const size_t len = std::min(rows.size() - done, kMorselRows);
+    simd::GatherBits(bytes_.data(), reader_.bit_width(), rows.data() + done,
+                     len, codes);
+    simd::TranslateCodes(dict, codes, len, out + done);
+    done += len;
   }
 }
 

@@ -34,7 +34,8 @@ class DictColumn final : public EncodedColumn {
   int64_t Get(size_t row) const override {
     return dict_[reader_.Get(row)];
   }
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
   void DecodeRange(size_t row_begin, size_t count,
                    int64_t* out) const override;

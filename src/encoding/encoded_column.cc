@@ -32,8 +32,8 @@ std::string_view SchemeToString(Scheme scheme) {
   return "Unknown";
 }
 
-void EncodedColumn::Gather(std::span<const uint32_t> rows,
-                           int64_t* out) const {
+void EncodedColumn::GatherRange(std::span<const uint32_t> rows,
+                                int64_t* out) const {
   for (size_t i = 0; i < rows.size(); ++i) {
     out[i] = Get(rows[i]);
   }

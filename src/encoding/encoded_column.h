@@ -52,8 +52,23 @@ class EncodedColumn {
   virtual int64_t Get(size_t row) const = 0;
 
   /// Materializes the values at the given sorted row positions into `out`
-  /// (which must hold rows.size() values). Default: loop over Get.
-  virtual void Gather(std::span<const uint32_t> rows, int64_t* out) const;
+  /// (which must hold rows.size() values). Compatibility spelling of
+  /// GatherRange — one indirect dispatch, then the scheme's sparse path.
+  void Gather(std::span<const uint32_t> rows, int64_t* out) const {
+    GatherRange(rows, out);
+  }
+
+  /// The selection-driven sparse-decode kernel: materializes the values
+  /// at the sorted row positions `rows` into `out` (rows.size() values)
+  /// *without* densifying the rows in between. Every scheme overrides
+  /// this with a positioned fast path — vpgatherqq-style packed-stream
+  /// gathers for the bit-packed schemes, checkpoint-indexed seeks for
+  /// Delta/RLE, and a reference-morsel gather loop for the horizontal
+  /// schemes — so selective scans never bottom out in a per-row virtual
+  /// Get. Positions are expected ascending; out-of-order positions are
+  /// tolerated (the seeking schemes re-anchor) but forfeit the fast path.
+  virtual void GatherRange(std::span<const uint32_t> rows,
+                           int64_t* out) const;
 
   /// Decompresses the whole column into `out` (size() values).
   /// Default: one DecodeRange over the full row span.

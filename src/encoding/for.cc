@@ -72,11 +72,13 @@ size_t ForColumn::SizeBytes() const {
          sizeof(int64_t);
 }
 
-void ForColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
-  const int64_t base = base_;
-  for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = base + static_cast<int64_t>(reader_.Get(rows[i]));
-  }
+void ForColumn::GatherRange(std::span<const uint32_t> rows,
+                            int64_t* out) const {
+  // Positioned SIMD gather of the packed offsets, then one vectorized
+  // rebase pass — the sparse twin of DecodeRange.
+  simd::GatherBits(bytes_.data(), reader_.bit_width(), rows.data(),
+                   rows.size(), reinterpret_cast<uint64_t*>(out));
+  simd::AddConst(out, rows.size(), base_);
 }
 
 void ForColumn::DecodeAll(int64_t* out) const {

@@ -17,9 +17,11 @@ Result<std::unique_ptr<PlainColumn>> PlainColumn::Deserialize(
   return std::unique_ptr<PlainColumn>(new PlainColumn(std::move(values)));
 }
 
-void PlainColumn::Gather(std::span<const uint32_t> rows, int64_t* out) const {
+void PlainColumn::GatherRange(std::span<const uint32_t> rows,
+                              int64_t* out) const {
+  const int64_t* values = values_.data();
   for (size_t i = 0; i < rows.size(); ++i) {
-    out[i] = values_[rows[i]];
+    out[i] = values[rows[i]];
   }
 }
 

@@ -29,7 +29,8 @@ class PlainColumn final : public EncodedColumn {
     return values_.size() * sizeof(int64_t);
   }
   int64_t Get(size_t row) const override { return values_[row]; }
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
   void DecodeRange(size_t row_begin, size_t count,
                    int64_t* out) const override;

@@ -33,7 +33,8 @@ class RleColumn final : public EncodedColumn {
   size_t size() const override { return count_; }
   size_t SizeBytes() const override;
   int64_t Get(size_t row) const override;
-  void Gather(std::span<const uint32_t> rows, int64_t* out) const override;
+  void GatherRange(std::span<const uint32_t> rows,
+                   int64_t* out) const override;
   void DecodeAll(int64_t* out) const override;
   void DecodeRange(size_t row_begin, size_t count,
                    int64_t* out) const override;

@@ -23,7 +23,11 @@
 namespace corra::query {
 
 /// Materializes column `col` of `block` at the sorted positions `rows`
-/// into `out` (rows.size() values).
+/// into `out` (rows.size() values). Routes through the selection-driven
+/// sparse path (EncodedColumn::GatherRange — positioned packed-stream
+/// gathers, no densification), except for exactly-contiguous selections
+/// which decode straight into the output; see the measured strategy
+/// table in scan.cc. Results are identical either way.
 void ScanColumn(const Block& block, size_t col,
                 std::span<const uint32_t> rows, int64_t* out);
 

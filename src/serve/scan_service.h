@@ -105,6 +105,10 @@ class ScanService {
 
   /// Materializes `columns` at the sorted global positions `rows`,
   /// touching (and caching) only the blocks that own selected rows.
+  /// Each block slice goes through query::ScanColumn's sparse/dense
+  /// strategy split — positioned GatherRange kernels below the
+  /// selectivity crossover, dense ranged decode above it — so gather
+  /// requests never round-trip through a per-row virtual Get.
   /// Returns one value vector per requested column.
   Result<std::vector<std::vector<int64_t>>> Gather(
       const TableReader& reader, std::span<const size_t> columns,

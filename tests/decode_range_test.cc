@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <vector>
 
+#include "common/buffer.h"
 #include "common/random.h"
 #include "core/c3/dfor.h"
 #include "core/c3/numerical.h"
@@ -72,6 +74,74 @@ void ExpectDecodeRangeMatchesGet(const enc::EncodedColumn& column,
   }
 }
 
+// Checks GatherRange (and the Gather alias every query path uses)
+// against the Get oracle over deterministic edge selections — empty,
+// single row, full column, contiguous runs, boundary-straddling pairs —
+// plus randomized sorted selections at several densities, so both sides
+// of each scheme's internal sparse/dense split are exercised.
+void ExpectGatherRangeMatchesGet(const enc::EncodedColumn& column,
+                                 uint64_t seed) {
+  const size_t n = column.size();
+  ASSERT_GT(n, 0u);
+  std::vector<std::vector<uint32_t>> selections;
+  selections.push_back({});                                  // Empty.
+  selections.push_back({0});                                 // First row.
+  selections.push_back({static_cast<uint32_t>(n - 1)});      // Last row.
+  selections.push_back({static_cast<uint32_t>(n / 2)});      // Middle.
+  std::vector<uint32_t> full(n);
+  for (size_t i = 0; i < n; ++i) {
+    full[i] = static_cast<uint32_t>(i);
+  }
+  selections.push_back(full);                                // Full column.
+  // Contiguous run in the middle (the query layer's dense case).
+  selections.emplace_back(full.begin() + static_cast<long>(n / 3),
+                          full.begin() + static_cast<long>(n / 2));
+  // Positions hugging every boundary the schemes care about: Delta/RLE
+  // checkpoints (32/128), DFOR frames (1024), morsels (2048).
+  std::vector<uint32_t> boundaries;
+  for (size_t b : {size_t{32}, size_t{64}, size_t{128}, size_t{1024},
+                   enc::kMorselRows}) {
+    if (b + 1 < n) {
+      boundaries.push_back(static_cast<uint32_t>(b - 1));
+      boundaries.push_back(static_cast<uint32_t>(b));
+      boundaries.push_back(static_cast<uint32_t>(b + 1));
+    }
+  }
+  selections.push_back(boundaries);
+  // Randomized sorted selections at sparse, medium, and dense rates (the
+  // density thresholds sit between these).
+  Rng rng(seed);
+  for (const double rate : {0.005, 0.1, 0.7}) {
+    std::vector<uint32_t> rows;
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.NextDouble() < rate) {
+        rows.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    selections.push_back(std::move(rows));
+  }
+
+  for (size_t s = 0; s < selections.size(); ++s) {
+    const auto& rows = selections[s];
+    SCOPED_TRACE("selection " + std::to_string(s) + " (" +
+                 std::to_string(rows.size()) + " rows)");
+    std::vector<int64_t> gathered(rows.size() + 1, INT64_MIN);
+    column.GatherRange(rows, gathered.data());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      ASSERT_EQ(gathered[i], column.Get(rows[i])) << "row " << rows[i];
+    }
+    ASSERT_EQ(gathered[rows.size()], INT64_MIN)
+        << "GatherRange wrote past its output";
+  }
+}
+
+// Both ranged-kernel equivalences in one call.
+void ExpectRangedKernelsMatchGet(const enc::EncodedColumn& column,
+                                 uint64_t seed) {
+  ExpectDecodeRangeMatchesGet(column, seed);
+  ExpectGatherRangeMatchesGet(column, seed ^ 0x9E3779B97F4A7C15ull);
+}
+
 constexpr size_t kRows = 5000;  // > 2 morsels, > 4 DFOR frames.
 
 TEST(DecodeRangeTest, VerticalSchemes) {
@@ -81,15 +151,15 @@ TEST(DecodeRangeTest, VerticalSchemes) {
     SCOPED_TRACE(test::DistName(dist));
     const auto values = test::MakeValues(dist, kRows, 17);
 
-    ExpectDecodeRangeMatchesGet(*enc::PlainColumn::Encode(values), 1);
-    ExpectDecodeRangeMatchesGet(*enc::ForColumn::Encode(values).value(), 2);
-    ExpectDecodeRangeMatchesGet(*enc::DictColumn::Encode(values).value(), 3);
-    ExpectDecodeRangeMatchesGet(*enc::DeltaColumn::Encode(values).value(),
+    ExpectRangedKernelsMatchGet(*enc::PlainColumn::Encode(values), 1);
+    ExpectRangedKernelsMatchGet(*enc::ForColumn::Encode(values).value(), 2);
+    ExpectRangedKernelsMatchGet(*enc::DictColumn::Encode(values).value(), 3);
+    ExpectRangedKernelsMatchGet(*enc::DeltaColumn::Encode(values).value(),
                                 4);
-    ExpectDecodeRangeMatchesGet(*enc::RleColumn::Encode(values).value(), 5);
+    ExpectRangedKernelsMatchGet(*enc::RleColumn::Encode(values).value(), 5);
     if (const auto bitpack = enc::BitPackColumn::Encode(values);
         bitpack.ok()) {
-      ExpectDecodeRangeMatchesGet(*bitpack.value(), 6);
+      ExpectRangedKernelsMatchGet(*bitpack.value(), 6);
     }
   }
 }
@@ -97,8 +167,8 @@ TEST(DecodeRangeTest, VerticalSchemes) {
 TEST(DecodeRangeTest, WideValuesExerciseStraddlingLoads) {
   // Extreme magnitudes force bit widths > 57, the BitReader fallback.
   const auto values = test::MakeValues(test::Dist::kExtremes, kRows, 23);
-  ExpectDecodeRangeMatchesGet(*enc::ForColumn::Encode(values).value(), 7);
-  ExpectDecodeRangeMatchesGet(*enc::DeltaColumn::Encode(values).value(), 8);
+  ExpectRangedKernelsMatchGet(*enc::ForColumn::Encode(values).value(), 7);
+  ExpectRangedKernelsMatchGet(*enc::DeltaColumn::Encode(values).value(), 8);
 }
 
 TEST(DecodeRangeTest, DeltaRleSortedGatherMatchesGet) {
@@ -144,6 +214,47 @@ TEST(DecodeRangeTest, DeltaRleGatherReseeksOnBackwardPositions) {
   }
 }
 
+TEST(DecodeRangeTest, DeltaCheckpointIntervalSweep) {
+  // The configurable checkpoint index: every ranged kernel must agree
+  // with Get at every interval, and the wire format must round-trip
+  // (extended layout for non-legacy intervals, legacy layout for 128).
+  const auto values = test::MakeValues(test::Dist::kSorted, kRows, 61);
+  for (const size_t interval :
+       {size_t{32}, size_t{64}, size_t{128}, size_t{256}, size_t{2048}}) {
+    SCOPED_TRACE("interval=" + std::to_string(interval));
+    auto column = enc::DeltaColumn::Encode(values, interval).value();
+    EXPECT_EQ(column->checkpoint_interval(), interval);
+    ExpectRangedKernelsMatchGet(*column, 600 + interval);
+
+    BufferWriter writer;
+    column->Serialize(&writer);
+    const auto bytes = std::move(writer).Finish();
+    // Legacy columns (interval 128) must keep the legacy layout — the
+    // first u64 after the scheme byte is the checkpoint-array length,
+    // never the extended-format marker.
+    uint64_t first = 0;
+    std::memcpy(&first, bytes.data() + 1, sizeof(first));
+    if (interval == 128) {
+      EXPECT_EQ(first, (kRows - 1) / interval + 1);
+    } else {
+      EXPECT_EQ(first, ~uint64_t{0});
+    }
+    BufferReader reader(bytes);
+    uint8_t scheme_byte = 0;
+    ASSERT_TRUE(reader.Read(&scheme_byte).ok());
+    auto restored = enc::DeltaColumn::Deserialize(&reader).value();
+    EXPECT_EQ(restored->checkpoint_interval(), interval);
+    for (size_t row : {size_t{0}, size_t{31}, size_t{32}, interval - 1,
+                       interval, kRows - 1}) {
+      EXPECT_EQ(restored->Get(row), values[row]) << "row " << row;
+    }
+  }
+  // Invalid intervals are rejected up front.
+  EXPECT_FALSE(enc::DeltaColumn::Encode(values, 48).ok());
+  EXPECT_FALSE(enc::DeltaColumn::Encode(values, 16).ok());
+  EXPECT_FALSE(enc::DeltaColumn::Encode(values, 4096).ok());
+}
+
 // Reference + correlated target, bound through a FOR reference column.
 struct BoundPair {
   std::unique_ptr<enc::ForColumn> reference;
@@ -182,14 +293,14 @@ TEST(DecodeRangeTest, DiffAllModes) {
   });
   EXPECT_EQ(static_cast<const DiffEncodedColumn&>(*raw.target).mode(),
             DiffMode::kRaw);
-  ExpectDecodeRangeMatchesGet(*raw.target, 11);
+  ExpectRangedKernelsMatchGet(*raw.target, 11);
 
   auto zigzag = MakeBoundPair(reference, negative, [](auto t, auto r) {
     return DiffEncodedColumn::Encode(t, r, 0).value();
   });
   EXPECT_EQ(static_cast<const DiffEncodedColumn&>(*zigzag.target).mode(),
             DiffMode::kZigZag);
-  ExpectDecodeRangeMatchesGet(*zigzag.target, 12);
+  ExpectRangedKernelsMatchGet(*zigzag.target, 12);
 
   DiffOptions options;
   options.use_outliers = true;
@@ -200,7 +311,7 @@ TEST(DecodeRangeTest, DiffAllModes) {
       static_cast<const DiffEncodedColumn&>(*window.target);
   EXPECT_EQ(window_diff.mode(), DiffMode::kWindow);
   EXPECT_GT(window_diff.outliers().size(), 0u);
-  ExpectDecodeRangeMatchesGet(*window.target, 13);
+  ExpectRangedKernelsMatchGet(*window.target, 13);
 }
 
 TEST(DecodeRangeTest, HierarchicalAndC3Schemes) {
@@ -224,17 +335,17 @@ TEST(DecodeRangeTest, HierarchicalAndC3Schemes) {
   auto hier = MakeBoundPair(city, zip, [](auto t, auto r) {
     return HierarchicalColumn::Encode(t, r, 0).value();
   });
-  ExpectDecodeRangeMatchesGet(*hier.target, 14);
+  ExpectRangedKernelsMatchGet(*hier.target, 14);
 
   auto dfor = MakeBoundPair(reference, affine, [](auto t, auto r) {
     return c3::DforColumn::Encode(t, r, 0).value();
   });
-  ExpectDecodeRangeMatchesGet(*dfor.target, 15);
+  ExpectRangedKernelsMatchGet(*dfor.target, 15);
 
   auto numerical = MakeBoundPair(reference, affine, [](auto t, auto r) {
     return c3::NumericalColumn::Encode(t, r, 0).value();
   });
-  ExpectDecodeRangeMatchesGet(*numerical.target, 16);
+  ExpectRangedKernelsMatchGet(*numerical.target, 16);
 
   auto one_to_one = MakeBoundPair(city, mapped, [](auto t, auto r) {
     return c3::OneToOneColumn::Encode(t, r, 0).value();
@@ -243,7 +354,7 @@ TEST(DecodeRangeTest, HierarchicalAndC3Schemes) {
                 .outliers()
                 .size(),
             0u);
-  ExpectDecodeRangeMatchesGet(*one_to_one.target, 17);
+  ExpectRangedKernelsMatchGet(*one_to_one.target, 17);
 }
 
 TEST(DecodeRangeTest, MultiRef) {
@@ -284,7 +395,7 @@ TEST(DecodeRangeTest, MultiRef) {
   }
   ASSERT_TRUE(column->BindReferences(bound).ok());
   EXPECT_GT(column->outliers().size(), 0u);
-  ExpectDecodeRangeMatchesGet(*column, 18);
+  ExpectRangedKernelsMatchGet(*column, 18);
 }
 
 }  // namespace

@@ -328,6 +328,222 @@ TEST(ReconstructionKernelTest, TranslateAddConstAddRefZigZag) {
   }
 }
 
+TEST(SparseDecodeKernelTest, ZigZagPrefixSumMatchesScalarAndModel) {
+  std::mt19937_64 rng(21);
+  std::vector<uint64_t> zigzag(kSweepCount);
+  for (auto& z : zigzag) {
+    z = rng();  // Arbitrary, including huge zig-zag codes (wrap-around).
+  }
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                     size_t{16}, size_t{17}, kSweepCount}) {
+    SCOPED_TRACE("len=" + std::to_string(len));
+    const int64_t seed = -123456789;
+    std::vector<int64_t> got(len + 1, -1);
+    std::vector<int64_t> scalar(len + 1, -2);
+    simd::ZigZagPrefixSum(zigzag.data(), len, seed, got.data());
+    simd::ZigZagPrefixSumScalar(zigzag.data(), len, seed, scalar.data());
+    uint64_t acc = static_cast<uint64_t>(seed);
+    for (size_t i = 0; i < len; ++i) {
+      acc += static_cast<uint64_t>(bit_util::ZigZagDecode(zigzag[i]));
+      ASSERT_EQ(got[i], static_cast<int64_t>(acc)) << "i=" << i;
+      ASSERT_EQ(scalar[i], static_cast<int64_t>(acc)) << "i=" << i;
+    }
+  }
+}
+
+TEST(SparseDecodeKernelTest, ZigZagSumPackedAndDeltaDecodeAllWidths) {
+  const size_t begins[] = {0, 1, 7, 13, 63, 64, 65, 130};
+  const size_t lengths[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 33, 64, 200};
+  for (int width = 0; width <= 64; ++width) {
+    SCOPED_TRACE("width=" + std::to_string(width));
+    const auto values =
+        RandomValues(width, kSweepCount, 300 + static_cast<uint64_t>(width));
+    BitWriter writer(width);
+    writer.AppendAll(values);
+    const auto bytes = std::move(writer).Finish();
+    for (size_t begin : begins) {
+      for (size_t len : lengths) {
+        if (begin + len > kSweepCount) {
+          continue;
+        }
+        SCOPED_TRACE("begin=" + std::to_string(begin) +
+                     " len=" + std::to_string(len));
+        uint64_t expected_sum = 0;
+        for (size_t i = 0; i < len; ++i) {
+          expected_sum += static_cast<uint64_t>(
+              bit_util::ZigZagDecode(values[begin + i]));
+        }
+        ASSERT_EQ(simd::ZigZagSumPacked(bytes.data(), width, begin, len),
+                  static_cast<int64_t>(expected_sum));
+        ASSERT_EQ(
+            simd::ZigZagSumPackedScalar(bytes.data(), width, begin, len),
+            static_cast<int64_t>(expected_sum));
+
+        const int64_t seed = 424242;
+        std::vector<int64_t> got(len + 1, -1);
+        std::vector<int64_t> scalar(len + 1, -2);
+        simd::DeltaDecodePacked(bytes.data(), width, begin, len, seed,
+                                got.data());
+        simd::DeltaDecodePackedScalar(bytes.data(), width, begin, len, seed,
+                                      scalar.data());
+        uint64_t acc = static_cast<uint64_t>(seed);
+        for (size_t i = 0; i < len; ++i) {
+          acc += static_cast<uint64_t>(
+              bit_util::ZigZagDecode(values[begin + i]));
+          ASSERT_EQ(got[i], static_cast<int64_t>(acc)) << "i=" << i;
+          ASSERT_EQ(scalar[i], static_cast<int64_t>(acc)) << "i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseDecodeKernelTest, DeltaPointAndGatherMatchPrefixModel) {
+  // A checkpointed stream exactly as DeltaColumn lays it out: slot 0
+  // unused (0), slot i the zig-zag delta value[i] - value[i-1], plus a
+  // checkpoint of the absolute value every interval rows.
+  constexpr size_t kRows = 64 * 40 + 17;
+  for (int width : {0, 1, 5, 11, 13, 14, 15, 23, 28, 29, 40, 58, 64}) {
+    for (const int shift : {5, 6, 7}) {
+      const size_t interval = size_t{1} << shift;
+      SCOPED_TRACE("width=" + std::to_string(width) +
+                   " interval=" + std::to_string(interval));
+      const auto deltas =
+          RandomValues(width, kRows, 900 + static_cast<uint64_t>(width));
+      BitWriter writer(width);
+      std::vector<int64_t> model(kRows);
+      std::vector<int64_t> checkpoints;
+      uint64_t acc = 0;
+      for (size_t i = 0; i < kRows; ++i) {
+        if (i > 0) {
+          acc += static_cast<uint64_t>(bit_util::ZigZagDecode(deltas[i]));
+        }
+        model[i] = static_cast<int64_t>(acc);
+        if (i % interval == 0) {
+          checkpoints.push_back(model[i]);
+        }
+        writer.Append(i == 0 ? 0 : deltas[i]);
+      }
+      const auto bytes = std::move(writer).Finish();
+
+      std::mt19937_64 rng(55);
+      for (int probe = 0; probe < 200; ++probe) {
+        const size_t row = rng() % kRows;
+        ASSERT_EQ(simd::DeltaPointPacked(bytes.data(), width,
+                                         checkpoints.data(), shift, kRows,
+                                         row),
+                  model[row])
+            << "row=" << row;
+        ASSERT_EQ(simd::DeltaPointPackedScalar(bytes.data(), width,
+                                               checkpoints.data(), shift,
+                                               kRows, row),
+                  model[row])
+            << "row=" << row;
+      }
+
+      // Sorted, unsorted, empty, and single-row selections through the
+      // batched gather kernel.
+      std::vector<uint32_t> rows;
+      for (size_t i = 0; i < kRows; ++i) {
+        if (rng() % 7 == 0) {
+          rows.push_back(static_cast<uint32_t>(i));
+        }
+      }
+      const std::vector<uint32_t> unsorted = {
+          static_cast<uint32_t>(kRows - 1), 3, 700, 699, 0, 64, 63};
+      for (const auto& selection :
+           {rows, unsorted, std::vector<uint32_t>{},
+            std::vector<uint32_t>{static_cast<uint32_t>(kRows / 2)}}) {
+        std::vector<int64_t> got(selection.size() + 1, -1);
+        std::vector<int64_t> scalar(selection.size() + 1, -2);
+        simd::DeltaGatherPacked(bytes.data(), width, checkpoints.data(),
+                                shift, kRows, selection.data(),
+                                selection.size(), got.data());
+        simd::DeltaGatherPackedScalar(bytes.data(), width,
+                                      checkpoints.data(), shift, kRows,
+                                      selection.data(), selection.size(),
+                                      scalar.data());
+        for (size_t i = 0; i < selection.size(); ++i) {
+          ASSERT_EQ(got[i], model[selection[i]]) << "i=" << i;
+          ASSERT_EQ(scalar[i], model[selection[i]]) << "i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SparseDecodeKernelTest, ExpandRunsMatchesModel) {
+  // Runs of varying lengths incl. single-row runs and a long tail run.
+  std::vector<int64_t> run_values;
+  std::vector<uint32_t> run_ends;
+  std::mt19937_64 rng(66);
+  uint32_t end = 0;
+  while (end < 5000) {
+    end += 1 + static_cast<uint32_t>(rng() % 40);
+    run_values.push_back(static_cast<int64_t>(rng()));
+    run_ends.push_back(end);
+  }
+  const size_t rows = run_ends.back();
+  auto run_of = [&](size_t row) {
+    size_t r = 0;
+    while (run_ends[r] <= row) {
+      ++r;
+    }
+    return r;
+  };
+  for (const auto& [begin, count] :
+       {std::pair<size_t, size_t>{0, rows}, {0, 1}, {rows - 1, 1},
+        {17, 1000}, {run_ends[3], 5}, {run_ends[4] - 1, 2}, {100, 0}}) {
+    SCOPED_TRACE("begin=" + std::to_string(begin) +
+                 " count=" + std::to_string(count));
+    std::vector<int64_t> got(count + 1, -1);
+    std::vector<int64_t> scalar(count + 1, -2);
+    if (count > 0) {
+      simd::ExpandRuns(run_values.data(), run_ends.data(), run_of(begin),
+                       begin, count, got.data());
+      simd::ExpandRunsScalar(run_values.data(), run_ends.data(),
+                             run_of(begin), begin, count, scalar.data());
+    }
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(got[i], run_values[run_of(begin + i)]) << "i=" << i;
+      ASSERT_EQ(scalar[i], run_values[run_of(begin + i)]) << "i=" << i;
+    }
+    ASSERT_EQ(got[count], -1);
+    ASSERT_EQ(scalar[count], -2);
+  }
+}
+
+TEST(SparseDecodeKernelTest, GatherBitsAllWidthsAndPositions) {
+  for (int width = 0; width <= 64; ++width) {
+    SCOPED_TRACE("width=" + std::to_string(width));
+    const auto values =
+        RandomValues(width, kSweepCount, 500 + static_cast<uint64_t>(width));
+    BitWriter writer(width);
+    writer.AppendAll(values);
+    const auto bytes = std::move(writer).Finish();
+    std::mt19937_64 rng(77);
+    std::vector<uint32_t> rows;
+    for (int i = 0; i < 100; ++i) {
+      rows.push_back(static_cast<uint32_t>(rng() % kSweepCount));
+    }
+    rows.push_back(0);
+    rows.push_back(kSweepCount - 1);  // Last position: pad-boundary load.
+    for (size_t len : {size_t{0}, size_t{1}, size_t{3}, size_t{4}, size_t{5},
+                       rows.size()}) {
+      SCOPED_TRACE("len=" + std::to_string(len));
+      std::vector<uint64_t> got(len + 1, 0xDEAD);
+      std::vector<uint64_t> scalar(len + 1, 0xBEEF);
+      simd::GatherBits(bytes.data(), width, rows.data(), len, got.data());
+      simd::GatherBitsScalar(bytes.data(), width, rows.data(), len,
+                             scalar.data());
+      for (size_t i = 0; i < len; ++i) {
+        ASSERT_EQ(got[i], values[rows[i]]) << "i=" << i;
+        ASSERT_EQ(scalar[i], values[rows[i]]) << "i=" << i;
+      }
+    }
+  }
+}
+
 TEST(DispatchTest, BackendNameIsConsistent) {
   const simd::Backend backend = simd::ActiveBackend();
   if (backend == simd::Backend::kScalar) {
