@@ -104,6 +104,11 @@ void RunAll(const bench::Flags& flags) {
   auto for_column = enc::ForColumn::Encode(reference).value();
   auto dict_column = enc::DictColumn::Encode(reference).value();
   auto delta_column = enc::DeltaColumn::Encode(reference).value();
+  auto delta_inline_column =
+      enc::DeltaColumn::Encode(
+          reference, enc::DeltaColumn::kDefaultInlineCheckpointInterval,
+          enc::DeltaLayout::kInline)
+          .value();
   auto rle_column = enc::RleColumn::Encode(runs_data).value();
   auto diff_column = DiffEncodedColumn::Encode(target, reference, 0).value();
   const enc::EncodedColumn* diff_refs[] = {for_column.get()};
@@ -152,6 +157,10 @@ void RunAll(const bench::Flags& flags) {
            [&] { DecodeRangeSweep(*dict_column, &sink); });
   RunBench(&reporter, "decode_range/delta", rows, reps,
            [&] { DecodeRangeSweep(*delta_column, &sink); });
+  // The inline layout's dense-decode cost (one re-anchor per interval):
+  // the price point-heavy workloads pay for single-window point access.
+  RunBench(&reporter, "decode_range_inline/delta", rows, reps,
+           [&] { DecodeRangeSweep(*delta_inline_column, &sink); });
   RunBench(&reporter, "decode_range/rle", rows, reps,
            [&] { DecodeRangeSweep(*rle_column, &sink); });
   RunBench(&reporter, "decode_range/diff", rows, reps,
@@ -181,6 +190,14 @@ void RunAll(const bench::Flags& flags) {
       }
       sink += acc;
     });
+    RunBench(&reporter, "point_access_inline/delta", points.size(), reps,
+             [&] {
+               int64_t acc = 0;
+               for (uint32_t p : points) {
+                 acc += delta_inline_column->Get(p);
+               }
+               sink += acc;
+             });
     RunBench(&reporter, "point_access/rle", points.size(), reps, [&] {
       int64_t acc = 0;
       for (uint32_t p : points) {
@@ -216,6 +233,10 @@ void RunAll(const bench::Flags& flags) {
              [&] { hier_column->Gather(selection, gathered.data()); });
     RunBench(&reporter, "gather_0.1/delta", selection.size(), reps,
              [&] { delta_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.1_inline/delta", selection.size(), reps,
+             [&] {
+               delta_inline_column->Gather(selection, gathered.data());
+             });
   }
 
   // Sparse gather at 1% — positioned kernels with long gaps (Delta takes
@@ -231,6 +252,10 @@ void RunAll(const bench::Flags& flags) {
              [&] { diff_column->Gather(selection, gathered.data()); });
     RunBench(&reporter, "gather_0.01/delta", selection.size(), reps,
              [&] { delta_column->Gather(selection, gathered.data()); });
+    RunBench(&reporter, "gather_0.01_inline/delta", selection.size(), reps,
+             [&] {
+               delta_inline_column->Gather(selection, gathered.data());
+             });
   }
 
   // Query kernels: range filter (~20% selectivity) and aggregates, all

@@ -75,9 +75,12 @@ Status ValidatePlan(const Table& table, const CompressionPlan& plan) {
   return Status::OK();
 }
 
-// Encodes one column slice under an explicit vertical scheme.
+// Encodes one column slice under an explicit vertical scheme. The
+// workload hint steers physical-layout choices (Delta's checkpoint
+// layout), mirroring what the auto selector does.
 Result<std::unique_ptr<enc::EncodedColumn>> EncodeVertical(
-    enc::Scheme scheme, std::span<const int64_t> values) {
+    enc::Scheme scheme, std::span<const int64_t> values,
+    enc::WorkloadHint workload) {
   switch (scheme) {
     case enc::Scheme::kPlain:
       return std::unique_ptr<enc::EncodedColumn>(
@@ -95,7 +98,14 @@ Result<std::unique_ptr<enc::EncodedColumn>> EncodeVertical(
       return std::unique_ptr<enc::EncodedColumn>(std::move(col));
     }
     case enc::Scheme::kDelta: {
-      CORRA_ASSIGN_OR_RETURN(auto col, enc::DeltaColumn::Encode(values));
+      const enc::DeltaLayout layout =
+          workload == enc::WorkloadHint::kPointServing
+              ? enc::DeltaLayout::kInline
+              : enc::DeltaLayout::kPacked;
+      CORRA_ASSIGN_OR_RETURN(
+          auto col,
+          enc::DeltaColumn::Encode(
+              values, enc::DeltaColumn::DefaultIntervalFor(layout), layout));
       return std::unique_ptr<enc::EncodedColumn>(std::move(col));
     }
     case enc::Scheme::kRle: {
@@ -123,7 +133,10 @@ Result<Block> CompressOneBlock(const Table& table,
     out.dict = table.column(i).dictionary();
 
     if (cp.auto_vertical) {
-      CORRA_ASSIGN_OR_RETURN(out.encoded, enc::SelectBestScheme(slice));
+      CORRA_ASSIGN_OR_RETURN(
+          out.encoded,
+          enc::SelectBestScheme(
+              slice, enc::SelectionOptions{.workload = plan.workload}));
       continue;
     }
     switch (cp.scheme) {
@@ -187,8 +200,8 @@ Result<Block> CompressOneBlock(const Table& table,
         break;
       }
       default: {
-        CORRA_ASSIGN_OR_RETURN(out.encoded,
-                               EncodeVertical(cp.scheme, slice));
+        CORRA_ASSIGN_OR_RETURN(
+            out.encoded, EncodeVertical(cp.scheme, slice, plan.workload));
         break;
       }
     }

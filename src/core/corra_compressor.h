@@ -24,6 +24,7 @@
 #include "core/config_optimizer.h"
 #include "core/diff_encoding.h"
 #include "core/multi_ref_encoding.h"
+#include "encoding/selector.h"
 #include "storage/table.h"
 
 namespace corra {
@@ -59,6 +60,13 @@ struct CompressionPlan {
   /// Worker threads compressing blocks concurrently (blocks are
   /// independent, so the output is identical for any thread count).
   size_t num_threads = 1;
+
+  /// Expected access pattern, steering physical-layout choices inside a
+  /// scheme (auto-selected *and* explicit): kPointServing encodes Delta
+  /// columns with the inline-checkpoint layout so ScanService point and
+  /// gather requests touch one contiguous window per access, while the
+  /// default kAnalytic keeps the packed layout dense scans want.
+  enc::WorkloadHint workload = enc::WorkloadHint::kAnalytic;
 
   /// Every column auto-selected vertical (the paper's baseline).
   static CompressionPlan AllAuto(size_t num_columns);

@@ -11,8 +11,17 @@
 
 namespace corra::enc {
 
+namespace {
+
+DeltaLayout DeltaLayoutFor(WorkloadHint workload) {
+  return workload == WorkloadHint::kPointServing ? DeltaLayout::kInline
+                                                 : DeltaLayout::kPacked;
+}
+
+}  // namespace
+
 std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
-                                            SelectionPolicy policy) {
+                                            const SelectionOptions& options) {
   std::vector<SchemeEstimate> estimates;
   estimates.push_back(
       {Scheme::kPlain, values.size() * sizeof(int64_t)});
@@ -21,18 +30,26 @@ std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
   estimates.push_back({Scheme::kFor, ForColumn::EstimateSizeBytes(values)});
   estimates.push_back(
       {Scheme::kDict, DictColumn::EstimateSizeBytes(values)});
-  if (policy == SelectionPolicy::kAllowCheckpointedSchemes) {
+  if (options.policy == SelectionPolicy::kAllowCheckpointedSchemes) {
+    const DeltaLayout layout = DeltaLayoutFor(options.workload);
     estimates.push_back(
-        {Scheme::kDelta, DeltaColumn::EstimateSizeBytes(values)});
+        {Scheme::kDelta,
+         DeltaColumn::EstimateSizeBytes(
+             values, DeltaColumn::DefaultIntervalFor(layout), layout)});
     estimates.push_back(
         {Scheme::kRle, RleColumn::EstimateSizeBytes(values)});
   }
   return estimates;
 }
 
+std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
+                                            SelectionPolicy policy) {
+  return EstimateSchemes(values, SelectionOptions{.policy = policy});
+}
+
 Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
-    std::span<const int64_t> values, SelectionPolicy policy) {
-  const auto estimates = EstimateSchemes(values, policy);
+    std::span<const int64_t> values, const SelectionOptions& options) {
+  const auto estimates = EstimateSchemes(values, options);
   const auto best = std::min_element(
       estimates.begin(), estimates.end(),
       [](const SchemeEstimate& a, const SchemeEstimate& b) {
@@ -54,7 +71,11 @@ Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
       return std::unique_ptr<EncodedColumn>(std::move(col));
     }
     case Scheme::kDelta: {
-      CORRA_ASSIGN_OR_RETURN(auto col, DeltaColumn::Encode(values));
+      const DeltaLayout layout = DeltaLayoutFor(options.workload);
+      CORRA_ASSIGN_OR_RETURN(
+          auto col,
+          DeltaColumn::Encode(values, DeltaColumn::DefaultIntervalFor(layout),
+                              layout));
       return std::unique_ptr<EncodedColumn>(std::move(col));
     }
     case Scheme::kRle: {
@@ -64,6 +85,11 @@ Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
     default:
       return Status::Internal("selector produced non-vertical scheme");
   }
+}
+
+Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
+    std::span<const int64_t> values, SelectionPolicy policy) {
+  return SelectBestScheme(values, SelectionOptions{.policy = policy});
 }
 
 }  // namespace corra::enc

@@ -9,7 +9,11 @@
 // SelectBestScheme estimates the compressed size under every applicable
 // scheme and encodes with the cheapest one. By default only O(1)-access
 // schemes compete (the paper's rule); pass kAllowCheckpointedSchemes to add
-// Delta and RLE to the pool (used by the ablation bench).
+// Delta and RLE to the pool (used by the ablation bench). The workload
+// hint steers physical-layout choices inside a scheme: point-heavy
+// serving workloads get Delta's inline-checkpoint layout (single-window
+// point access) at a small size premium, while the default analytic
+// hint keeps the packed-contiguous layout dense scans want.
 
 #ifndef CORRA_ENCODING_SELECTOR_H_
 #define CORRA_ENCODING_SELECTOR_H_
@@ -30,17 +34,41 @@ enum class SelectionPolicy {
   kAllowCheckpointedSchemes,
 };
 
+/// Expected access pattern of the encoded column. Does not change which
+/// schemes compete — only physical-layout choices within a scheme
+/// (currently: Delta's checkpoint layout).
+enum class WorkloadHint {
+  /// Dense scans dominate (default): layouts optimize DecodeRange.
+  kAnalytic,
+  /// Point lookups / sparse gathers dominate (the ScanService Gather and
+  /// point-request path): Delta uses the inline-checkpoint layout, whose
+  /// windows make every point access one contiguous touch.
+  kPointServing,
+};
+
+/// Knobs for SelectBestScheme beyond the candidate pool policy.
+struct SelectionOptions {
+  SelectionPolicy policy = SelectionPolicy::kConstantTimeAccessOnly;
+  WorkloadHint workload = WorkloadHint::kAnalytic;
+};
+
 /// Estimated compressed footprint of one candidate scheme.
 struct SchemeEstimate {
   Scheme scheme;
   size_t size_bytes;  // SIZE_MAX if the scheme is inapplicable.
 };
 
-/// Estimates all candidate sizes for `values` without encoding.
+/// Estimates all candidate sizes for `values` without encoding. Delta is
+/// estimated under the layout the workload hint would encode with, so
+/// the size comparison stays honest.
+std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
+                                            const SelectionOptions& options);
 std::vector<SchemeEstimate> EstimateSchemes(std::span<const int64_t> values,
                                             SelectionPolicy policy);
 
-/// Encodes `values` with the smallest applicable scheme under `policy`.
+/// Encodes `values` with the smallest applicable scheme under `options`.
+Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
+    std::span<const int64_t> values, const SelectionOptions& options);
 Result<std::unique_ptr<EncodedColumn>> SelectBestScheme(
     std::span<const int64_t> values,
     SelectionPolicy policy = SelectionPolicy::kConstantTimeAccessOnly);

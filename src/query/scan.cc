@@ -1,6 +1,7 @@
 #include "query/scan.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "core/horizontal.h"
 #include "query/morsel.h"
@@ -39,44 +40,94 @@ const SingleRefColumn* AsSingleRefOn(const enc::EncodedColumn& target,
 // (gap 1, e.g. a range predicate over sorted data): there DecodeRange
 // writes straight into the output with no compact pass, ~2x cheaper
 // than gathering position by position.
-bool IsContiguous(std::span<const uint32_t> rows) {
-  // Exact element-wise check, not a span == size shortcut: an
-  // out-of-order selection can match the span test (e.g. {0,2,1,3})
-  // and would be silently materialized in the wrong order. Random
-  // selections exit at the first gap, so the scan is effectively O(1)
-  // on the non-contiguous path and trivial next to the decode it gates.
+// One classification pass over the selection so every caller-facing
+// entry point shares the same routing and the same contract checks.
+// Random selections exit the contiguity run at the first gap, so the
+// pass is effectively one sortedness sweep — trivial next to the decode
+// it gates.
+enum class SelectionShape {
+  kEmpty,       // No positions.
+  kSingle,      // Exactly one position.
+  kContiguous,  // rows[i] == rows[0] + i for all i (a dense range).
+  kSorted,      // Non-decreasing (duplicates allowed).
+  kUnsorted,    // At least one position smaller than its predecessor.
+};
+
+SelectionShape ClassifySelection(std::span<const uint32_t> rows) {
   if (rows.empty()) {
-    return false;
+    return SelectionShape::kEmpty;
   }
+  if (rows.size() == 1) {
+    return SelectionShape::kSingle;
+  }
+  // Exact element-wise contiguity, not a span == size shortcut: an
+  // out-of-order selection can match the span test (e.g. {0,2,1,3})
+  // and would be silently materialized in the wrong order.
   const uint32_t first = rows.front();
+  bool contiguous = true;
   for (size_t i = 1; i < rows.size(); ++i) {
-    if (rows[i] != first + i) {
-      return false;
+    if (rows[i] < rows[i - 1]) {
+      return SelectionShape::kUnsorted;
     }
+    contiguous = contiguous && rows[i] == first + i;
   }
-  return true;
+  return contiguous ? SelectionShape::kContiguous : SelectionShape::kSorted;
 }
 
 }  // namespace
 
 void ScanColumn(const Block& block, size_t col,
                 std::span<const uint32_t> rows, int64_t* out) {
-  if (IsContiguous(rows)) {
-    ScanColumnRange(block, col, rows.front(), rows.size(), out);
-    return;
+  switch (ClassifySelection(rows)) {
+    case SelectionShape::kEmpty:
+      return;
+    case SelectionShape::kSingle:
+      out[0] = block.column(col).Get(rows[0]);
+      return;
+    case SelectionShape::kContiguous:
+      ScanColumnRange(block, col, rows.front(), rows.size(), out);
+      return;
+    case SelectionShape::kSorted:
+      block.column(col).GatherRange(rows, out);
+      return;
+    case SelectionShape::kUnsorted:
+      // Contract violation (see scan.h). Loud in debug; in release the
+      // behavior stays defined — per-row point access is order-immune.
+      assert(!"ScanColumn: selection positions must be non-decreasing");
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i] = block.column(col).Get(rows[i]);
+      }
+      return;
   }
-  block.column(col).GatherRange(rows, out);
 }
 
 void ScanPair(const Block& block, size_t ref_col, size_t target_col,
               std::span<const uint32_t> rows, int64_t* out_ref,
               int64_t* out_target) {
-  if (IsContiguous(rows)) {
-    ScanPairRange(block, ref_col, target_col, rows.front(), rows.size(),
-                  out_ref, out_target);
-    return;
+  switch (ClassifySelection(rows)) {
+    case SelectionShape::kEmpty:
+      return;
+    case SelectionShape::kSingle:
+      // Horizontal targets fetch their reference internally on the
+      // per-row path, so a pair lookup is just two Gets.
+      out_ref[0] = block.column(ref_col).Get(rows[0]);
+      out_target[0] = block.column(target_col).Get(rows[0]);
+      return;
+    case SelectionShape::kContiguous:
+      ScanPairRange(block, ref_col, target_col, rows.front(), rows.size(),
+                    out_ref, out_target);
+      return;
+    case SelectionShape::kSorted:
+      break;
+    case SelectionShape::kUnsorted:
+      assert(!"ScanPair: selection positions must be non-decreasing");
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out_ref[i] = block.column(ref_col).Get(rows[i]);
+        out_target[i] = block.column(target_col).Get(rows[i]);
+      }
+      return;
   }
-  ScanColumn(block, ref_col, rows, out_ref);
+  block.column(ref_col).GatherRange(rows, out_ref);
   if (const SingleRefColumn* horizontal =
           AsSingleRefOn(block.column(target_col), ref_col)) {
     // Reuse the already materialized reference values: the paper's
@@ -84,7 +135,7 @@ void ScanPair(const Block& block, size_t ref_col, size_t target_col,
     horizontal->GatherWithReference(rows, out_ref, out_target);
     return;
   }
-  ScanColumn(block, target_col, rows, out_target);
+  block.column(target_col).GatherRange(rows, out_target);
 }
 
 void ScanColumnRange(const Block& block, size_t col, size_t row_begin,

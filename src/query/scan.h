@@ -22,19 +22,28 @@
 
 namespace corra::query {
 
-/// Materializes column `col` of `block` at the sorted positions `rows`
-/// into `out` (rows.size() values). Routes through the selection-driven
+/// Materializes column `col` of `block` at the positions `rows` into
+/// `out` (rows.size() values). Routes through the selection-driven
 /// sparse path (EncodedColumn::GatherRange — positioned packed-stream
 /// gathers, no densification), except for exactly-contiguous selections
 /// which decode straight into the output; see the measured strategy
 /// table in scan.cc. Results are identical either way.
+///
+/// Selection contract: `rows` must be non-decreasing (duplicates are
+/// fine — each occurrence materializes the same value) and every
+/// position must be < block.rows(). A strictly-unsorted selection
+/// asserts in debug builds; in release builds the behavior is defined —
+/// out[i] == the value at rows[i] for every i, via a per-row fallback —
+/// but forfeits the batched fast paths. Empty and single-position
+/// selections return early without entering any GatherRange kernel.
 void ScanColumn(const Block& block, size_t col,
                 std::span<const uint32_t> rows, int64_t* out);
 
-/// Materializes a (reference, target) pair at the sorted positions
-/// `rows`. When `target_col` is a single-reference horizontal column whose
-/// reference is `ref_col`, the reference values gathered into `out_ref`
-/// are reused to decode the target (no second reference fetch).
+/// Materializes a (reference, target) pair at the positions `rows`
+/// (same selection contract as ScanColumn). When `target_col` is a
+/// single-reference horizontal column whose reference is `ref_col`, the
+/// reference values gathered into `out_ref` are reused to decode the
+/// target (no second reference fetch).
 void ScanPair(const Block& block, size_t ref_col, size_t target_col,
               std::span<const uint32_t> rows, int64_t* out_ref,
               int64_t* out_target);

@@ -48,6 +48,16 @@ struct BlockCache::State {
   // as soon as that shard sees an unpin or an insert.
   std::atomic<size_t> total_blocks{0};  // Fully loaded entries.
   std::atomic<size_t> total_bytes{0};
+  // Serializes the over-budget check with the evictions it triggers.
+  // Without it, two shards (say an unpin re-filing its entry while
+  // another shard finishes an insert) can both observe the same
+  // one-block overshoot and both evict — double-counting the eviction
+  // and draining the cache below its budget. Ordering: always acquired
+  // *after* a shard mutex, and never acquires one itself, so there is
+  // no lock cycle. Only contended when the cache is actually over
+  // budget: EvictOverflow pre-checks the atomics lock-free and takes
+  // this mutex (re-checking under it) only on an observed overshoot.
+  std::mutex evict_mu;
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<uint64_t> next_file_id{1};
 
@@ -74,6 +84,16 @@ struct BlockCache::State {
       }
       return false;
     };
+    // Steady state (under budget) stays lock-free: an unpin or insert
+    // that observes no overshoot must not funnel every shard through
+    // the global mutex. The check is conservative — a transient miss
+    // just leaves the overshoot for the next operation to drain.
+    if (!over()) {
+      return;
+    }
+    // Check-and-evict must be atomic across shards once over budget:
+    // see evict_mu. The over() re-check below runs under the lock.
+    std::lock_guard<std::mutex> evict_lock(evict_mu);
     // Only unpinned, fully loaded entries sit in the LRU list; pinned
     // entries (and residents of other shards) can carry the cache over
     // budget until their pins drop or their shard sees traffic.

@@ -108,7 +108,11 @@ class ScanService {
   /// Each block slice goes through query::ScanColumn's sparse/dense
   /// strategy split — positioned GatherRange kernels below the
   /// selectivity crossover, dense ranged decode above it — so gather
-  /// requests never round-trip through a per-row virtual Get.
+  /// requests never round-trip through a per-row virtual Get. Tables
+  /// that serve mostly this path should be compressed with
+  /// CompressionPlan::workload = WorkloadHint::kPointServing: Delta
+  /// columns then carry inline checkpoints, making each sparse access
+  /// one contiguous window touch instead of checkpoint-array + stream.
   /// Returns one value vector per requested column.
   Result<std::vector<std::vector<int64_t>>> Gather(
       const TableReader& reader, std::span<const size_t> columns,

@@ -39,6 +39,10 @@ Result<std::unique_ptr<enc::EncodedColumn>> DeserializeEncodedColumn(
       return std::unique_ptr<enc::EncodedColumn>(std::move(col));
     }
     case enc::Scheme::kDelta: {
+      // DeltaColumn::Deserialize sniffs all three wire layouts behind
+      // this scheme byte: legacy out-of-band (fixed 128 interval), the
+      // interval-marker extension, and the inline-checkpoint window
+      // stream. Round-trips preserve whichever layout was written.
       CORRA_ASSIGN_OR_RETURN(auto col,
                              enc::DeltaColumn::Deserialize(reader));
       return std::unique_ptr<enc::EncodedColumn>(std::move(col));

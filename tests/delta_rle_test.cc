@@ -34,6 +34,20 @@ TEST_P(CheckpointedSchemeTest, DeltaRoundTrip) {
   ExpectColumnMatches(*reloaded, values);
 }
 
+TEST_P(CheckpointedSchemeTest, DeltaInlineRoundTrip) {
+  const auto values = Values();
+  auto result = DeltaColumn::Encode(
+      values, DeltaColumn::kDefaultCheckpointInterval, DeltaLayout::kInline);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->layout(), DeltaLayout::kInline);
+  ExpectColumnMatches(*result.value(), values);
+  auto reloaded = SerializeRoundTrip(*result.value());
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(static_cast<const DeltaColumn&>(*reloaded).layout(),
+            DeltaLayout::kInline);
+  ExpectColumnMatches(*reloaded, values);
+}
+
 TEST_P(CheckpointedSchemeTest, RleRoundTrip) {
   const auto values = Values();
   auto result = RleColumn::Encode(values);
@@ -77,6 +91,53 @@ TEST(DeltaTest, GetCrossesCheckpointBoundaries) {
                      size_t{255}, size_t{256}, size_t{999}}) {
     EXPECT_EQ(col.Get(row), values[row]) << row;
   }
+}
+
+TEST(DeltaTest, CheckpointShiftDerivedFromIntervalOnEveryPath) {
+  // Regression: interval_shift_ used to carry a default-initialized
+  // log2(32) next to the interval field; a construction path that set
+  // one without the other would map rows to the wrong checkpoint for
+  // any non-32 interval — off by entire checkpoint windows, and only
+  // for rows past the first interval. Exercise every construction path
+  // (Encode at non-default intervals, both layouts, and the legacy
+  // 128-interval wire sniff) and check Get exactly at, just before, and
+  // just after several checkpoint boundaries, where a stale shift is
+  // guaranteed to pick the wrong anchor.
+  const auto values = MakeValues(Dist::kSorted, 5000, 13);
+  const auto check_boundaries = [&](const EncodedColumn& column,
+                                    size_t interval) {
+    for (size_t k = 1; k * interval < values.size(); ++k) {
+      for (size_t row : {k * interval - 1, k * interval, k * interval + 1}) {
+        if (row < values.size()) {
+          ASSERT_EQ(column.Get(row), values[row])
+              << "interval " << interval << " row " << row;
+        }
+      }
+    }
+  };
+  for (const size_t interval :
+       {size_t{32}, size_t{64}, size_t{256}, size_t{2048}}) {
+    for (const DeltaLayout layout :
+         {DeltaLayout::kPacked, DeltaLayout::kInline}) {
+      auto column = DeltaColumn::Encode(values, interval, layout).value();
+      check_boundaries(*column, interval);
+      auto reloaded = SerializeRoundTrip(*column);
+      ASSERT_NE(reloaded, nullptr);
+      EXPECT_EQ(static_cast<const DeltaColumn&>(*reloaded)
+                    .checkpoint_interval(),
+                interval);
+      check_boundaries(*reloaded, interval);
+    }
+  }
+  // The legacy wire layout (no marker, implied interval 128): Serialize
+  // of a 128-interval packed column writes it, and the sniffing reader
+  // must rebuild the 128 mapping rather than any default.
+  auto legacy = DeltaColumn::Encode(values, 128).value();
+  auto reloaded = SerializeRoundTrip(*legacy);
+  ASSERT_NE(reloaded, nullptr);
+  EXPECT_EQ(static_cast<const DeltaColumn&>(*reloaded).checkpoint_interval(),
+            128u);
+  check_boundaries(*reloaded, 128);
 }
 
 TEST(DeltaTest, CheckpointCountMismatchRejected) {

@@ -219,6 +219,90 @@ TEST_F(ScanTest, EmptySelection) {
   EXPECT_TRUE(out.empty());
 }
 
+TEST_F(ScanTest, EmptyAndSingleRowSelectionsEarlyReturn) {
+  // Regression: the documented selection contract now pins down the
+  // empty and single-position cases — both return without entering any
+  // GatherRange internals. The empty case must not touch the output at
+  // all; the single case is one point lookup per column.
+  const Block& block = compressed_->block(0);
+  int64_t sentinel = INT64_MIN;
+  ScanColumn(block, 1, {}, &sentinel);
+  EXPECT_EQ(sentinel, INT64_MIN);
+  int64_t sentinel_ref = INT64_MIN;
+  int64_t sentinel_target = INT64_MIN;
+  ScanPair(block, 0, 1, {}, &sentinel_ref, &sentinel_target);
+  EXPECT_EQ(sentinel_ref, INT64_MIN);
+  EXPECT_EQ(sentinel_target, INT64_MIN);
+
+  for (const uint32_t row : {uint32_t{0}, uint32_t{1234},
+                             static_cast<uint32_t>(block.rows() - 1)}) {
+    const std::vector<uint32_t> single = {row};
+    int64_t out = INT64_MIN;
+    ScanColumn(block, 1, single, &out);
+    EXPECT_EQ(out, receipt_[row]);
+    int64_t out_ref = INT64_MIN;
+    int64_t out_target = INT64_MIN;
+    ScanPair(block, 0, 1, single, &out_ref, &out_target);
+    EXPECT_EQ(out_ref, ship_[row]);
+    EXPECT_EQ(out_target, receipt_[row]);
+  }
+}
+
+TEST_F(ScanTest, DuplicatePositionsMaterializeEachOccurrence) {
+  // Duplicates satisfy the non-decreasing contract: every occurrence
+  // materializes the same value, on the batched fast path.
+  const std::vector<uint32_t> rows = {7, 7, 7, 300, 301, 301, 5000, 5000};
+  std::vector<int64_t> out(rows.size(), INT64_MIN);
+  ScanColumn(compressed_->block(0), 1, rows, out.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], receipt_[rows[i]]) << "i=" << i;
+  }
+  std::vector<int64_t> out_ref(rows.size(), INT64_MIN);
+  std::vector<int64_t> out_target(rows.size(), INT64_MIN);
+  ScanPair(compressed_->block(0), 0, 1, rows, out_ref.data(),
+           out_target.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out_ref[i], ship_[rows[i]]) << "i=" << i;
+    EXPECT_EQ(out_target[i], receipt_[rows[i]]) << "i=" << i;
+  }
+}
+
+using ScanDeathTest = ScanTest;
+
+TEST_F(ScanDeathTest, UnsortedSelectionAssertsInDebugIsDefinedInRelease) {
+  // A strictly-unsorted selection violates the documented contract:
+  // debug builds fail loudly at the assertion; release builds fall back
+  // to defined per-position behavior (out[i] == value at rows[i]).
+  const std::vector<uint32_t> rows = {4000, 10, 4000, 3999, 0};
+  std::vector<int64_t> out(rows.size(), INT64_MIN);
+#ifndef NDEBUG
+  EXPECT_DEATH(
+      ScanColumn(compressed_->block(0), 1, rows, out.data()),
+      "non-decreasing");
+  EXPECT_DEATH(
+      {
+        std::vector<int64_t> ref(rows.size());
+        std::vector<int64_t> target(rows.size());
+        ScanPair(compressed_->block(0), 0, 1, rows, ref.data(),
+                 target.data());
+      },
+      "non-decreasing");
+#else
+  ScanColumn(compressed_->block(0), 1, rows, out.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out[i], receipt_[rows[i]]) << "i=" << i;
+  }
+  std::vector<int64_t> out_ref(rows.size(), INT64_MIN);
+  std::vector<int64_t> out_target(rows.size(), INT64_MIN);
+  ScanPair(compressed_->block(0), 0, 1, rows, out_ref.data(),
+           out_target.data());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(out_ref[i], ship_[rows[i]]) << "i=" << i;
+    EXPECT_EQ(out_target[i], receipt_[rows[i]]) << "i=" << i;
+  }
+#endif
+}
+
 TEST(LatencyTest, StopwatchAdvances) {
   Stopwatch watch;
   double t1 = watch.ElapsedSeconds();

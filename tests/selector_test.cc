@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "encoding/delta.h"
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
 #include "test_util.h"
@@ -72,6 +73,48 @@ TEST(SelectorTest, CheckpointedPolicyPicksDeltaForSorted) {
       values, SelectionPolicy::kAllowCheckpointedSchemes);
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result.value()->scheme(), Scheme::kDelta);
+}
+
+TEST(SelectorTest, PointServingWorkloadPicksInlineDeltaLayout) {
+  // Same delta-friendly data as above: the analytic hint (default)
+  // keeps the packed layout; the point-serving hint encodes Delta with
+  // inline checkpoints — and its estimate reflects the inline layout's
+  // slightly larger footprint, so the comparison stays honest.
+  std::vector<int64_t> values;
+  int64_t acc = 0;
+  Rng rng(5);
+  for (int i = 0; i < 8192; ++i) {
+    acc += rng.Uniform(100000, 100007);
+    values.push_back(acc);
+  }
+  SelectionOptions serving{
+      .policy = SelectionPolicy::kAllowCheckpointedSchemes,
+      .workload = WorkloadHint::kPointServing};
+  auto result = SelectBestScheme(values, serving);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value()->scheme(), Scheme::kDelta);
+  EXPECT_EQ(static_cast<const DeltaColumn&>(*result.value()).layout(),
+            DeltaLayout::kInline);
+
+  auto analytic = SelectBestScheme(
+      values, SelectionPolicy::kAllowCheckpointedSchemes);
+  ASSERT_TRUE(analytic.ok());
+  ASSERT_EQ(analytic.value()->scheme(), Scheme::kDelta);
+  EXPECT_EQ(static_cast<const DeltaColumn&>(*analytic.value()).layout(),
+            DeltaLayout::kPacked);
+
+  const auto serving_estimates = EstimateSchemes(values, serving);
+  const auto analytic_estimates = EstimateSchemes(
+      values, SelectionPolicy::kAllowCheckpointedSchemes);
+  size_t serving_delta = 0;
+  size_t analytic_delta = 0;
+  for (const auto& e : serving_estimates) {
+    if (e.scheme == Scheme::kDelta) serving_delta = e.size_bytes;
+  }
+  for (const auto& e : analytic_estimates) {
+    if (e.scheme == Scheme::kDelta) analytic_delta = e.size_bytes;
+  }
+  EXPECT_GE(serving_delta, analytic_delta);
 }
 
 TEST(SelectorTest, SelectionNeverWorseThanPlain) {

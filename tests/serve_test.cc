@@ -112,6 +112,91 @@ TEST(BlockCacheTest, PinnedBlocksAreNotEvicted) {
   EXPECT_TRUE(cache.Contains({1, 0}));
 }
 
+TEST(BlockCacheTest, AllPinnedPastCapacityAccountingStaysConsistent) {
+  // Regression: capacity_bytes = 0 (unlimited) with pinned blocks far
+  // past capacity_blocks. While every resident block is pinned the LRU
+  // is empty, so nothing may be evicted (or counted as evicted); as the
+  // pins drop one by one, the cache must drain back to capacity with
+  // every loaded block accounted for as either resident or evicted.
+  BlockCache cache({.capacity_blocks = 2, .capacity_bytes = 0, .shards = 1});
+  std::atomic<int> loads{0};
+
+  std::vector<BlockCache::Handle> pins;
+  for (int64_t b = 0; b < 5; ++b) {
+    auto handle = cache.GetOrLoad({1, static_cast<uint64_t>(b)},
+                                  MarkerLoader(100 + b, &loads));
+    ASSERT_TRUE(handle.ok());
+    pins.push_back(std::move(handle).value());
+  }
+  {
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.cached_blocks, 5u);
+    EXPECT_EQ(stats.pinned_blocks, 5u);
+    EXPECT_EQ(stats.evictions, 0u);
+    EXPECT_EQ(stats.misses, 5u);
+    EXPECT_GT(stats.cached_bytes, 0u);
+  }
+  for (size_t released = 1; released <= pins.size(); ++released) {
+    pins[released - 1].Release();
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.pinned_blocks, 5 - released);
+    // Every loaded block is either still resident or was evicted,
+    // exactly once (no double-counted evictions, no lost entries).
+    EXPECT_EQ(stats.misses, stats.evictions + stats.cached_blocks);
+    // Residency never exceeds pins + capacity.
+    EXPECT_LE(stats.cached_blocks, (5 - released) + 2);
+  }
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.cached_blocks, 2u);
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.pinned_blocks, 0u);
+}
+
+TEST(BlockCacheTest, ConcurrentUnpinAndInsertKeepAccountingConsistent) {
+  // Regression for the cross-shard eviction race: an unpin re-filing its
+  // entry and an insert in another shard could both observe the same
+  // one-block overshoot and both evict, double-counting the eviction
+  // and draining the cache below budget. Hammer unpins and inserts from
+  // several threads, then check the global ledger: every miss is either
+  // a resident block or exactly one eviction.
+  BlockCache cache({.capacity_blocks = 8, .capacity_bytes = 0, .shards = 4});
+  std::atomic<int> loads{0};
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &loads, t] {
+      Rng rng(static_cast<uint64_t>(t) + 77);
+      std::vector<BlockCache::Handle> held;
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const uint64_t block = static_cast<uint64_t>(rng.Uniform(0, 31));
+        auto handle = cache.GetOrLoad(
+            {1, block}, MarkerLoader(static_cast<int64_t>(block), &loads));
+        ASSERT_TRUE(handle.ok());
+        held.push_back(std::move(handle).value());
+        if (held.size() > 3 || rng.Uniform(0, 3) == 0) {
+          // Release out of order so unpins interleave with inserts.
+          const size_t victim =
+              static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(
+                                                     held.size() - 1)));
+          held[victim].Release();
+          held.erase(held.begin() + static_cast<long>(victim));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.pinned_blocks, 0u);
+  EXPECT_EQ(stats.misses, stats.evictions + stats.cached_blocks);
+  EXPECT_EQ(stats.misses, static_cast<uint64_t>(loads.load()));
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+}
+
 TEST(BlockCacheTest, FailedLoadIsNotCachedAndPropagates) {
   BlockCache cache({.capacity_blocks = 4, .capacity_bytes = 0, .shards = 1});
   std::atomic<int> loads{0};
