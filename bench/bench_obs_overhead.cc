@@ -1,0 +1,222 @@
+// Observability overhead gate: dense scans with telemetry ON must stay
+// within a small bound of the same scans with telemetry OFF.
+//
+// Methodology: one process, one warm ScanService, and interleaved A/B
+// sampling via obs::SetEnabled — sample r measures one dense scan with
+// the layer enabled, then the identical scan disabled, back to back.
+// Interleaving inside a single process cancels machine-level drift
+// (frequency scaling, cache state, page placement) that plagues
+// cross-run comparisons; the reported overhead is the ratio of the two
+// *medians*, robust to stray outlier samples.
+//
+// Flags (besides the shared --rows/--runs/--json):
+//   --assert R   exit nonzero when overhead exceeds R (e.g. 0.02 for
+//                the CI bound of 2%); without it the bench only reports.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "core/corra_compressor.h"
+#include "obs/metrics.h"
+#include "serve/scan_service.h"
+#include "serve/table_reader.h"
+#include "storage/file_io.h"
+
+namespace {
+
+using namespace corra;
+using Clock = std::chrono::steady_clock;
+
+constexpr size_t kBlockRows = 250000;
+
+double Median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+// Time for `scans` back-to-back executions: batching several ~50ms
+// scans per timing absorbs single-scan scheduler jitter.
+double TimeScans(serve::ScanService& service,
+                 const serve::TableReader& reader,
+                 const serve::ScanRequest& request, size_t scans) {
+  const auto begin = Clock::now();
+  for (size_t i = 0; i < scans; ++i) {
+    auto result = service.Execute(reader, request);
+    if (!result.ok()) {
+      std::fprintf(stderr, "scan failed: %s\n",
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const auto end = Clock::now();
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef CORRA_OBS_OFF
+  // Nothing to compare when the layer is compiled out.
+  std::printf("observability compiled out (CORRA_OBS_OFF); overhead 0\n");
+  return 0;
+#else
+  const bench::Flags flags = bench::ParseFlags(argc, argv);
+  double assert_bound = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert") == 0 && i + 1 < argc) {
+      assert_bound = std::strtod(argv[i + 1], nullptr);
+    } else if (std::strncmp(argv[i], "--assert=", 9) == 0) {
+      assert_bound = std::strtod(argv[i] + 9, nullptr);
+    }
+  }
+  const size_t rows = bench::ResolveRows(flags, 8000000, 4);
+  const size_t samples = flags.runs > 2 ? flags.runs : 10;
+
+  // The bench_serve table: correlated dates plus a fare column.
+  Rng rng(17);
+  std::vector<int64_t> ship(rows), receipt(rows), fare(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    ship[i] = rng.Uniform(8035, 10591);
+    receipt[i] = ship[i] + rng.Uniform(1, 30);
+    fare[i] = rng.Uniform(100, 25000);
+  }
+  Table table;
+  if (!table.AddColumn(Column::Date("ship", std::move(ship))).ok() ||
+      !table.AddColumn(Column::Date("receipt", std::move(receipt))).ok() ||
+      !table.AddColumn(Column::Money("fare", std::move(fare))).ok()) {
+    return 1;
+  }
+  CompressionPlan plan = CompressionPlan::AllAuto(3);
+  plan.block_rows = kBlockRows;
+  plan.num_threads = 4;
+  plan.columns[1].auto_vertical = false;
+  plan.columns[1].scheme = enc::Scheme::kDiff;
+  plan.columns[1].reference = 0;
+  auto compressed = CorraCompressor::Compress(table, plan);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "compress failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  const size_t num_blocks = compressed.value().num_blocks();
+  const std::string path = "/tmp/corra_bench_obs_overhead.corf";
+  if (!WriteCompressedTable(compressed.value(), path).ok()) {
+    std::fprintf(stderr, "write failed\n");
+    return 1;
+  }
+
+  auto cache = std::make_shared<serve::BlockCache>(
+      serve::BlockCacheOptions{.capacity_blocks = num_blocks + 8,
+                               .capacity_bytes = 0,
+                               .shards = 4});
+  auto reader = serve::TableReader::Open(path, cache);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+  // Inline execution: the measurement is pure per-block scan cost, no
+  // pool scheduling noise, and it is the configuration most sensitive
+  // to instrumentation (every clock read lands on the timed path).
+  serve::ScanService service(serve::ScanService::Options{.num_threads = 0});
+
+  // Dense scan: no filter, all columns projected — the hot path the
+  // 2% bound is stated for (per-block instrumentation cost amortizes
+  // over the most rows).
+  serve::ScanRequest request;
+  request.project_columns = {0, 1, 2};
+
+  // Warm the cache and both code paths before sampling.
+  constexpr size_t kScansPerSample = 3;
+  obs::SetEnabled(true);
+  TimeScans(service, *reader.value(), request, 1);
+  obs::SetEnabled(false);
+  TimeScans(service, *reader.value(), request, 1);
+
+  // Each sample is one enabled and one disabled batch back to back (the
+  // order alternates per sample so any first-runner advantage cancels),
+  // and contributes one on/off *ratio*. Two adjacent batches see the
+  // same machine state, so per-pair ratios are immune to the slow drift
+  // (thermal throttling, background load ramping) that makes whole-run
+  // aggregates like global medians or minima unstable; the median of
+  // the pair ratios is then robust to stray outlier pairs.
+  //
+  // Under --assert, a reading over the bound triggers up to two fresh
+  // measurements: ambient noise that inflated one run is uncorrelated
+  // with the next, while a real instrumentation regression fails all
+  // three. This keeps the CI gate tight (2%) without flaking on shared
+  // runners whose noise floor can exceed the bound being asserted.
+  struct Measurement {
+    double on_med, off_med, overhead;
+  };
+  const auto measure = [&]() -> Measurement {
+    std::vector<double> on_s, off_s, ratios;
+    on_s.reserve(samples);
+    off_s.reserve(samples);
+    ratios.reserve(samples);
+    for (size_t r = 0; r < samples; ++r) {
+      const bool on_first = r % 2 == 0;
+      double pair[2];
+      for (int half = 0; half < 2; ++half) {
+        const bool enabled = (half == 0) == on_first;
+        obs::SetEnabled(enabled);
+        pair[enabled ? 0 : 1] =
+            TimeScans(service, *reader.value(), request, kScansPerSample);
+      }
+      on_s.push_back(pair[0] / kScansPerSample);  // Per-scan time.
+      off_s.push_back(pair[1] / kScansPerSample);
+      ratios.push_back(pair[0] / pair[1]);
+    }
+    obs::SetEnabled(true);
+    return {Median(on_s), Median(off_s), Median(ratios) - 1.0};
+  };
+
+  Measurement m = measure();
+  int attempts = 1;
+  while (assert_bound >= 0 && m.overhead > assert_bound && attempts < 3) {
+    std::fprintf(stderr,
+                 "attempt %d read %.2f%% (> %.2f%%); re-measuring\n",
+                 attempts, m.overhead * 100.0, assert_bound * 100.0);
+    m = measure();
+    ++attempts;
+  }
+  const double mrows_on = static_cast<double>(rows) / m.on_med / 1e6;
+  const double mrows_off = static_cast<double>(rows) / m.off_med / 1e6;
+
+  if (flags.json) {
+    std::printf("{\"rows\": %zu, \"samples\": %zu, "
+                "\"on_median_ms\": %.3f, \"off_median_ms\": %.3f, "
+                "\"mrows_per_s_on\": %.1f, \"mrows_per_s_off\": %.1f, "
+                "\"overhead\": %.4f}\n",
+                rows, samples, m.on_med * 1e3, m.off_med * 1e3, mrows_on,
+                mrows_off, m.overhead);
+  } else {
+    bench::PrintHeader("Telemetry overhead on dense scans (" +
+                       std::to_string(rows) + " rows, " +
+                       std::to_string(samples) + " interleaved samples)");
+    std::printf("%-10s %12s %12s\n", "obs", "median ms", "Mrows/s");
+    bench::PrintRule();
+    std::printf("%-10s %12.3f %12.1f\n", "on", m.on_med * 1e3, mrows_on);
+    std::printf("%-10s %12.3f %12.1f\n", "off", m.off_med * 1e3, mrows_off);
+    std::printf("overhead (median pair ratio): %.2f%%\n",
+                m.overhead * 100.0);
+  }
+
+  std::remove(path.c_str());
+  if (assert_bound >= 0 && m.overhead > assert_bound) {
+    std::fprintf(stderr,
+                 "FAIL: telemetry overhead %.2f%% exceeds bound %.2f%% "
+                 "on all %d attempts\n",
+                 m.overhead * 100.0, assert_bound * 100.0, attempts);
+    return 1;
+  }
+  return 0;
+#endif  // CORRA_OBS_OFF
+}

@@ -8,7 +8,10 @@
 // end-to-end scan throughput, single-client and with 8 concurrent
 // clients sharing the reader.
 //
-// Flags: --rows N (default 2M), --runs N scan repetitions (default 10).
+// Flags: --rows N (default 2M), --runs N scan repetitions (default 10),
+// --json for machine-readable output including a "metrics" object with
+// the full telemetry registry snapshot (counters, gauges, latency
+// histograms) accumulated across every configuration.
 
 #include <chrono>
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include "bench_util.h"
 #include "common/random.h"
 #include "core/corra_compressor.h"
+#include "obs/metrics.h"
 #include "serve/scan_service.h"
 #include "serve/table_reader.h"
 #include "storage/file_io.h"
@@ -111,6 +115,19 @@ void PrintRow(const char* config, size_t clients, const RunStats& s) {
               static_cast<unsigned long long>(s.rows_matched));
 }
 
+void PrintJsonRow(const char* config, size_t clients, const RunStats& s,
+                  bool last) {
+  std::printf("    {\"cache\": \"%s\", \"clients\": %zu, "
+              "\"hit_rate\": %.4f, \"misses\": %llu, \"evictions\": %llu, "
+              "\"mrows_per_s\": %.1f, \"rows_matched\": %llu}%s\n",
+              config, clients, s.cache.HitRate(),
+              static_cast<unsigned long long>(s.cache.misses),
+              static_cast<unsigned long long>(s.cache.evictions),
+              static_cast<double>(s.rows_scanned) / s.seconds / 1e6,
+              static_cast<unsigned long long>(s.rows_matched),
+              last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,9 +165,11 @@ int main(int argc, char** argv) {
   }
   const size_t num_blocks = compressed.value().num_blocks();
   const Block::Stats block_stats = compressed.value().block(0).GetStats();
-  std::printf("block profile: %zu rows x %zu columns, %.2f MB encoded\n",
-              block_stats.rows, block_stats.columns,
-              bench::ToMb(block_stats.encoded_bytes));
+  if (!flags.json) {
+    std::printf("block profile: %zu rows x %zu columns, %.2f MB encoded\n",
+                block_stats.rows, block_stats.columns,
+                bench::ToMb(block_stats.encoded_bytes));
+  }
 
   const std::string path = "/tmp/corra_bench_serve.corf";
   if (!WriteCompressedTable(compressed.value(), path).ok()) {
@@ -158,20 +177,48 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  bench::PrintHeader("Out-of-core serving: ScanService over " +
-                     std::to_string(num_blocks) + " blocks (" +
-                     std::to_string(rows) + " rows, " +
-                     std::to_string(runs) + " scans/client)");
-  std::printf("%-6s %8s %13s %10s %10s %12s %14s\n", "cache", "clients",
-              "hit rate", "misses", "evictions", "Mrows/s", "matched");
-  bench::PrintRule();
+  // Every cache and service below shares the default registry; reset it
+  // so the JSON "metrics" object covers exactly this invocation.
+  obs::Registry::Default().Reset();
 
+  if (!flags.json) {
+    bench::PrintHeader("Out-of-core serving: ScanService over " +
+                       std::to_string(num_blocks) + " blocks (" +
+                       std::to_string(rows) + " rows, " +
+                       std::to_string(runs) + " scans/client)");
+    std::printf("%-6s %8s %13s %10s %10s %12s %14s\n", "cache", "clients",
+                "hit rate", "misses", "evictions", "Mrows/s", "matched");
+    bench::PrintRule();
+  }
+
+  struct NamedRun {
+    const char* config;
+    size_t clients;
+    RunStats stats;
+  };
+  std::vector<NamedRun> results;
   for (size_t clients : {size_t{1}, size_t{8}}) {
     // Hot: every block fits; after the first pass everything hits.
-    PrintRow("hot", clients,
-             RunConfig(path, num_blocks + 8, runs, clients));
+    results.push_back({"hot", clients,
+                       RunConfig(path, num_blocks + 8, runs, clients)});
     // Cold: one resident block; every scan reloads the whole file.
-    PrintRow("cold", clients, RunConfig(path, 1, runs, clients));
+    results.push_back({"cold", clients, RunConfig(path, 1, runs, clients)});
+    if (!flags.json) {
+      PrintRow("hot", clients, results[results.size() - 2].stats);
+      PrintRow("cold", clients, results[results.size() - 1].stats);
+    }
+  }
+
+  if (flags.json) {
+    std::printf("{\n  \"rows\": %zu, \"blocks\": %zu, \"runs\": %zu,\n"
+                "  \"results\": [\n",
+                rows, num_blocks, runs);
+    for (size_t i = 0; i < results.size(); ++i) {
+      PrintJsonRow(results[i].config, results[i].clients, results[i].stats,
+                   i + 1 == results.size());
+    }
+    std::printf("  ],\n  \"metrics\": %s\n}\n",
+                obs::Registry::Default().ToJson().c_str());
   }
 
   std::remove(path.c_str());

@@ -7,6 +7,7 @@
 #include "core/ref_dispatch.h"
 #include "encoding/dictionary.h"
 #include "encoding/for.h"
+#include "query/kernel_counters.h"
 #include "query/morsel.h"
 
 namespace corra::query {
@@ -125,6 +126,7 @@ void FilterDispatch(const enc::EncodedColumn& column, int64_t lo, int64_t hi,
 
 std::vector<uint32_t> FilterToSelection(const enc::EncodedColumn& column,
                                         int64_t lo, int64_t hi) {
+  CountFilterRows(column.scheme(), column.size());
   std::vector<uint32_t> rows;
   FilterDispatch(column, lo, hi,
                  [&rows](const uint32_t* staged, size_t count) {
@@ -135,6 +137,7 @@ std::vector<uint32_t> FilterToSelection(const enc::EncodedColumn& column,
 
 size_t CountInRange(const enc::EncodedColumn& column, int64_t lo,
                     int64_t hi) {
+  CountFilterRows(column.scheme(), column.size());
   size_t count = 0;
   FilterDispatch(column, lo, hi,
                  [&count](const uint32_t*, size_t n) { count += n; });

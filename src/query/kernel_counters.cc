@@ -1,0 +1,60 @@
+#include "query/kernel_counters.h"
+
+#include <array>
+#include <atomic>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace corra::query {
+
+namespace {
+
+// Lazily resolved per-scheme counter slots: only schemes a workload
+// actually touches appear in registry exports. The slot write races
+// benignly — Registry::counter is idempotent, so every racer resolves
+// the same Counter and the winning store is irrelevant.
+struct SchemeCounterTable {
+  const char* base;
+  std::array<std::atomic<obs::Counter*>, 64> slots{};
+
+  void Add(enc::Scheme scheme, uint64_t rows) {
+    if (!obs::Enabled() || rows == 0) {
+      return;
+    }
+    const auto id = static_cast<size_t>(scheme);
+    if (id >= slots.size()) {
+      return;
+    }
+    obs::Counter* counter = slots[id].load(std::memory_order_acquire);
+    if (counter == nullptr) {
+      std::string name(base);
+      name += "{scheme=\"";
+      name += enc::SchemeToString(scheme);
+      name += "\"}";
+      counter = &obs::Registry::Default().counter(name);
+      slots[id].store(counter, std::memory_order_release);
+    }
+    counter->Add(rows);
+  }
+};
+
+SchemeCounterTable g_decode_rows{"query.decode_rows", {}};
+SchemeCounterTable g_gather_rows{"query.gather_rows", {}};
+SchemeCounterTable g_filter_rows{"query.filter_rows", {}};
+
+}  // namespace
+
+void CountDecodeRows(enc::Scheme scheme, uint64_t rows) {
+  g_decode_rows.Add(scheme, rows);
+}
+
+void CountGatherRows(enc::Scheme scheme, uint64_t rows) {
+  g_gather_rows.Add(scheme, rows);
+}
+
+void CountFilterRows(enc::Scheme scheme, uint64_t rows) {
+  g_filter_rows.Add(scheme, rows);
+}
+
+}  // namespace corra::query

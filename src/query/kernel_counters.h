@@ -1,0 +1,38 @@
+// Per-scheme row counters for the query kernels — the storage-layer
+// feed of the telemetry registry (src/obs/).
+//
+// Every materializing kernel call reports how many rows it served and
+// under which encoding scheme, so the registry can answer "which
+// scheme's decode path is this workload actually paying for" (the
+// paper's core claim is that scheme choice dominates scan cost — these
+// counters make that attributable at runtime, not just in benchmarks):
+//
+//   query.decode_rows{scheme="FOR"}   dense ranged decodes
+//   query.gather_rows{scheme="Delta"} positioned sparse gathers
+//   query.filter_rows{scheme="Dict"}  rows pushed through a predicate
+//
+// Counting happens once per kernel *call* (a block or morsel worth of
+// rows), never per row; with observability off each call is a single
+// predicted branch.
+
+#ifndef CORRA_QUERY_KERNEL_COUNTERS_H_
+#define CORRA_QUERY_KERNEL_COUNTERS_H_
+
+#include <cstdint>
+
+#include "encoding/scheme.h"
+
+namespace corra::query {
+
+/// Rows materialized by a dense ranged decode (DecodeRange paths).
+void CountDecodeRows(enc::Scheme scheme, uint64_t rows);
+
+/// Rows materialized by a positioned sparse gather (GatherRange paths).
+void CountGatherRows(enc::Scheme scheme, uint64_t rows);
+
+/// Rows evaluated by a range-predicate scan over an encoded column.
+void CountFilterRows(enc::Scheme scheme, uint64_t rows);
+
+}  // namespace corra::query
+
+#endif  // CORRA_QUERY_KERNEL_COUNTERS_H_

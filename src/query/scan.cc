@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "core/horizontal.h"
+#include "query/kernel_counters.h"
 #include "query/morsel.h"
 
 namespace corra::query {
@@ -88,6 +89,7 @@ void ScanColumn(const Block& block, size_t col,
       ScanColumnRange(block, col, rows.front(), rows.size(), out);
       return;
     case SelectionShape::kSorted:
+      CountGatherRows(block.column(col).scheme(), rows.size());
       block.column(col).GatherRange(rows, out);
       return;
     case SelectionShape::kUnsorted:
@@ -127,6 +129,8 @@ void ScanPair(const Block& block, size_t ref_col, size_t target_col,
       }
       return;
   }
+  CountGatherRows(block.column(ref_col).scheme(), rows.size());
+  CountGatherRows(block.column(target_col).scheme(), rows.size());
   block.column(ref_col).GatherRange(rows, out_ref);
   if (const SingleRefColumn* horizontal =
           AsSingleRefOn(block.column(target_col), ref_col)) {
@@ -140,12 +144,15 @@ void ScanPair(const Block& block, size_t ref_col, size_t target_col,
 
 void ScanColumnRange(const Block& block, size_t col, size_t row_begin,
                      size_t count, int64_t* out) {
+  CountDecodeRows(block.column(col).scheme(), count);
   block.column(col).DecodeRange(row_begin, count, out);
 }
 
 void ScanPairRange(const Block& block, size_t ref_col, size_t target_col,
                    size_t row_begin, size_t count, int64_t* out_ref,
                    int64_t* out_target) {
+  CountDecodeRows(block.column(ref_col).scheme(), count);
+  CountDecodeRows(block.column(target_col).scheme(), count);
   block.column(ref_col).DecodeRange(row_begin, count, out_ref);
   if (const SingleRefColumn* horizontal =
           AsSingleRefOn(block.column(target_col), ref_col)) {

@@ -39,9 +39,36 @@ struct BlockCache::State {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t failed_loads = 0;
+    uint64_t erased = 0;  // EraseFile removals (incl. doomed unpins).
+  };
+
+  // Cached registry series; resolved once at construction so cache
+  // events are lock-free counter/gauge updates. The counters mirror the
+  // per-shard stats; the gauges track residency levels, replacing the
+  // ad-hoc GetStats polling the serving benches used to do.
+  struct Metrics {
+    obs::Counter* hits;
+    obs::Counter* misses;
+    obs::Counter* evictions;
+    obs::Counter* failed_loads;
+    obs::Gauge* cached_blocks;
+    obs::Gauge* cached_bytes;
+    obs::Gauge* pinned_blocks;
+    obs::Gauge* pinned_bytes;
+
+    explicit Metrics(obs::Registry& registry)
+        : hits(&registry.counter("cache.hits")),
+          misses(&registry.counter("cache.misses")),
+          evictions(&registry.counter("cache.evictions")),
+          failed_loads(&registry.counter("cache.failed_loads")),
+          cached_blocks(&registry.gauge("cache.cached_blocks")),
+          cached_bytes(&registry.gauge("cache.cached_bytes")),
+          pinned_blocks(&registry.gauge("cache.pinned_blocks")),
+          pinned_bytes(&registry.gauge("cache.pinned_bytes")) {}
   };
 
   BlockCacheOptions options;
+  std::unique_ptr<Metrics> metrics;
   // Budgets are enforced globally (per-shard slices would starve the
   // cache whenever capacity / shards is smaller than a block); a shard
   // can only evict its own entries, so an overshoot in one shard drains
@@ -105,6 +132,9 @@ struct BlockCache::State {
       total_blocks.fetch_sub(1, std::memory_order_relaxed);
       total_bytes.fetch_sub(victim->bytes, std::memory_order_relaxed);
       ++shard.evictions;
+      metrics->evictions->Increment();
+      metrics->cached_blocks->Sub(1);
+      metrics->cached_bytes->Sub(static_cast<int64_t>(victim->bytes));
       // Copy: erase(key) must not receive a reference into the node it
       // is destroying.
       const BlockKey victim_key = victim->key;
@@ -124,12 +154,17 @@ struct BlockCache::State {
     if (--entry->pins > 0) {
       return;
     }
+    metrics->pinned_blocks->Sub(1);
+    metrics->pinned_bytes->Sub(static_cast<int64_t>(entry->bytes));
     if (entry->doomed) {
       // The owning file was erased while this pin was out; the entry is
       // unreachable (file ids are never reused), so drop it now.
       shard.bytes -= entry->bytes;
       total_blocks.fetch_sub(1, std::memory_order_relaxed);
       total_bytes.fetch_sub(entry->bytes, std::memory_order_relaxed);
+      ++shard.erased;
+      metrics->cached_blocks->Sub(1);
+      metrics->cached_bytes->Sub(static_cast<int64_t>(entry->bytes));
       shard.entries.erase(it);
       return;
     }
@@ -139,6 +174,25 @@ struct BlockCache::State {
     entry->lru_it = shard.lru.begin();
     entry->in_lru = true;
     EvictOverflow(shard);
+  }
+
+  // Blocks still resident when the cache dies stop being resident: give
+  // their share of the process-wide residency gauges back, so many
+  // short-lived caches (benches, tests) don't drift the gauges upward.
+  ~State() {
+    for (const auto& shard_ptr : shards) {
+      for (const auto& [key, entry] : shard_ptr->entries) {
+        if (entry->loading) {
+          continue;
+        }
+        metrics->cached_blocks->Sub(1);
+        metrics->cached_bytes->Sub(static_cast<int64_t>(entry->bytes));
+        if (entry->pins > 0) {
+          metrics->pinned_blocks->Sub(1);
+          metrics->pinned_bytes->Sub(static_cast<int64_t>(entry->bytes));
+        }
+      }
+    }
   }
 };
 
@@ -178,6 +232,9 @@ void BlockCache::Handle::Release() {
 BlockCache::BlockCache(BlockCacheOptions options)
     : state_(std::make_shared<State>()) {
   state_->options = options;
+  state_->metrics = std::make_unique<State::Metrics>(
+      options.registry != nullptr ? *options.registry
+                                  : obs::Registry::Default());
   size_t shards = std::max<size_t>(options.shards, 1);
   if (options.capacity_blocks > 0) {
     // Never more shards than blocks: a tiny cache degenerates to one
@@ -216,11 +273,16 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     State::Entry* entry = it->second.get();
     if (!entry->loading) {
       ++shard.hits;
+      state_->metrics->hits->Increment();
       if (entry->in_lru) {
         shard.lru.erase(entry->lru_it);
         entry->in_lru = false;
       }
-      ++entry->pins;
+      if (entry->pins++ == 0) {
+        state_->metrics->pinned_blocks->Add(1);
+        state_->metrics->pinned_bytes->Add(
+            static_cast<int64_t>(entry->bytes));
+      }
       return Handle(state_, key, entry->block);
     }
     // Another caller is loading this block; wait for it to finish, then
@@ -233,6 +295,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
   State::Entry* entry = placeholder.get();
   shard.entries.emplace(key, std::move(placeholder));
   ++shard.misses;
+  state_->metrics->misses->Increment();
   lock.unlock();
 
   Result<std::shared_ptr<const Block>> loaded = loader();
@@ -240,6 +303,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
   lock.lock();
   if (!loaded.ok() || loaded.value() == nullptr) {
     ++shard.failed_loads;
+    state_->metrics->failed_loads->Increment();
     shard.entries.erase(key);
     shard.cv.notify_all();
     return loaded.ok()
@@ -253,6 +317,10 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
   shard.bytes += entry->bytes;
   state_->total_blocks.fetch_add(1, std::memory_order_relaxed);
   state_->total_bytes.fetch_add(entry->bytes, std::memory_order_relaxed);
+  state_->metrics->cached_blocks->Add(1);
+  state_->metrics->cached_bytes->Add(static_cast<int64_t>(entry->bytes));
+  state_->metrics->pinned_blocks->Add(1);
+  state_->metrics->pinned_bytes->Add(static_cast<int64_t>(entry->bytes));
   shard.cv.notify_all();
   state_->EvictOverflow(shard);
   return Handle(state_, key, entry->block);
@@ -290,23 +358,44 @@ void BlockCache::EraseFile(uint64_t file_id) {
       state_->total_blocks.fetch_sub(1, std::memory_order_relaxed);
       state_->total_bytes.fetch_sub(entry->bytes,
                                     std::memory_order_relaxed);
+      ++shard.erased;
+      state_->metrics->cached_blocks->Sub(1);
+      state_->metrics->cached_bytes->Sub(
+          static_cast<int64_t>(entry->bytes));
       it = shard.entries.erase(it);
     }
   }
 }
 
 BlockCacheStats BlockCache::GetStats() const {
+  // Coherent snapshot: every shard lock is held for the whole
+  // aggregation, so no load can complete, no pin can drop, and no
+  // eviction can run while counting — the ledger invariant documented
+  // on BlockCacheStats holds exactly, never just transiently. (Locking
+  // all shards is deadlock-free: no other path ever holds two shard
+  // locks, and the eviction mutex is only ever taken *after* a shard
+  // lock, never before one.) Shard-at-a-time aggregation would instead
+  // let a block finish loading in shard A after A was counted but
+  // before B was — a reader could then see misses != evictions +
+  // cached_blocks + loading_blocks even with the per-shard counters
+  // individually exact.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(state_->shards.size());
+  for (const auto& shard_ptr : state_->shards) {
+    locks.emplace_back(shard_ptr->mu);
+  }
   BlockCacheStats stats;
   for (const auto& shard_ptr : state_->shards) {
     const State::Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
     stats.failed_loads += shard.failed_loads;
+    stats.erased_blocks += shard.erased;
     stats.cached_bytes += shard.bytes;
     for (const auto& [key, entry] : shard.entries) {
       if (entry->loading) {
+        ++stats.loading_blocks;
         continue;
       }
       ++stats.cached_blocks;

@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "storage/block.h"
 
 namespace corra::serve {
@@ -67,16 +68,39 @@ struct BlockCacheOptions {
   /// Desired shard count; clamped to capacity_blocks when that is
   /// smaller, and to at least 1.
   size_t shards = 8;
+  /// Metrics registry the cache reports into (hits/misses/evictions as
+  /// counters, resident/pinned blocks and bytes as gauges, all under
+  /// "cache."). Null means obs::Registry::Default(). Several caches
+  /// sharing one registry aggregate into the same series.
+  obs::Registry* registry = nullptr;
 };
 
+/// Coherent point-in-time snapshot of the cache (see GetStats).
+///
+/// Ledger invariant — because the snapshot is taken with every shard
+/// locked at once, it holds *exactly*, not just eventually:
+///
+///   misses == cached_blocks + loading_blocks
+///           + evictions + failed_loads + erased_blocks
+///
+/// Every miss creates exactly one entry, and every entry is either
+/// still loading, resident, or was removed by exactly one of eviction,
+/// load failure, or EraseFile (immediately, or deferred to the last
+/// unpin of a doomed entry — counted as erased either way).
 struct BlockCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t failed_loads = 0;
+  /// Entries removed by EraseFile (including doomed entries dropped at
+  /// their last unpin) — removals that are neither evictions nor
+  /// failures, kept separate so the ledger invariant stays exact.
+  uint64_t erased_blocks = 0;
   size_t cached_blocks = 0;
   size_t cached_bytes = 0;
   size_t pinned_blocks = 0;
+  /// Entries whose loader is still running (missed, not yet resident).
+  size_t loading_blocks = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -147,7 +171,11 @@ class BlockCache {
   /// unreachable residents.
   void EraseFile(uint64_t file_id);
 
-  /// Aggregated snapshot across shards.
+  /// Coherent snapshot: taken with every shard lock held at once, so
+  /// the BlockCacheStats ledger invariant (see its comment) holds
+  /// exactly even while concurrent loads, unpins, and evictions are in
+  /// flight. Safe against the eviction path's lock order (no code path
+  /// holds two shard locks, and GetStats acquires them in index order).
   BlockCacheStats GetStats() const;
 
   size_t capacity_blocks() const;

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <memory>
 #include <numeric>
+#include <string>
 #include <utility>
 
+#include "encoding/scheme.h"
 #include "query/aggregate.h"
 #include "query/filter.h"
 #include "query/scan.h"
@@ -140,14 +142,99 @@ void ScanOneBlock(const Block& block, uint64_t base,
   }
 }
 
+// The distinct columns a request touches, in first-use order (filter,
+// then projections, then the aggregate) — the trace's per-block scheme
+// annotation covers exactly these.
+std::vector<size_t> TouchedColumns(const ScanRequest& request) {
+  std::vector<size_t> cols;
+  auto add = [&cols](size_t col) {
+    if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+      cols.push_back(col);
+    }
+  };
+  if (request.filter_column) {
+    add(*request.filter_column);
+  }
+  for (size_t col : request.project_columns) {
+    add(col);
+  }
+  if (request.aggregate) {
+    add(request.aggregate_column);
+  }
+  return cols;
+}
+
+// "index:scheme" comma-joined for the touched columns of one block.
+// Schemes are per block (auto-selection can differ block to block), so
+// this runs inside the block task, against the pinned block.
+std::string SchemesAnnotation(const Block& block,
+                              std::span<const size_t> columns) {
+  std::string out;
+  for (size_t col : columns) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(col);
+    out += ':';
+    out += enc::SchemeToString(block.column(col).scheme());
+  }
+  return out;
+}
+
 }  // namespace
 
 ScanService::ScanService() : ScanService(Options{}) {}
 
-ScanService::ScanService(Options options) {
+ScanService::ScanService(Options options)
+    : slow_trace_ns_(options.slow_trace_ns),
+      slow_traces_(options.slow_trace_capacity) {
+  obs::Registry& reg =
+      options.registry != nullptr ? *options.registry : obs::Registry::Default();
+  metrics_.requests = &reg.counter("serve.requests");
+  metrics_.gather_requests = &reg.counter("serve.gather_requests");
+  metrics_.rows_scanned = &reg.counter("serve.rows_scanned");
+  metrics_.rows_matched = &reg.counter("serve.rows_matched");
+  metrics_.gather_rows = &reg.counter("serve.gather_rows");
+  metrics_.blocks_pruned = &reg.counter("serve.blocks_pruned");
+  metrics_.latency_us =
+      &reg.histogram("serve.request_latency_us", obs::LatencyBucketBoundsUs());
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    std::string name = "serve.phase_us{phase=\"";
+    name += obs::PhaseName(static_cast<obs::Phase>(p));
+    name += "\"}";
+    metrics_.phase_us[p] =
+        &reg.histogram(name, obs::LatencyBucketBoundsUs());
+  }
   workers_.reserve(options.num_threads);
   for (size_t t = 0; t < options.num_threads; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ScanService::FinishRequest(obs::RequestTrace trace, uint64_t start_ns,
+                                obs::RequestTrace* sink) {
+  trace.total_ns = obs::MonotonicNs() - start_ns;
+  metrics_.latency_us->Record(trace.total_ns / 1000);
+  for (size_t p = 0; p < obs::kNumPhases; ++p) {
+    metrics_.phase_us[p]->Record(trace.phase_ns[p] / 1000);
+  }
+  metrics_.rows_scanned->Add(trace.rows_scanned);
+  metrics_.rows_matched->Add(trace.rows_matched);
+  uint64_t pruned = 0;
+  for (const obs::BlockSpan& span : trace.blocks) {
+    pruned += span.pruned ? 1 : 0;
+  }
+  metrics_.blocks_pruned->Add(pruned);
+  if (trace.total_ns >= slow_trace_ns_) {
+    if (sink != nullptr) {
+      slow_traces_.Push(trace);  // The caller keeps the original.
+    } else {
+      slow_traces_.Push(std::move(trace));
+      return;
+    }
+  }
+  if (sink != nullptr) {
+    *sink = std::move(trace);
   }
 }
 
@@ -217,6 +304,20 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   const size_t num_blocks = reader.num_blocks();
   std::vector<BlockPartial> partials(num_blocks);
 
+  // All telemetry below keys off this one gate: with observability off
+  // the request takes zero clock reads and allocates no spans.
+  const bool tracing = obs::Enabled();
+  const bool pooled = !workers_.empty();
+  const uint64_t t_start = tracing ? obs::MonotonicNs() : 0;
+  obs::RequestTrace trace;
+  trace.op = "execute";
+  std::vector<obs::BlockSpan> spans;
+  std::vector<size_t> touched;
+  if (tracing) {
+    spans.resize(num_blocks);
+    touched = TouchedColumns(request);
+  }
+
   // Stats pruning: a filtered request skips every block whose persisted
   // [min, max] cannot intersect the predicate — the block is never
   // fetched or decoded. Results are identical to the unpruned scan
@@ -228,26 +329,56 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(num_blocks);
+  // Queue wait is measured from request start: the build loop ahead of
+  // the actual enqueue is pointer pushes and stats compares, so pickup
+  // minus this is (attributed) time the task spent waiting on the pool.
+  const uint64_t t_enqueue = t_start;
   for (size_t b = 0; b < num_blocks; ++b) {
     if (can_prune) {
       const ColumnStats& stats = info.Stats(b, *request.filter_column);
       if (request.filter_lo > stats.max || request.filter_hi < stats.min) {
         partials[b].rows_scanned = reader.block_rows(b);
         ++blocks_skipped;
+        if (tracing) {
+          spans[b].block = static_cast<uint32_t>(b);
+          spans[b].rows = reader.block_rows(b);
+          spans[b].pruned = true;
+        }
         continue;
       }
     }
-    tasks.push_back([&reader, &request, b, partial = &partials[b]] {
-      auto handle = reader.GetBlock(b);
+    obs::BlockSpan* span = tracing ? &spans[b] : nullptr;
+    tasks.push_back([&reader, &request, &touched, b, pooled, t_enqueue,
+                     partial = &partials[b], span] {
+      const uint64_t t_task = span != nullptr ? obs::MonotonicNs() : 0;
+      BlockFetchStats fetch;
+      auto handle = reader.GetBlock(b, span != nullptr ? &fetch : nullptr);
       if (!handle.ok()) {
         partial->status = handle.status();
         return;
       }
+      const uint64_t t_pinned = span != nullptr ? obs::MonotonicNs() : 0;
       ScanOneBlock(*handle.value(), reader.block_row_offsets()[b],
                    request, partial);
+      if (span != nullptr) {
+        const uint64_t t_done = obs::MonotonicNs();
+        span->block = static_cast<uint32_t>(b);
+        span->rows = partial->rows_scanned;
+        span->cache_hit = !fetch.miss;
+        // Inline execution has no queue: the task runs the instant it
+        // would have been enqueued.
+        span->queue_ns = pooled ? t_task - t_enqueue : 0;
+        span->fill_ns = fetch.fill_ns;
+        const uint64_t pin_total = t_pinned - t_task;
+        span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
+        span->decode_ns = t_done - t_pinned;
+        span->schemes = SchemesAnnotation(*handle.value(), touched);
+      }
     });
   }
+  const uint64_t t_built = tracing ? obs::MonotonicNs() : 0;
   RunTasks(std::move(tasks));
+  const uint64_t t_merge = tracing ? obs::MonotonicNs() : 0;
 
   // Merge in block order.
   ScanResult result;
@@ -280,18 +411,43 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
     }
   }
   result.agg_sum = static_cast<int64_t>(agg_sum);
+
+  if (tracing) {
+    trace.rows_scanned = result.rows_scanned;
+    trace.rows_matched = result.rows_matched;
+    auto phase = [&trace](obs::Phase p) -> uint64_t& {
+      return trace.phase_ns[static_cast<size_t>(p)];
+    };
+    phase(obs::Phase::kBlockPrune) = t_built - t_start;
+    phase(obs::Phase::kMerge) = obs::MonotonicNs() - t_merge;
+    for (const obs::BlockSpan& span : spans) {
+      phase(obs::Phase::kQueueWait) += span.queue_ns;
+      phase(obs::Phase::kCachePin) += span.pin_ns;
+      phase(obs::Phase::kMissFill) += span.fill_ns;
+      phase(obs::Phase::kDecodeFilter) += span.decode_ns;
+    }
+    trace.blocks = std::move(spans);
+    metrics_.requests->Increment();
+    FinishRequest(std::move(trace), t_start,
+                  request.collect_trace ? &result.trace.emplace() : nullptr);
+  }
   return result;
 }
 
 Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
     const TableReader& reader, std::span<const size_t> columns,
-    std::span<const uint64_t> rows) {
+    std::span<const uint64_t> rows, obs::RequestTrace* trace_out) {
   const size_t fields = reader.schema().num_fields();
   for (size_t col : columns) {
     if (col >= fields) {
       return Status::InvalidArgument("gathered column out of range");
     }
   }
+
+  const bool tracing = obs::Enabled();
+  const bool pooled = !workers_.empty();
+  const uint64_t t_start = tracing ? obs::MonotonicNs() : 0;
+
   CORRA_ASSIGN_OR_RETURN(
       auto slices,
       query::SplitSelectionByBlocks(reader.block_row_offsets(), rows));
@@ -301,20 +457,42 @@ Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
     column.resize(rows.size());
   }
   std::vector<Status> statuses(slices.size());
+  std::vector<obs::BlockSpan> spans;
+  if (tracing) {
+    spans.resize(slices.size());
+  }
 
   std::vector<std::function<void()>> tasks;
   tasks.reserve(slices.size());
+  const uint64_t t_enqueue = t_start;
   for (size_t s = 0; s < slices.size(); ++s) {
-    tasks.push_back([&reader, &columns, &out,
-                     slice = &slices[s], status = &statuses[s]] {
-      auto handle = reader.GetBlock(slice->block);
+    obs::BlockSpan* span = tracing ? &spans[s] : nullptr;
+    tasks.push_back([&reader, &columns, &out, pooled, t_enqueue,
+                     slice = &slices[s], status = &statuses[s], span] {
+      const uint64_t t_task = span != nullptr ? obs::MonotonicNs() : 0;
+      BlockFetchStats fetch;
+      auto handle =
+          reader.GetBlock(slice->block, span != nullptr ? &fetch : nullptr);
       if (!handle.ok()) {
         *status = handle.status();
         return;
       }
+      const uint64_t t_pinned = span != nullptr ? obs::MonotonicNs() : 0;
       for (size_t c = 0; c < columns.size(); ++c) {
         query::ScanColumn(*handle.value(), columns[c], slice->local_rows,
                           out[c].data() + slice->out_offset);
+      }
+      if (span != nullptr) {
+        const uint64_t t_done = obs::MonotonicNs();
+        span->block = static_cast<uint32_t>(slice->block);
+        span->rows = slice->local_rows.size();
+        span->cache_hit = !fetch.miss;
+        span->queue_ns = pooled ? t_task - t_enqueue : 0;
+        span->fill_ns = fetch.fill_ns;
+        const uint64_t pin_total = t_pinned - t_task;
+        span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
+        span->decode_ns = t_done - t_pinned;
+        span->schemes = SchemesAnnotation(*handle.value(), columns);
       }
     });
   }
@@ -322,6 +500,27 @@ Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
 
   for (const Status& status : statuses) {
     CORRA_RETURN_NOT_OK(status);
+  }
+
+  if (tracing) {
+    obs::RequestTrace trace;
+    trace.op = "gather";
+    trace.rows_scanned = rows.size();
+    trace.rows_matched = rows.size();
+    for (const obs::BlockSpan& span : spans) {
+      trace.phase_ns[static_cast<size_t>(obs::Phase::kQueueWait)] +=
+          span.queue_ns;
+      trace.phase_ns[static_cast<size_t>(obs::Phase::kCachePin)] +=
+          span.pin_ns;
+      trace.phase_ns[static_cast<size_t>(obs::Phase::kMissFill)] +=
+          span.fill_ns;
+      trace.phase_ns[static_cast<size_t>(obs::Phase::kDecodeFilter)] +=
+          span.decode_ns;
+    }
+    trace.blocks = std::move(spans);
+    metrics_.gather_requests->Increment();
+    metrics_.gather_rows->Add(rows.size());
+    FinishRequest(std::move(trace), t_start, trace_out);
   }
   return out;
 }

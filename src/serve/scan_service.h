@@ -20,6 +20,17 @@
 // the same worker pool and, through their readers, the same cache.
 // Requests must come from outside the pool: a block task must not
 // call back into Execute/Gather, or the pool can deadlock on itself.
+//
+// Telemetry (src/obs/): every request feeds the registry's serving
+// histograms (total latency plus per-phase queue wait / cache pin /
+// miss fill / decode / merge) and counters, at a cost of a handful of
+// clock reads per block — never per row. A request with collect_trace
+// set additionally returns the full obs::RequestTrace (per-block scheme
+// annotations, pruned/hit flags, span timings) on ScanResult::trace,
+// and any request slower than Options::slow_trace_ns is retained in a
+// last-N ring (DrainSlowTraces) whether or not it opted in. All of it
+// is inert — no clock reads, no traces — when obs::Enabled() is false
+// (env CORRA_OBS_OFF, or compiled out).
 
 #ifndef CORRA_SERVE_SCAN_SERVICE_H_
 #define CORRA_SERVE_SCAN_SERVICE_H_
@@ -35,6 +46,8 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/table_reader.h"
 
 namespace corra::serve {
@@ -61,6 +74,11 @@ struct ScanRequest {
   /// filter this uses the compressed-domain pushdown kernels.
   std::optional<AggregateOp> aggregate;
   size_t aggregate_column = 0;
+
+  /// Return the full per-request trace (phase timings + per-block
+  /// scheme/rows/pruned annotations) on ScanResult::trace. Ignored —
+  /// the trace stays nullopt — when observability is disabled.
+  bool collect_trace = false;
 };
 
 struct ScanResult {
@@ -82,6 +100,10 @@ struct ScanResult {
   int64_t agg_sum = 0;
   std::optional<int64_t> agg_min;
   std::optional<int64_t> agg_max;
+
+  /// Full request attribution (ScanRequest::collect_trace only): where
+  /// the latency went, block by block and phase by phase.
+  std::optional<obs::RequestTrace> trace;
 };
 
 class ScanService {
@@ -90,6 +112,17 @@ class ScanService {
     /// Worker threads shared by all requests; 0 runs block tasks inline
     /// on the calling thread.
     size_t num_threads = 4;
+
+    /// Registry receiving the serving histograms and counters
+    /// ("serve.*"); null means obs::Registry::Default().
+    obs::Registry* registry = nullptr;
+
+    /// Requests at least this slow are retained in the slow-trace ring
+    /// (0 retains every request). Default 10 ms.
+    uint64_t slow_trace_ns = 10'000'000;
+
+    /// Slow-trace ring capacity (last N retained).
+    size_t slow_trace_capacity = 32;
   };
 
   ScanService();  // Default Options.
@@ -113,14 +146,42 @@ class ScanService {
   /// CompressionPlan::workload = WorkloadHint::kPointServing: Delta
   /// columns then carry inline checkpoints, making each sparse access
   /// one contiguous window touch instead of checkpoint-array + stream.
-  /// Returns one value vector per requested column.
+  /// Returns one value vector per requested column. With a non-null
+  /// `trace` (and observability enabled), fills it with the request's
+  /// full attribution, like ScanRequest::collect_trace does for
+  /// Execute.
   Result<std::vector<std::vector<int64_t>>> Gather(
       const TableReader& reader, std::span<const size_t> columns,
-      std::span<const uint64_t> rows);
+      std::span<const uint64_t> rows,
+      obs::RequestTrace* trace = nullptr);
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Traces that breached Options::slow_trace_ns, oldest first (at most
+  /// the last slow_trace_capacity of them); leaves the ring empty.
+  std::vector<obs::RequestTrace> DrainSlowTraces() {
+    return slow_traces_.Drain();
+  }
+  const obs::TraceRing& slow_traces() const { return slow_traces_; }
+
  private:
+  // Cached registry series (resolved once in the constructor).
+  struct Metrics {
+    obs::Counter* requests;
+    obs::Counter* gather_requests;
+    obs::Counter* rows_scanned;
+    obs::Counter* rows_matched;
+    obs::Counter* gather_rows;
+    obs::Counter* blocks_pruned;
+    obs::Histogram* latency_us;
+    std::array<obs::Histogram*, obs::kNumPhases> phase_us;
+  };
+
+  // Records histograms/counters for a finished request and files the
+  // trace (slow ring, and the caller's sink when opted in).
+  void FinishRequest(obs::RequestTrace trace, uint64_t start_ns,
+                     obs::RequestTrace* sink);
+
   // Enqueues all tasks and blocks until every one has run.
   void RunTasks(std::vector<std::function<void()>> tasks);
   void WorkerLoop();
@@ -130,6 +191,9 @@ class ScanService {
   std::deque<std::function<void()>> tasks_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  Metrics metrics_{};
+  uint64_t slow_trace_ns_ = 0;
+  obs::TraceRing slow_traces_;
 };
 
 }  // namespace corra::serve

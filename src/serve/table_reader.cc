@@ -1,5 +1,7 @@
 #include "serve/table_reader.h"
 
+#include "obs/trace.h"
+
 namespace corra::serve {
 
 Result<std::unique_ptr<TableReader>> TableReader::Open(
@@ -29,15 +31,25 @@ TableReader::TableReader(CorfFile file, std::shared_ptr<BlockCache> cache,
 
 TableReader::~TableReader() { cache_->EraseFile(file_id_); }
 
-Result<BlockCache::Handle> TableReader::GetBlock(size_t index) const {
+Result<BlockCache::Handle> TableReader::GetBlock(
+    size_t index, BlockFetchStats* fetch) const {
   if (index >= file_.num_blocks()) {
     return Status::OutOfRange("block index out of range");
   }
   const BlockKey key{file_id_, index};
-  return cache_->GetOrLoad(key, [this, index]()
+  // The loader runs synchronously inside GetOrLoad, and only in the one
+  // caller that wins the load — so writing through `fetch` from it
+  // attributes the fill to exactly the request that paid for it.
+  return cache_->GetOrLoad(key, [this, index, fetch]()
                                -> Result<std::shared_ptr<const Block>> {
+    const bool timed = fetch != nullptr && obs::Enabled();
+    const uint64_t begin = timed ? obs::MonotonicNs() : 0;
     CORRA_ASSIGN_OR_RETURN(Block block,
                            file_.ReadBlock(index, options_.verify_blocks));
+    if (timed) {
+      fetch->miss = true;
+      fetch->fill_ns = obs::MonotonicNs() - begin;
+    }
     return std::make_shared<const Block>(std::move(block));
   });
 }

@@ -33,6 +33,17 @@ struct TableReaderOptions {
   bool verify_blocks = false;
 };
 
+/// What one GetBlock call actually did — filled only when the caller
+/// asks for it (the serving layer's trace spans split pin wait from
+/// miss fill with this).
+struct BlockFetchStats {
+  /// True when this call ran the loader (a cold read + deserialize);
+  /// false for a cache hit or for waiting out another caller's load.
+  bool miss = false;
+  /// Wall time spent inside the loader when miss is true.
+  uint64_t fill_ns = 0;
+};
+
 class TableReader {
  public:
   /// Opens `path`, registering it with `cache` (which must outlive the
@@ -65,7 +76,10 @@ class TableReader {
   }
 
   /// Returns block `index`, pinned; loads (and caches) it on a miss.
-  Result<BlockCache::Handle> GetBlock(size_t index) const;
+  /// With a non-null `fetch` (and observability enabled), reports
+  /// whether this call loaded the block and how long the load took.
+  Result<BlockCache::Handle> GetBlock(
+      size_t index, BlockFetchStats* fetch = nullptr) const;
 
   const std::shared_ptr<BlockCache>& cache() const { return cache_; }
 

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/buffer.h"
+#include "obs/metrics.h"
 #include "query/aggregate.h"
 
 namespace corra {
@@ -357,6 +358,18 @@ Result<std::vector<uint8_t>> CorfFile::ReadBlockBytes(
   std::vector<uint8_t> bytes(info_.block_lengths[block_index]);
   CORRA_RETURN_NOT_OK(PReadExact(fd_, info_.block_offsets[block_index],
                                  bytes.data(), bytes.size()));
+  // Cold-read accounting: every payload fetched from disk, process
+  // wide. The serving layer's cache.misses counts pin-level misses;
+  // these count the I/O they actually caused (one read per miss) plus
+  // any non-cached one-shot readers.
+  if (obs::Enabled()) {
+    static obs::Counter& reads =
+        obs::Registry::Default().counter("storage.block_reads");
+    static obs::Counter& read_bytes =
+        obs::Registry::Default().counter("storage.block_read_bytes");
+    reads.Increment();
+    read_bytes.Add(bytes.size());
+  }
   return bytes;
 }
 

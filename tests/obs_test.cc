@@ -1,0 +1,319 @@
+// Telemetry registry (src/obs/): counter sharding, gauge levels,
+// histogram binning and quantile edge cases, snapshot/reset semantics,
+// JSON + Prometheus export shape, the enable gate, and the trace ring.
+//
+// The concurrency tests here are the surface the CI TSan job exercises:
+// N threads hammering one counter/histogram while another thread
+// snapshots mid-record must be race-free by construction (relaxed
+// atomics on private shards), not by luck.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace corra::obs {
+namespace {
+
+#ifdef CORRA_OBS_OFF
+#define SKIP_IF_COMPILED_OUT() \
+  GTEST_SKIP() << "observability compiled out (CORRA_OBS_OFF)"
+#else
+#define SKIP_IF_COMPILED_OUT() SetEnabled(true)
+#endif
+
+TEST(EnabledTest, SetEnabledGatesRecording) {
+  SKIP_IF_COMPILED_OUT();
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram(LatencyBucketBoundsUs());
+
+  SetEnabled(false);
+  counter.Add(5);
+  gauge.Set(7);
+  histogram.Record(100);
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(gauge.Value(), 0);
+  EXPECT_EQ(histogram.Snapshot().count, 0u);
+
+  SetEnabled(true);
+  counter.Add(5);
+  gauge.Set(7);
+  histogram.Record(100);
+  EXPECT_EQ(counter.Value(), 5u);
+  EXPECT_EQ(gauge.Value(), 7);
+  EXPECT_EQ(histogram.Snapshot().count, 1u);
+}
+
+TEST(CounterTest, AddsAccumulateAcrossThreads) {
+  SKIP_IF_COMPILED_OUT();
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIters; ++i) {
+        counter.Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(counter.Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(GaugeTest, MovesBothWays) {
+  SKIP_IF_COMPILED_OUT();
+  Gauge gauge;
+  gauge.Add(100);
+  gauge.Sub(30);
+  EXPECT_EQ(gauge.Value(), 70);
+  gauge.Set(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+}
+
+TEST(HistogramTest, ZeroSamples) {
+  SKIP_IF_COMPILED_OUT();
+  Histogram histogram(LatencyBucketBoundsUs());
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.999), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleReportsItselfAtEveryQuantile) {
+  SKIP_IF_COMPILED_OUT();
+  Histogram histogram(LatencyBucketBoundsUs());
+  histogram.Record(137);
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 137u);
+  EXPECT_EQ(snap.max, 137u);
+  // Quantiles interpolate inside the owning bucket but clamp to the
+  // observed max, so one sample is reported exactly everywhere.
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 137.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, BeyondLastBucketLandsInOverflow) {
+  SKIP_IF_COMPILED_OUT();
+  const uint64_t bounds[] = {10, 100};
+  Histogram histogram(bounds);
+  histogram.Record(5);
+  histogram.Record(50);
+  histogram.Record(5000);  // Past the last bound.
+  const HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);  // Two bounds + overflow.
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.max, 5000u);
+  // Overflow-bucket quantiles report the observed max, not infinity.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.999), 5000.0);
+}
+
+TEST(HistogramTest, BoundaryValuesBinIntoInclusiveUpperBound) {
+  SKIP_IF_COMPILED_OUT();
+  const uint64_t bounds[] = {10, 100};
+  Histogram histogram(bounds);
+  histogram.Record(10);   // == first bound: first bucket.
+  histogram.Record(11);   // second bucket.
+  histogram.Record(100);  // == last bound: second bucket.
+  histogram.Record(101);  // overflow.
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+}
+
+TEST(HistogramTest, ConcurrentRecordsAllCounted) {
+  SKIP_IF_COMPILED_OUT();
+  Histogram histogram(LatencyBucketBoundsUs());
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kIters; ++i) {
+        histogram.Record(static_cast<uint64_t>(t * kIters + i) % 10000);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kIters);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) {
+    bucket_total += c;
+  }
+  EXPECT_EQ(bucket_total, snap.count);
+  EXPECT_EQ(snap.max, 9999u);
+}
+
+TEST(HistogramTest, SnapshotDuringRecordingIsCoherentEnough) {
+  SKIP_IF_COMPILED_OUT();
+  // A snapshot racing recorders may be mid-update across shards, but
+  // every value it reads is a real committed value: bucket totals never
+  // exceed the number of records started, and never shrink.
+  Histogram histogram(LatencyBucketBoundsUs());
+  constexpr int kIters = 20000;
+  std::thread recorder([&histogram] {
+    for (int i = 0; i < kIters; ++i) {
+      histogram.Record(static_cast<uint64_t>(i) % 1000);
+    }
+  });
+  uint64_t last_count = 0;
+  for (int i = 0; i < 100; ++i) {
+    const HistogramSnapshot snap = histogram.Snapshot();
+    EXPECT_LE(snap.count, static_cast<uint64_t>(kIters));
+    EXPECT_GE(snap.count, last_count);  // Counters are monotone.
+    last_count = snap.count;
+  }
+  recorder.join();
+  EXPECT_EQ(histogram.Snapshot().count, static_cast<uint64_t>(kIters));
+}
+
+TEST(RegistryTest, LookupIsIdempotentAndStable) {
+  SKIP_IF_COMPILED_OUT();
+  Registry registry;
+  Counter& a = registry.counter("x.count");
+  Counter& b = registry.counter("x.count");
+  EXPECT_EQ(&a, &b);
+  a.Add(3);
+  EXPECT_EQ(b.Value(), 3u);
+  Histogram& h1 = registry.histogram("x.lat_us", LatencyBucketBoundsUs());
+  Histogram& h2 = registry.histogram("x.lat_us");  // Bounds already pinned.
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsRegistrations) {
+  SKIP_IF_COMPILED_OUT();
+  Registry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", LatencyBucketBoundsUs());
+  c.Add(4);
+  g.Set(9);
+  h.Record(10);
+  registry.Reset();
+  EXPECT_EQ(c.Value(), 0u);  // Cached references survive the reset.
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  const RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.histograms.size(), 1u);
+}
+
+TEST(RegistryTest, JsonExportShape) {
+  SKIP_IF_COMPILED_OUT();
+  Registry registry;
+  registry.counter("serve.requests").Add(2);
+  registry.gauge("cache.cached_bytes").Set(4096);
+  Histogram& h =
+      registry.histogram("serve.request_latency_us", LatencyBucketBoundsUs());
+  h.Record(40);
+  h.Record(60);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve.requests\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"cache.cached_bytes\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.request_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"max\": 60"), std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusExportShape) {
+  SKIP_IF_COMPILED_OUT();
+  Registry registry;
+  registry.counter("query.decode_rows{scheme=\"FOR\"}").Add(128);
+  registry.gauge("cache.pinned_blocks").Set(3);
+  const uint64_t bounds[] = {10, 100};
+  Histogram& h = registry.histogram("serve.request_latency_us", bounds);
+  h.Record(5);
+  h.Record(50);
+  h.Record(500);
+  const std::string prom = registry.ToPrometheus();
+  // Dots flatten to underscores under the corra_ prefix; the label
+  // suffix survives verbatim.
+  EXPECT_NE(prom.find("# TYPE corra_query_decode_rows counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("corra_query_decode_rows{scheme=\"FOR\"} 128"),
+            std::string::npos);
+  EXPECT_NE(prom.find("corra_cache_pinned_blocks 3"), std::string::npos);
+  // Histogram buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(prom.find("corra_serve_request_latency_us_bucket{le=\"10\"} 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("corra_serve_request_latency_us_bucket{le=\"100\"} 2"),
+            std::string::npos);
+  EXPECT_NE(
+      prom.find("corra_serve_request_latency_us_bucket{le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(prom.find("corra_serve_request_latency_us_count 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("corra_serve_request_latency_us_sum 555"),
+            std::string::npos);
+}
+
+TEST(TraceRingTest, RetainsLastNOldestFirst) {
+  SKIP_IF_COMPILED_OUT();
+  TraceRing ring(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    RequestTrace trace;
+    trace.op = "execute";
+    trace.total_ns = i;
+    ring.Push(std::move(trace));
+  }
+  EXPECT_EQ(ring.pushed(), 5u);
+  const auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].total_ns, 3u);
+  EXPECT_EQ(snap[1].total_ns, 4u);
+  EXPECT_EQ(snap[2].total_ns, 5u);
+  auto drained = ring.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[2].total_ns, 5u);
+  EXPECT_TRUE(ring.Drain().empty());  // Drain leaves the ring empty.
+}
+
+TEST(TraceTest, ToJsonNamesPhasesAndBlocks) {
+  SKIP_IF_COMPILED_OUT();
+  RequestTrace trace;
+  trace.op = "execute";
+  trace.total_ns = 1000;
+  trace.phase_ns[static_cast<size_t>(Phase::kDecodeFilter)] = 600;
+  BlockSpan span;
+  span.block = 2;
+  span.rows = 128;
+  span.cache_hit = true;
+  span.schemes = "0:FOR,1:Corra-Diff";
+  trace.blocks.push_back(span);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\"op\": \"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"decode_filter\""), std::string::npos);
+  EXPECT_NE(json.find("\"0:FOR,1:Corra-Diff\""), std::string::npos);
+  EXPECT_NE(json.find("\"block\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace corra::obs

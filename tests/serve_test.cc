@@ -195,6 +195,118 @@ TEST(BlockCacheTest, ConcurrentUnpinAndInsertKeepAccountingConsistent) {
   EXPECT_EQ(stats.misses, static_cast<uint64_t>(loads.load()));
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // The full ledger form (no loads in flight, nothing erased or failed
+  // here, so the extra terms are zero — but they must *be* zero).
+  EXPECT_EQ(stats.loading_blocks, 0u);
+  EXPECT_EQ(stats.erased_blocks, 0u);
+  EXPECT_EQ(stats.failed_loads, 0u);
+  EXPECT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                              stats.evictions + stats.failed_loads +
+                              stats.erased_blocks);
+}
+
+TEST(BlockCacheTest, EraseFileCountsIntoTheLedger) {
+  BlockCache cache({.capacity_blocks = 8, .capacity_bytes = 0, .shards = 2});
+  std::atomic<int> loads{0};
+  for (uint64_t b = 0; b < 3; ++b) {
+    auto handle =
+        cache.GetOrLoad({1, b}, MarkerLoader(static_cast<int64_t>(b), &loads));
+    ASSERT_TRUE(handle.ok());
+  }
+  auto other = cache.GetOrLoad({2, 0}, MarkerLoader(20, &loads));
+  ASSERT_TRUE(other.ok());
+  // Keep one file-1 block pinned across the erase: it must survive as a
+  // doomed entry until the pin drops, then count as erased.
+  auto pinned = cache.GetOrLoad({1, 1}, MarkerLoader(1, &loads));
+  ASSERT_TRUE(pinned.ok());
+
+  cache.EraseFile(1);
+  {
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.erased_blocks, 2u);   // Unpinned file-1 entries.
+    EXPECT_EQ(stats.cached_blocks, 2u);   // {2,0} plus the doomed pin.
+    EXPECT_EQ(stats.pinned_blocks, 2u);
+    EXPECT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                                stats.evictions + stats.failed_loads +
+                                stats.erased_blocks);
+  }
+  EXPECT_FALSE(cache.Contains({1, 0}));
+  EXPECT_TRUE(cache.Contains({2, 0}));
+
+  pinned.value().Release();
+  {
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.erased_blocks, 3u);  // Doomed entry dropped on unpin.
+    EXPECT_EQ(stats.cached_blocks, 1u);
+    EXPECT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                                stats.evictions + stats.failed_loads +
+                                stats.erased_blocks);
+  }
+  EXPECT_FALSE(cache.Contains({1, 1}));
+}
+
+TEST(BlockCacheTest, SnapshotLedgerHoldsExactlyUnderChurn) {
+  // The point of the all-shards-locked snapshot: while loads, unpins,
+  // evictions, failures, and file erases race from several threads,
+  // *every* GetStats observes the exact ledger — not a transiently
+  // inconsistent mid-update view.
+  BlockCache cache({.capacity_blocks = 6, .capacity_bytes = 0, .shards = 4});
+  std::atomic<int> loads{0};
+  std::atomic<bool> stop{false};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &loads, t] {
+      Rng rng(static_cast<uint64_t>(t) + 11);
+      for (int op = 0; op < 300; ++op) {
+        const uint64_t file = 1 + static_cast<uint64_t>(rng.Uniform(0, 1));
+        const uint64_t block = static_cast<uint64_t>(rng.Uniform(0, 15));
+        if (rng.Uniform(0, 19) == 0) {
+          // Occasional failure: the loader error must count once.
+          auto failing = cache.GetOrLoad({3, block}, [] {
+            return Result<std::shared_ptr<const Block>>(
+                Status::Corruption("synthetic"));
+          });
+          EXPECT_FALSE(failing.ok());
+          continue;
+        }
+        auto handle = cache.GetOrLoad(
+            {file, block},
+            MarkerLoader(static_cast<int64_t>(file * 100 + block), &loads));
+        ASSERT_TRUE(handle.ok());
+        if (rng.Uniform(0, 9) == 0) {
+          cache.EraseFile(2);  // Erase under out-held pins included.
+        }
+        handle.value().Release();
+      }
+    });
+  }
+  std::thread poller([&cache, &stop] {
+    uint64_t last_misses = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const BlockCacheStats stats = cache.GetStats();
+      ASSERT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                                  stats.evictions + stats.failed_loads +
+                                  stats.erased_blocks)
+          << "ledger broke mid-churn";
+      ASSERT_GE(stats.misses, last_misses);  // Monotone under the locks.
+      last_misses = stats.misses;
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.loading_blocks, 0u);
+  EXPECT_EQ(stats.pinned_blocks, 0u);
+  EXPECT_GT(stats.failed_loads, 0u);
+  EXPECT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                              stats.evictions + stats.failed_loads +
+                              stats.erased_blocks);
 }
 
 TEST(BlockCacheTest, FailedLoadIsNotCachedAndPropagates) {
