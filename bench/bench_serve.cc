@@ -12,9 +12,20 @@
 // --json for machine-readable output including a "metrics" object with
 // the full telemetry registry snapshot (counters, gauges, latency
 // histograms) accumulated across every configuration.
+//
+// --closed-loop switches to the front-door benchmark instead: N
+// concurrent clients (1/4/16/64) in a closed loop of point-heavy
+// gathers against a hot cache, once with cross-request coalescing on
+// and once off, with admission control bounding in-flight requests.
+// Reports per-config p50/p99/p999 latency and the rejected-request
+// rate; --json then emits a compare_bench.py-compatible array
+// (closed_loop/<mode>/c<N>/{p50_us,p99_us,p999_us,rejected_rate}).
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,10 +139,215 @@ void PrintJsonRow(const char* config, size_t clients, const RunStats& s,
               last ? "" : ",");
 }
 
+// --- Closed-loop front-door benchmark ---------------------------------------
+
+struct ClosedLoopStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double rejected_rate = 0;
+  size_t ok_ops = 0;
+  size_t rejected_ops = 0;
+};
+
+double PercentileUs(std::vector<uint64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) {
+    return 0;
+  }
+  const size_t idx = std::min(
+      sorted_ns.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ns.size())));
+  return static_cast<double>(sorted_ns[idx]) / 1000.0;
+}
+
+// `clients` threads each run `ops` point gathers against one shared
+// service with a hot cache. Every op gathers two columns at 128 strided
+// positions inside one of kHotWindows shared hot windows — the
+// point-serving shape coalescing targets: concurrent clients keep
+// re-reading the same hot row ranges, so batched requests dedup to one
+// decode of the union instead of one per caller. Rejected requests
+// (admission control) are counted, not retried.
+constexpr size_t kHotWindows = 16;
+constexpr size_t kWindowRows = 128;
+constexpr size_t kWindowStride = 3;
+
+ClosedLoopStats RunClosedLoopConfig(const std::string& path, size_t rows,
+                                    size_t num_blocks, size_t clients,
+                                    bool coalescing, size_t ops) {
+  obs::Registry registry;
+  auto cache = std::make_shared<serve::BlockCache>(
+      serve::BlockCacheOptions{.capacity_blocks = num_blocks + 8,
+                               .capacity_bytes = 0,
+                               .shards = 4,
+                               .registry = &registry});
+  auto reader = serve::TableReader::Open(path, cache);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 reader.status().ToString().c_str());
+    std::exit(1);
+  }
+  serve::ScanService service(
+      serve::ScanService::Options{.num_threads = 4,
+                                  .registry = &registry,
+                                  .coalescing = coalescing,
+                                  .max_inflight_requests = 48});
+
+  // Warm the cache so the loop measures front-door contention, not disk.
+  {
+    std::vector<uint64_t> probe;
+    for (size_t b = 0; b < num_blocks; ++b) {
+      probe.push_back(reader.value()->block_row_offsets()[b]);
+    }
+    const std::vector<size_t> cols = {1};
+    auto warm = service.Gather(*reader.value(), cols, probe);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "warmup failed: %s\n",
+                   warm.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+
+  std::vector<std::vector<uint64_t>> latencies(clients);
+  std::vector<size_t> rejected(clients, 0);
+  std::atomic<bool> failed{false};
+  const auto run_client = [&](size_t client) {
+    Rng rng(40 + client * 1315423911u);
+    const std::vector<size_t> cols = {1, 2};
+    std::vector<uint64_t> positions(kWindowRows);
+    latencies[client].reserve(ops);
+    for (size_t op = 0; op < ops; ++op) {
+      // All clients draw from the same window pool, so concurrent ops
+      // frequently request identical row sets — the coalescer's case.
+      const uint64_t window = static_cast<uint64_t>(
+          rng.Uniform(0, static_cast<int64_t>(kHotWindows) - 1));
+      const uint64_t start = window * (rows / kHotWindows);
+      for (size_t i = 0; i < kWindowRows; ++i) {
+        // Clamp keeps tiny --rows runs valid (duplicates are allowed in
+        // a sorted selection).
+        positions[i] =
+            std::min<uint64_t>(start + i * kWindowStride, rows - 1);
+      }
+      const auto op_begin = Clock::now();
+      auto result = service.Gather(*reader.value(), cols, positions);
+      const auto op_end = Clock::now();
+      if (result.ok()) {
+        latencies[client].push_back(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(op_end -
+                                                                 op_begin)
+                .count()));
+      } else if (result.status().IsResourceExhausted()) {
+        ++rejected[client];
+      } else {
+        std::fprintf(stderr, "gather failed: %s\n",
+                     result.status().ToString().c_str());
+        failed.store(true);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back(run_client, c);
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (failed.load()) {
+    std::exit(1);
+  }
+
+  ClosedLoopStats stats;
+  std::vector<uint64_t> all;
+  for (size_t c = 0; c < clients; ++c) {
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+    stats.rejected_ops += rejected[c];
+  }
+  std::sort(all.begin(), all.end());
+  stats.ok_ops = all.size();
+  stats.p50_us = PercentileUs(all, 0.50);
+  stats.p99_us = PercentileUs(all, 0.99);
+  stats.p999_us = PercentileUs(all, 0.999);
+  const size_t attempts = stats.ok_ops + stats.rejected_ops;
+  stats.rejected_rate =
+      attempts == 0 ? 0
+                    : static_cast<double>(stats.rejected_ops) /
+                          static_cast<double>(attempts);
+  return stats;
+}
+
+int RunClosedLoop(const std::string& path, size_t rows, size_t num_blocks,
+                  const bench::Flags& flags) {
+  const size_t ops_per_client = 150 * flags.runs;
+  struct Config {
+    const char* mode;
+    size_t clients;
+    ClosedLoopStats stats;
+  };
+  std::vector<Config> configs;
+  if (!flags.json) {
+    bench::PrintHeader(
+        "Closed-loop front door: point gathers, 4 workers, "
+        "max_inflight=48, " +
+        std::to_string(ops_per_client) + " ops/client");
+    std::printf("%-10s %8s %10s %10s %10s %10s %9s\n", "mode", "clients",
+                "p50 us", "p99 us", "p999 us", "ok ops", "rej rate");
+    bench::PrintRule();
+  }
+  for (size_t clients : {size_t{1}, size_t{4}, size_t{16}, size_t{64}}) {
+    for (bool coalescing : {true, false}) {
+      Config config;
+      config.mode = coalescing ? "coalesce" : "solo";
+      config.clients = clients;
+      config.stats = RunClosedLoopConfig(path, rows, num_blocks, clients,
+                                         coalescing, ops_per_client);
+      if (!flags.json) {
+        std::printf("%-10s %8zu %10.1f %10.1f %10.1f %10zu %8.2f%%\n",
+                    config.mode, config.clients, config.stats.p50_us,
+                    config.stats.p99_us, config.stats.p999_us,
+                    config.stats.ok_ops,
+                    100.0 * config.stats.rejected_rate);
+      }
+      configs.push_back(config);
+    }
+  }
+  if (flags.json) {
+    // compare_bench.py-compatible array: percentiles in microseconds
+    // carried in ns_per_row (the field the gate diffs).
+    std::printf("[\n");
+    for (size_t i = 0; i < configs.size(); ++i) {
+      const Config& config = configs[i];
+      const std::string prefix = "closed_loop/" + std::string(config.mode) +
+                                 "/c" + std::to_string(config.clients);
+      std::printf(
+          "  {\"name\": \"%s/p50_us\", \"rows\": %zu, \"ns_per_row\": %.3f},\n"
+          "  {\"name\": \"%s/p99_us\", \"rows\": %zu, \"ns_per_row\": %.3f},\n"
+          "  {\"name\": \"%s/p999_us\", \"rows\": %zu, \"ns_per_row\": %.3f},\n"
+          "  {\"name\": \"%s/rejected_rate\", \"rows\": %zu, "
+          "\"ns_per_row\": %.6f}%s\n",
+          prefix.c_str(), config.stats.ok_ops, config.stats.p50_us,
+          prefix.c_str(), config.stats.ok_ops, config.stats.p99_us,
+          prefix.c_str(), config.stats.ok_ops, config.stats.p999_us,
+          prefix.c_str(), config.stats.rejected_ops,
+          config.stats.rejected_rate,
+          i + 1 == configs.size() ? "" : ",");
+    }
+    std::printf("]\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bench::Flags flags = bench::ParseFlags(argc, argv);
+  bool closed_loop = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--closed-loop") == 0) {
+      closed_loop = true;
+    }
+  }
   const size_t rows = bench::ResolveRows(flags, 8000000, 4);
   const size_t runs = flags.runs;
 
@@ -175,6 +391,12 @@ int main(int argc, char** argv) {
   if (!WriteCompressedTable(compressed.value(), path).ok()) {
     std::fprintf(stderr, "write failed\n");
     return 1;
+  }
+
+  if (closed_loop) {
+    const int rc = RunClosedLoop(path, rows, num_blocks, flags);
+    std::remove(path.c_str());
+    return rc;
   }
 
   // Every cache and service below shares the default registry; reset it

@@ -30,6 +30,11 @@ enum class StatusCode : int {
   kInternal = 5,
   /// The requested item does not exist.
   kNotFound = 6,
+  /// A bounded resource (admission queue, memory budget) is full; the
+  /// request was rejected rather than queued unboundedly. Retryable.
+  kResourceExhausted = 7,
+  /// The request's deadline passed before (or while) it was served.
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -76,6 +81,12 @@ class [[nodiscard]] Status {
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -94,6 +105,12 @@ class [[nodiscard]] Status {
   }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<category>: <message>".
   std::string ToString() const;

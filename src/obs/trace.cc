@@ -20,12 +20,14 @@ std::string_view PhaseName(Phase phase) {
       return "decode_filter";
     case Phase::kMerge:
       return "merge";
+    case Phase::kScatter:
+      return "scatter";
   }
   return "unknown";
 }
 
 std::string RequestTrace::ToJson() const {
-  char buf[192];
+  char buf[320];
   std::string out;
   std::snprintf(buf, sizeof(buf),
                 "{\"op\": \"%.*s\", \"total_ns\": %" PRIu64
@@ -45,13 +47,17 @@ std::string RequestTrace::ToJson() const {
     const BlockSpan& span = blocks[b];
     std::snprintf(buf, sizeof(buf),
                   "%s{\"block\": %u, \"rows\": %" PRIu64
-                  ", \"pruned\": %s, \"cache_hit\": %s, \"queue_ns\": %" PRIu64
+                  ", \"pruned\": %s, \"cache_hit\": %s, \"coalesced\": %s"
+                  ", \"queue_ns\": %" PRIu64
                   ", \"pin_ns\": %" PRIu64 ", \"fill_ns\": %" PRIu64
-                  ", \"decode_ns\": %" PRIu64 ", \"schemes\": \"",
+                  ", \"decode_ns\": %" PRIu64 ", \"scatter_ns\": %" PRIu64
+                  ", \"schemes\": \"",
                   b ? ", " : "", span.block, span.rows,
                   span.pruned ? "true" : "false",
-                  span.cache_hit ? "true" : "false", span.queue_ns,
-                  span.pin_ns, span.fill_ns, span.decode_ns);
+                  span.cache_hit ? "true" : "false",
+                  span.coalesced ? "true" : "false", span.queue_ns,
+                  span.pin_ns, span.fill_ns, span.decode_ns,
+                  span.scatter_ns);
     out += buf;
     out += span.schemes;  // "index:scheme" pairs; no JSON metacharacters.
     out += "\"}";

@@ -40,6 +40,7 @@ struct BlockCache::State {
     uint64_t evictions = 0;
     uint64_t failed_loads = 0;
     uint64_t erased = 0;  // EraseFile removals (incl. doomed unpins).
+    uint64_t load_waits = 0;  // Hits that waited out an in-flight load.
   };
 
   // Cached registry series; resolved once at construction so cache
@@ -51,6 +52,7 @@ struct BlockCache::State {
     obs::Counter* misses;
     obs::Counter* evictions;
     obs::Counter* failed_loads;
+    obs::Counter* load_waits;
     obs::Gauge* cached_blocks;
     obs::Gauge* cached_bytes;
     obs::Gauge* pinned_blocks;
@@ -61,6 +63,7 @@ struct BlockCache::State {
           misses(&registry.counter("cache.misses")),
           evictions(&registry.counter("cache.evictions")),
           failed_loads(&registry.counter("cache.failed_loads")),
+          load_waits(&registry.counter("cache.load_waits")),
           cached_blocks(&registry.gauge("cache.cached_blocks")),
           cached_bytes(&registry.gauge("cache.cached_bytes")),
           pinned_blocks(&registry.gauge("cache.pinned_blocks")),
@@ -265,6 +268,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
                                                  const Loader& loader) {
   State::Shard& shard = state_->ShardFor(key);
   std::unique_lock<std::mutex> lock(shard.mu);
+  bool waited = false;  // Blocked on another caller's in-flight load.
   for (;;) {
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
@@ -274,6 +278,13 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     if (!entry->loading) {
       ++shard.hits;
       state_->metrics->hits->Increment();
+      if (waited) {
+        // Single-flight in action: this caller's miss was absorbed by a
+        // concurrent load (e.g. the read-ahead thread's) — it paid a
+        // wait, not a fill.
+        ++shard.load_waits;
+        state_->metrics->load_waits->Increment();
+      }
       if (entry->in_lru) {
         shard.lru.erase(entry->lru_it);
         entry->in_lru = false;
@@ -287,6 +298,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     }
     // Another caller is loading this block; wait for it to finish, then
     // re-check (the entry may be gone if the load failed).
+    waited = true;
     shard.cv.wait(lock);
   }
 
@@ -392,6 +404,7 @@ BlockCacheStats BlockCache::GetStats() const {
     stats.evictions += shard.evictions;
     stats.failed_loads += shard.failed_loads;
     stats.erased_blocks += shard.erased;
+    stats.load_waits += shard.load_waits;
     stats.cached_bytes += shard.bytes;
     for (const auto& [key, entry] : shard.entries) {
       if (entry->loading) {

@@ -96,6 +96,11 @@ struct BlockCacheStats {
   /// their last unpin) — removals that are neither evictions nor
   /// failures, kept separate so the ledger invariant stays exact.
   uint64_t erased_blocks = 0;
+  /// Hits that first waited out another caller's in-flight load of the
+  /// same block (single-flight absorption — e.g. a scan arriving while
+  /// the read-ahead thread is still filling the block). A subset of
+  /// hits; not part of the ledger invariant.
+  uint64_t load_waits = 0;
   size_t cached_blocks = 0;
   size_t cached_bytes = 0;
   size_t pinned_blocks = 0;

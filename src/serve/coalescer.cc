@@ -1,0 +1,289 @@
+#include "serve/coalescer.h"
+
+#include <algorithm>
+#include <string>
+
+#include "encoding/scheme.h"
+#include "query/scan.h"
+
+namespace corra::serve {
+
+std::string SchemesAnnotation(const Block& block,
+                              std::span<const size_t> columns) {
+  std::string out;
+  for (size_t col : columns) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += std::to_string(col);
+    out += ':';
+    out += enc::SchemeToString(block.column(col).scheme());
+  }
+  return out;
+}
+
+namespace {
+
+// Completes a unit that never touched the block (expired deadline or a
+// failed pin): its whole life was queue wait.
+template <typename Unit>
+void FinishWithoutWork(Unit& unit, Status status, uint64_t now) {
+  if (unit.status != nullptr) {
+    *unit.status = std::move(status);
+  }
+  if (unit.span != nullptr && now > unit.enqueue_ns) {
+    unit.span->queue_ns = now - unit.enqueue_ns;
+  }
+  if (unit.done) {
+    unit.done();
+  }
+}
+
+}  // namespace
+
+template <typename Unit>
+bool Coalescer::Submit(const Key& key, Unit unit,
+                       std::vector<Unit> Batch::*member, bool is_scan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::deque<Batch>& queue = pending_[key];
+  if (enabled_ && !queue.empty()) {
+    (queue.back().*member).push_back(std::move(unit));
+    return false;
+  }
+  Batch& batch = queue.emplace_back();
+  batch.first_is_scan = is_scan;
+  (batch.*member).push_back(std::move(unit));
+  return true;
+}
+
+bool Coalescer::SubmitGather(const TableReader& reader, size_t block,
+                             GatherUnit unit) {
+  return Submit(Key{&reader, block}, std::move(unit), &Batch::gathers,
+                /*is_scan=*/false);
+}
+
+bool Coalescer::SubmitScan(const TableReader& reader, size_t block,
+                           ScanUnit unit) {
+  return Submit(Key{&reader, block}, std::move(unit), &Batch::scans,
+                /*is_scan=*/true);
+}
+
+void Coalescer::RunBatch(const TableReader* reader, size_t block) {
+  Batch batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pending_.find(Key{reader, block});
+    if (it == pending_.end() || it->second.empty()) {
+      return;  // An earlier executor already served this batch's units.
+    }
+    batch = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      pending_.erase(it);
+    }
+  }
+  ExecuteBatch(reader, block, std::move(batch));
+}
+
+void Coalescer::ExecuteBatch(const TableReader* reader, size_t block,
+                             Batch batch) {
+  const bool tracing = obs::Enabled();
+
+  // Drop expired units before any block work: they are completed with
+  // DeadlineExceeded and excluded from the merge, so an expired
+  // deadline never reaches decode.
+  bool any_deadline = false;
+  for (const GatherUnit& u : batch.gathers) {
+    any_deadline |= u.deadline_ns != 0;
+  }
+  for (const ScanUnit& u : batch.scans) {
+    any_deadline |= u.deadline_ns != 0;
+  }
+  const uint64_t deadline_now = any_deadline ? obs::MonotonicNs() : 0;
+
+  std::vector<GatherUnit*> gathers;
+  std::vector<ScanUnit*> scans;
+  gathers.reserve(batch.gathers.size());
+  scans.reserve(batch.scans.size());
+  for (GatherUnit& u : batch.gathers) {
+    if (u.deadline_ns != 0 && deadline_now > u.deadline_ns) {
+      FinishWithoutWork(
+          u, Status::DeadlineExceeded("deadline expired before block scan"),
+          deadline_now);
+    } else {
+      gathers.push_back(&u);
+    }
+  }
+  for (ScanUnit& u : batch.scans) {
+    if (u.deadline_ns != 0 && deadline_now > u.deadline_ns) {
+      FinishWithoutWork(
+          u, Status::DeadlineExceeded("deadline expired before block scan"),
+          deadline_now);
+    } else {
+      scans.push_back(&u);
+    }
+  }
+  if (gathers.empty() && scans.empty()) {
+    return;
+  }
+
+  const size_t live = gathers.size() + scans.size();
+  if (live >= 2) {
+    counters_.batches->Increment();
+    counters_.coalesced->Add(live - 1);
+  }
+
+  // The leader — the unit that opened the batch, or the first live unit
+  // if it expired — is the one request that pays (and is charged) the
+  // pin and any miss fill.
+  GatherUnit* lead_gather = nullptr;
+  ScanUnit* lead_scan = nullptr;
+  if (batch.first_is_scan && !scans.empty()) {
+    lead_scan = scans[0];
+  } else if (!gathers.empty()) {
+    lead_gather = gathers[0];
+  } else {
+    lead_scan = scans[0];
+  }
+
+  const uint64_t t_exec = tracing ? obs::MonotonicNs() : 0;
+  BlockFetchStats fetch;
+  auto handle = reader->GetBlock(block, tracing ? &fetch : nullptr);
+  if (!handle.ok()) {
+    const uint64_t now = tracing ? obs::MonotonicNs() : 0;
+    for (GatherUnit* u : gathers) {
+      FinishWithoutWork(*u, handle.status(), now);
+    }
+    for (ScanUnit* u : scans) {
+      FinishWithoutWork(*u, handle.status(), now);
+    }
+    return;
+  }
+  const uint64_t t_pinned = tracing ? obs::MonotonicNs() : 0;
+  const Block& blk = *handle.value();
+
+  // Span bookkeeping shared by both unit kinds. Leaders absorb the
+  // batch's pin/fill; piggybacked units carry coalesced = true and
+  // account their life up to being served as queue wait.
+  const auto charge = [&](auto& unit, bool is_leader, uint64_t t_work,
+                          uint64_t decode_ns, uint64_t scatter_ns) {
+    obs::BlockSpan* span = unit.span;
+    if (span == nullptr) {
+      return;
+    }
+    span->block = static_cast<uint32_t>(block);
+    span->decode_ns = decode_ns;
+    span->scatter_ns = scatter_ns;
+    if (is_leader) {
+      span->cache_hit = !fetch.miss;
+      span->queue_ns = t_exec > unit.enqueue_ns ? t_exec - unit.enqueue_ns : 0;
+      span->fill_ns = fetch.fill_ns;
+      const uint64_t pin_total = t_pinned - t_exec;
+      span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
+    } else {
+      span->coalesced = true;
+      span->cache_hit = true;  // Served off the leader's pin.
+      span->queue_ns = t_work > unit.enqueue_ns ? t_work - unit.enqueue_ns : 0;
+    }
+  };
+
+  if (gathers.size() == 1) {
+    // Uncontended fast path: gather straight into the caller's output,
+    // no merge, no scratch, no scatter.
+    GatherUnit& u = *gathers[0];
+    const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
+    for (size_t c = 0; c < u.columns.size(); ++c) {
+      query::ScanColumn(blk, u.columns[c], u.rows, u.outs[c]);
+    }
+    const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
+    charge(u, lead_gather == &u, t0, t1 - t0, 0);
+    if (u.span != nullptr) {
+      u.span->rows = u.rows.size();
+      u.span->schemes = SchemesAnnotation(blk, u.columns);
+    }
+    if (u.done) {
+      u.done();
+    }
+  } else if (gathers.size() >= 2) {
+    // Merged gather: one deduplicated sorted union of every unit's row
+    // set, one ScanColumn per distinct column, then a per-caller
+    // scatter. Byte-identical to independent gathers because the union
+    // preserves every selected position's value.
+    size_t total_rows = 0;
+    for (const GatherUnit* u : gathers) {
+      total_rows += u->rows.size();
+    }
+    std::vector<uint32_t> merged;
+    merged.reserve(total_rows);
+    for (const GatherUnit* u : gathers) {
+      merged.insert(merged.end(), u->rows.begin(), u->rows.end());
+    }
+    std::sort(merged.begin(), merged.end());
+    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+    std::vector<size_t> cols;
+    for (const GatherUnit* u : gathers) {
+      for (size_t col : u->columns) {
+        if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+          cols.push_back(col);
+        }
+      }
+    }
+
+    const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
+    std::vector<std::vector<int64_t>> scratch(cols.size());
+    for (size_t c = 0; c < cols.size(); ++c) {
+      scratch[c].resize(merged.size());
+      query::ScanColumn(blk, cols[c], merged, scratch[c].data());
+    }
+    const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
+
+    for (GatherUnit* up : gathers) {
+      GatherUnit& u = *up;
+      const uint64_t ts0 = tracing ? obs::MonotonicNs() : 0;
+      // Both the unit's rows and the merged union are sorted, so each
+      // unit scatters with one forward pass (duplicates in the unit's
+      // rows simply re-read the same merged slot).
+      std::vector<size_t> idx(u.columns.size());
+      for (size_t c = 0; c < u.columns.size(); ++c) {
+        idx[c] = static_cast<size_t>(
+            std::find(cols.begin(), cols.end(), u.columns[c]) - cols.begin());
+      }
+      size_t j = 0;
+      for (size_t i = 0; i < u.rows.size(); ++i) {
+        while (merged[j] < u.rows[i]) {
+          ++j;
+        }
+        for (size_t c = 0; c < u.columns.size(); ++c) {
+          u.outs[c][i] = scratch[idx[c]][j];
+        }
+      }
+      const uint64_t ts1 = tracing ? obs::MonotonicNs() : 0;
+      const bool is_leader = lead_gather == up;
+      charge(u, is_leader, ts0, is_leader ? t1 - t0 : 0, ts1 - ts0);
+      if (u.span != nullptr) {
+        u.span->rows = u.rows.size();
+        u.span->schemes = SchemesAnnotation(blk, u.columns);
+      }
+      if (u.done) {
+        u.done();
+      }
+    }
+  }
+
+  // Scan units share the pin but not their decode: each carries its own
+  // predicate, so its decode time is its own — only piggybacked pins
+  // are deduplicated.
+  for (ScanUnit* up : scans) {
+    ScanUnit& u = *up;
+    const uint64_t tr0 = tracing ? obs::MonotonicNs() : 0;
+    u.run(blk);
+    const uint64_t tr1 = tracing ? obs::MonotonicNs() : 0;
+    charge(u, lead_scan == up, tr0, tr1 - tr0, 0);
+    if (u.done) {
+      u.done();
+    }
+  }
+}
+
+}  // namespace corra::serve

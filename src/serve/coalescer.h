@@ -1,0 +1,162 @@
+// Coalescer — cross-request block batching for the serving front door.
+//
+// Concurrent requests whose row sets land in the same block used to pay
+// one cache pin and one positioned gather *each*. The coalescer batches
+// them: per (reader, block) there is at most one open batch; the first
+// submitter becomes the batch's leader and enqueues exactly one
+// executor task on the pool, and every unit submitted before that
+// executor runs piggybacks onto the batch for free. The executor closes
+// the batch, pins the block once, serves every unit against the shared
+// pin — gather units through one merged, deduplicated ScanColumn per
+// column with a per-caller scatter, scan units by running their decode
+// closure — and completes each unit's request.
+//
+// Results are byte-identical to independent execution: the merged
+// selection is the sorted union of the units' (already sorted) row
+// sets, and each caller's outputs are scattered back from the merged
+// gather by position, so every out[i] holds exactly the value the
+// caller's own ScanColumn would have produced.
+//
+// Phase attribution under coalescing (RequestTrace): the block's
+// cache_pin / miss_fill / decode_filter time is charged once, to the
+// leader (the executing request). A piggybacked unit's span carries
+// coalesced = true, its wait until the batch served it as queue_ns, and
+// only its own scatter as scatter_ns — never a duplicated decode — so
+// per-phase sums still explain each request's latency.
+//
+// Deadlines: a unit whose deadline has passed when the executor runs is
+// completed with DeadlineExceeded without touching the block (an
+// expired unit is dropped from the merge and never reaches decode).
+//
+// Thread safety: Submit*/RunBatch are called concurrently from request
+// threads and pool workers. A batch executor never waits on another
+// batch, so batches cannot deadlock each other. Executors are
+// interchangeable: each RunBatch call closes and executes the oldest
+// pending batch for its key, and exactly one executor is enqueued per
+// batch created, so every batch is executed exactly once.
+//
+// Lifetimes: a unit's borrowed storage (rows span, output pointers,
+// span, status) belongs to its waiting request and is only touched
+// before the unit's done() fires. The reader behind a key is only
+// dereferenced while the batch holds live units, whose requests are
+// still blocked on them — so an executor running after "its" units were
+// served by an earlier executor never touches a dead reader.
+
+#ifndef CORRA_SERVE_COALESCER_H_
+#define CORRA_SERVE_COALESCER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/table_reader.h"
+
+namespace corra::serve {
+
+/// "index:scheme" comma-joined for `columns` of one block — the trace's
+/// per-block kernel annotation. Schemes are per block (auto-selection
+/// can differ block to block), so this runs against the pinned block.
+std::string SchemesAnnotation(const Block& block,
+                              std::span<const size_t> columns);
+
+/// One gather request's share of one block: materialize `columns` at
+/// the block-local sorted positions `rows` into `outs` (one output
+/// pointer per column, each with room for rows.size() values).
+struct GatherUnit {
+  std::vector<size_t> columns;
+  std::span<const uint32_t> rows;  // Sorted non-decreasing, block-local.
+  std::vector<int64_t*> outs;      // Parallel to columns.
+  uint64_t enqueue_ns = 0;         // For queue-wait attribution.
+  uint64_t deadline_ns = 0;        // Absolute MonotonicNs; 0 = none.
+  Status* status = nullptr;
+  obs::BlockSpan* span = nullptr;  // Null when tracing is off.
+  std::function<void()> done;      // Fired exactly once, last.
+};
+
+/// One scan request's share of one block: arbitrary decode work against
+/// the pinned block (predicate + projection + aggregate). Scans cannot
+/// merge their decode (each carries its own predicate), but they share
+/// the batch's single pin.
+struct ScanUnit {
+  std::function<void(const Block&)> run;
+  uint64_t enqueue_ns = 0;
+  uint64_t deadline_ns = 0;
+  Status* status = nullptr;
+  obs::BlockSpan* span = nullptr;
+  std::function<void()> done;
+};
+
+class Coalescer {
+ public:
+  /// Registry series the coalescer reports into (resolved by the
+  /// owning service; never null).
+  struct Counters {
+    obs::Counter* batches = nullptr;     // Batches executed with 2+ live units.
+    obs::Counter* coalesced = nullptr;   // Units served by piggybacking.
+  };
+
+  Coalescer(bool enabled, Counters counters)
+      : enabled_(enabled), counters_(counters) {}
+  Coalescer(const Coalescer&) = delete;
+  Coalescer& operator=(const Coalescer&) = delete;
+
+  /// Files `unit` under (reader, block). Returns true when the caller
+  /// must enqueue one executor task (RunBatch for the same key) — the
+  /// unit opened a new batch; false when it piggybacked onto a batch
+  /// whose executor is already pending. With coalescing disabled every
+  /// unit opens its own batch.
+  bool SubmitGather(const TableReader& reader, size_t block,
+                    GatherUnit unit);
+  bool SubmitScan(const TableReader& reader, size_t block, ScanUnit unit);
+
+  /// Pool-task body: closes the oldest pending batch for (reader,
+  /// block) and executes it. `reader` is only dereferenced if the batch
+  /// holds units that have not expired.
+  void RunBatch(const TableReader* reader, size_t block);
+
+ private:
+  struct Batch {
+    std::vector<GatherUnit> gathers;
+    std::vector<ScanUnit> scans;
+    bool first_is_scan = false;  // Which vector holds the first unit.
+  };
+  struct Key {
+    const TableReader* reader = nullptr;
+    size_t block = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      return BlockKeyHash{}(BlockKey{
+          reinterpret_cast<uint64_t>(key.reader), key.block});
+    }
+  };
+
+  // Appends to the open batch (true) or opens a new one (false).
+  // Returns whether the caller owns enqueueing the executor.
+  template <typename Unit>
+  bool Submit(const Key& key, Unit unit, std::vector<Unit> Batch::*member,
+              bool is_scan);
+
+  void ExecuteBatch(const TableReader* reader, size_t block, Batch batch);
+
+  const bool enabled_;
+  Counters counters_;
+  std::mutex mu_;
+  // Per key: pending batches oldest-first. With coalescing enabled the
+  // deque never exceeds one batch (a new batch is only opened when the
+  // deque is empty); disabled, every unit is its own batch.
+  std::unordered_map<Key, std::deque<Batch>, KeyHash> pending_;
+};
+
+}  // namespace corra::serve
+
+#endif  // CORRA_SERVE_COALESCER_H_

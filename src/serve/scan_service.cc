@@ -6,7 +6,6 @@
 #include <string>
 #include <utility>
 
-#include "encoding/scheme.h"
 #include "query/aggregate.h"
 #include "query/filter.h"
 #include "query/scan.h"
@@ -27,6 +26,26 @@ struct BlockPartial {
   uint64_t agg_sum = 0;  // Wrap-around, like query::SumColumn.
   std::optional<int64_t> agg_min;
   std::optional<int64_t> agg_max;
+};
+
+// Counts down one slot per block unit; the request thread blocks until
+// every one of its units is done — possibly served by another request's
+// batch executor (see Coalescer).
+struct Completion {
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining;
+  explicit Completion(size_t n) : remaining(n) {}
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--remaining == 0) {
+      cv.notify_all();
+    }
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return remaining == 0; });
+  }
 };
 
 Status ValidateColumns(const TableReader& reader,
@@ -164,21 +183,14 @@ std::vector<size_t> TouchedColumns(const ScanRequest& request) {
   return cols;
 }
 
-// "index:scheme" comma-joined for the touched columns of one block.
-// Schemes are per block (auto-selection can differ block to block), so
-// this runs inside the block task, against the pinned block.
-std::string SchemesAnnotation(const Block& block,
-                              std::span<const size_t> columns) {
-  std::string out;
-  for (size_t col : columns) {
-    if (!out.empty()) {
-      out += ',';
+// First non-OK status across a request's block units, if any.
+Status FirstError(std::span<const Status> statuses) {
+  for (const Status& status : statuses) {
+    if (!status.ok()) {
+      return status;
     }
-    out += std::to_string(col);
-    out += ':';
-    out += enc::SchemeToString(block.column(col).scheme());
   }
-  return out;
+  return Status::OK();
 }
 
 }  // namespace
@@ -187,7 +199,8 @@ ScanService::ScanService() : ScanService(Options{}) {}
 
 ScanService::ScanService(Options options)
     : slow_trace_ns_(options.slow_trace_ns),
-      slow_traces_(options.slow_trace_capacity) {
+      slow_traces_(options.slow_trace_capacity),
+      max_inflight_(options.max_inflight_requests) {
   obs::Registry& reg =
       options.registry != nullptr ? *options.registry : obs::Registry::Default();
   metrics_.requests = &reg.counter("serve.requests");
@@ -196,6 +209,14 @@ ScanService::ScanService(Options options)
   metrics_.rows_matched = &reg.counter("serve.rows_matched");
   metrics_.gather_rows = &reg.counter("serve.gather_rows");
   metrics_.blocks_pruned = &reg.counter("serve.blocks_pruned");
+  metrics_.rejected = &reg.counter("serve.rejected");
+  metrics_.deadline_missed = &reg.counter("serve.deadline_missed");
+  metrics_.coalesced_requests = &reg.counter("serve.coalesced_requests");
+  metrics_.coalesced_batches = &reg.counter("serve.coalesced_batches");
+  metrics_.prefetch_issued = &reg.counter("serve.prefetch_issued");
+  metrics_.prefetch_skipped = &reg.counter("serve.prefetch_skipped");
+  metrics_.queue_depth = &reg.gauge("serve.queue_depth");
+  metrics_.inflight = &reg.gauge("serve.inflight_requests");
   metrics_.latency_us =
       &reg.histogram("serve.request_latency_us", obs::LatencyBucketBoundsUs());
   for (size_t p = 0; p < obs::kNumPhases; ++p) {
@@ -205,9 +226,17 @@ ScanService::ScanService(Options options)
     metrics_.phase_us[p] =
         &reg.histogram(name, obs::LatencyBucketBoundsUs());
   }
+  coalescer_ = std::make_unique<Coalescer>(
+      options.coalescing,
+      Coalescer::Counters{metrics_.coalesced_batches,
+                          metrics_.coalesced_requests});
   workers_.reserve(options.num_threads);
   for (size_t t = 0; t < options.num_threads; ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (!workers_.empty() && options.read_ahead) {
+    read_ahead_ = std::make_unique<ReadAhead>(ReadAhead::Counters{
+        metrics_.prefetch_issued, metrics_.prefetch_skipped});
   }
 }
 
@@ -238,6 +267,26 @@ void ScanService::FinishRequest(obs::RequestTrace trace, uint64_t start_ns,
   }
 }
 
+Status ScanService::Admit(uint64_t deadline_ns) {
+  if (deadline_ns != 0 && obs::MonotonicNs() > deadline_ns) {
+    metrics_.deadline_missed->Increment();
+    return Status::DeadlineExceeded("deadline expired before admission");
+  }
+  const size_t prior = inflight_.fetch_add(1, std::memory_order_relaxed);
+  if (max_inflight_ != 0 && prior >= max_inflight_) {
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    metrics_.rejected->Increment();
+    return Status::ResourceExhausted("scan service over max in-flight requests");
+  }
+  metrics_.inflight->Add(1);
+  return Status::OK();
+}
+
+void ScanService::ReleaseSlot() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+  metrics_.inflight->Sub(1);
+}
+
 ScanService::~ScanService() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -261,46 +310,29 @@ void ScanService::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
+    metrics_.queue_depth->Sub(1);
     task();
   }
 }
 
-void ScanService::RunTasks(std::vector<std::function<void()>> tasks) {
-  if (workers_.empty()) {
-    for (auto& task : tasks) {
-      task();
-    }
-    return;
-  }
-  // Count down completions on a shared latch; the request thread blocks
-  // until its own tasks (and only those) are done.
-  struct Latch {
-    std::mutex mu;
-    std::condition_variable cv;
-    size_t remaining;
-  };
-  auto latch = std::make_shared<Latch>();
-  latch->remaining = tasks.size();
+void ScanService::EnqueueTask(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto& task : tasks) {
-      tasks_.push_back([task = std::move(task), latch] {
-        task();
-        std::lock_guard<std::mutex> task_lock(latch->mu);
-        if (--latch->remaining == 0) {
-          latch->cv.notify_all();
-        }
-      });
-    }
+    tasks_.push_back(std::move(task));
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> lock(latch->mu);
-  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+  metrics_.queue_depth->Add(1);
+  cv_.notify_one();
 }
 
 Result<ScanResult> ScanService::Execute(const TableReader& reader,
                                         const ScanRequest& request) {
   CORRA_RETURN_NOT_OK(ValidateColumns(reader, request));
+  CORRA_RETURN_NOT_OK(Admit(request.deadline_ns));
+  struct Slot {
+    ScanService* service;
+    ~Slot() { service->ReleaseSlot(); }
+  } slot{this};
+
   const size_t num_blocks = reader.num_blocks();
   std::vector<BlockPartial> partials(num_blocks);
 
@@ -326,13 +358,8 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   const bool can_prune =
       request.filter_column.has_value() && info.has_column_stats;
   uint64_t blocks_skipped = 0;
-
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(num_blocks);
-  // Queue wait is measured from request start: the build loop ahead of
-  // the actual enqueue is pointer pushes and stats compares, so pickup
-  // minus this is (attributed) time the task spent waiting on the pool.
-  const uint64_t t_enqueue = t_start;
+  std::vector<size_t> runnable;
+  runnable.reserve(num_blocks);
   for (size_t b = 0; b < num_blocks; ++b) {
     if (can_prune) {
       const ColumnStats& stats = info.Stats(b, *request.filter_column);
@@ -347,38 +374,94 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
         continue;
       }
     }
-    obs::BlockSpan* span = tracing ? &spans[b] : nullptr;
-    tasks.push_back([&reader, &request, &touched, b, pooled, t_enqueue,
-                     partial = &partials[b], span] {
-      const uint64_t t_task = span != nullptr ? obs::MonotonicNs() : 0;
+    runnable.push_back(b);
+  }
+  const uint64_t t_built = tracing ? obs::MonotonicNs() : 0;
+
+  if (!pooled) {
+    // Inline execution on the calling thread: no queue, no coalescing,
+    // no read-ahead — the front door only exists for pooled services.
+    // The deadline is still honored between blocks.
+    for (size_t b : runnable) {
+      if (request.deadline_ns != 0 &&
+          obs::MonotonicNs() > request.deadline_ns) {
+        partials[b].status =
+            Status::DeadlineExceeded("deadline expired during scan");
+        break;
+      }
+      obs::BlockSpan* span = tracing ? &spans[b] : nullptr;
+      const uint64_t t_task = tracing ? obs::MonotonicNs() : 0;
       BlockFetchStats fetch;
       auto handle = reader.GetBlock(b, span != nullptr ? &fetch : nullptr);
       if (!handle.ok()) {
-        partial->status = handle.status();
-        return;
+        partials[b].status = handle.status();
+        continue;
       }
-      const uint64_t t_pinned = span != nullptr ? obs::MonotonicNs() : 0;
-      ScanOneBlock(*handle.value(), reader.block_row_offsets()[b],
-                   request, partial);
+      const uint64_t t_pinned = tracing ? obs::MonotonicNs() : 0;
+      ScanOneBlock(*handle.value(), reader.block_row_offsets()[b], request,
+                   &partials[b]);
       if (span != nullptr) {
         const uint64_t t_done = obs::MonotonicNs();
         span->block = static_cast<uint32_t>(b);
-        span->rows = partial->rows_scanned;
+        span->rows = partials[b].rows_scanned;
         span->cache_hit = !fetch.miss;
-        // Inline execution has no queue: the task runs the instant it
-        // would have been enqueued.
-        span->queue_ns = pooled ? t_task - t_enqueue : 0;
+        span->queue_ns = 0;
         span->fill_ns = fetch.fill_ns;
         const uint64_t pin_total = t_pinned - t_task;
         span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
         span->decode_ns = t_done - t_pinned;
         span->schemes = SchemesAnnotation(*handle.value(), touched);
       }
-    });
+    }
+  } else {
+    // Pooled: every runnable block becomes one coalescer unit. Blocks
+    // this request leads get one executor task each; blocks another
+    // in-flight request already opened a batch for are served off that
+    // request's pin for free.
+    std::unique_ptr<ReadAhead::Session> session;
+    if (read_ahead_ != nullptr && runnable.size() > 1) {
+      session = read_ahead_->Start(reader, runnable);
+    }
+    auto completion = std::make_shared<Completion>(runnable.size());
+    for (size_t b : runnable) {
+      obs::BlockSpan* span = tracing ? &spans[b] : nullptr;
+      ScanUnit unit;
+      unit.enqueue_ns = t_start;
+      unit.deadline_ns = request.deadline_ns;
+      unit.status = &partials[b].status;
+      unit.span = span;
+      unit.done = [completion] { completion->Done(); };
+      unit.run = [&reader, &request, &touched, b, partial = &partials[b],
+                  span](const Block& block) {
+        ScanOneBlock(block, reader.block_row_offsets()[b], request, partial);
+        if (span != nullptr) {
+          span->rows = partial->rows_scanned;
+          span->schemes = SchemesAnnotation(block, touched);
+        }
+      };
+      if (coalescer_->SubmitScan(reader, b, std::move(unit))) {
+        EnqueueTask([this, reader_ptr = &reader, b] {
+          coalescer_->RunBatch(reader_ptr, b);
+        });
+      }
+    }
+    completion->Wait();
   }
-  const uint64_t t_built = tracing ? obs::MonotonicNs() : 0;
-  RunTasks(std::move(tasks));
   const uint64_t t_merge = tracing ? obs::MonotonicNs() : 0;
+
+  Status first_error;
+  for (const BlockPartial& partial : partials) {
+    if (!partial.status.ok()) {
+      first_error = partial.status;
+      break;
+    }
+  }
+  if (!first_error.ok()) {
+    if (first_error.IsDeadlineExceeded()) {
+      metrics_.deadline_missed->Increment();
+    }
+    return first_error;
+  }
 
   // Merge in block order.
   ScanResult result;
@@ -386,7 +469,6 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   result.columns.resize(request.project_columns.size());
   uint64_t agg_sum = 0;
   for (BlockPartial& partial : partials) {
-    CORRA_RETURN_NOT_OK(partial.status);
     result.rows_scanned += partial.rows_scanned;
     result.rows_matched += partial.rows_matched;
     result.positions.insert(result.positions.end(),
@@ -425,6 +507,7 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
       phase(obs::Phase::kCachePin) += span.pin_ns;
       phase(obs::Phase::kMissFill) += span.fill_ns;
       phase(obs::Phase::kDecodeFilter) += span.decode_ns;
+      phase(obs::Phase::kScatter) += span.scatter_ns;
     }
     trace.blocks = std::move(spans);
     metrics_.requests->Increment();
@@ -437,12 +520,25 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
 Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
     const TableReader& reader, std::span<const size_t> columns,
     std::span<const uint64_t> rows, obs::RequestTrace* trace_out) {
+  GatherOptions options;
+  options.trace = trace_out;
+  return Gather(reader, columns, rows, options);
+}
+
+Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
+    const TableReader& reader, std::span<const size_t> columns,
+    std::span<const uint64_t> rows, const GatherOptions& options) {
   const size_t fields = reader.schema().num_fields();
   for (size_t col : columns) {
     if (col >= fields) {
       return Status::InvalidArgument("gathered column out of range");
     }
   }
+  CORRA_RETURN_NOT_OK(Admit(options.deadline_ns));
+  struct Slot {
+    ScanService* service;
+    ~Slot() { service->ReleaseSlot(); }
+  } slot{this};
 
   const bool tracing = obs::Enabled();
   const bool pooled = !workers_.empty();
@@ -462,44 +558,82 @@ Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
     spans.resize(slices.size());
   }
 
-  std::vector<std::function<void()>> tasks;
-  tasks.reserve(slices.size());
-  const uint64_t t_enqueue = t_start;
-  for (size_t s = 0; s < slices.size(); ++s) {
-    obs::BlockSpan* span = tracing ? &spans[s] : nullptr;
-    tasks.push_back([&reader, &columns, &out, pooled, t_enqueue,
-                     slice = &slices[s], status = &statuses[s], span] {
-      const uint64_t t_task = span != nullptr ? obs::MonotonicNs() : 0;
+  if (!pooled) {
+    for (size_t s = 0; s < slices.size(); ++s) {
+      if (options.deadline_ns != 0 &&
+          obs::MonotonicNs() > options.deadline_ns) {
+        statuses[s] = Status::DeadlineExceeded("deadline expired during gather");
+        break;
+      }
+      obs::BlockSpan* span = tracing ? &spans[s] : nullptr;
+      const query::SelectionSlice& slice = slices[s];
+      const uint64_t t_task = tracing ? obs::MonotonicNs() : 0;
       BlockFetchStats fetch;
       auto handle =
-          reader.GetBlock(slice->block, span != nullptr ? &fetch : nullptr);
+          reader.GetBlock(slice.block, span != nullptr ? &fetch : nullptr);
       if (!handle.ok()) {
-        *status = handle.status();
-        return;
+        statuses[s] = handle.status();
+        continue;
       }
-      const uint64_t t_pinned = span != nullptr ? obs::MonotonicNs() : 0;
+      const uint64_t t_pinned = tracing ? obs::MonotonicNs() : 0;
       for (size_t c = 0; c < columns.size(); ++c) {
-        query::ScanColumn(*handle.value(), columns[c], slice->local_rows,
-                          out[c].data() + slice->out_offset);
+        query::ScanColumn(*handle.value(), columns[c], slice.local_rows,
+                          out[c].data() + slice.out_offset);
       }
       if (span != nullptr) {
         const uint64_t t_done = obs::MonotonicNs();
-        span->block = static_cast<uint32_t>(slice->block);
-        span->rows = slice->local_rows.size();
+        span->block = static_cast<uint32_t>(slice.block);
+        span->rows = slice.local_rows.size();
         span->cache_hit = !fetch.miss;
-        span->queue_ns = pooled ? t_task - t_enqueue : 0;
+        span->queue_ns = 0;
         span->fill_ns = fetch.fill_ns;
         const uint64_t pin_total = t_pinned - t_task;
         span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
         span->decode_ns = t_done - t_pinned;
         span->schemes = SchemesAnnotation(*handle.value(), columns);
       }
-    });
+    }
+  } else {
+    std::unique_ptr<ReadAhead::Session> session;
+    if (read_ahead_ != nullptr && slices.size() > 1) {
+      std::vector<size_t> blocks;
+      blocks.reserve(slices.size());
+      for (const query::SelectionSlice& slice : slices) {
+        blocks.push_back(slice.block);
+      }
+      session = read_ahead_->Start(reader, std::move(blocks));
+    }
+    auto completion = std::make_shared<Completion>(slices.size());
+    const std::vector<size_t> cols(columns.begin(), columns.end());
+    for (size_t s = 0; s < slices.size(); ++s) {
+      const query::SelectionSlice& slice = slices[s];
+      GatherUnit unit;
+      unit.columns = cols;
+      unit.rows = slice.local_rows;
+      unit.outs.reserve(cols.size());
+      for (size_t c = 0; c < cols.size(); ++c) {
+        unit.outs.push_back(out[c].data() + slice.out_offset);
+      }
+      unit.enqueue_ns = t_start;
+      unit.deadline_ns = options.deadline_ns;
+      unit.status = &statuses[s];
+      unit.span = tracing ? &spans[s] : nullptr;
+      unit.done = [completion] { completion->Done(); };
+      if (coalescer_->SubmitGather(reader, slice.block, std::move(unit))) {
+        EnqueueTask([this, reader_ptr = &reader, block = slice.block] {
+          coalescer_->RunBatch(reader_ptr, block);
+        });
+      }
+    }
+    completion->Wait();
   }
-  RunTasks(std::move(tasks));
 
-  for (const Status& status : statuses) {
-    CORRA_RETURN_NOT_OK(status);
+  const Status first_error = FirstError(statuses);
+  if (!first_error.ok()) {
+    if (first_error.IsDeadlineExceeded()) {
+      metrics_.deadline_missed->Increment();
+    }
+    return first_error;
   }
 
   if (tracing) {
@@ -516,11 +650,13 @@ Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
           span.fill_ns;
       trace.phase_ns[static_cast<size_t>(obs::Phase::kDecodeFilter)] +=
           span.decode_ns;
+      trace.phase_ns[static_cast<size_t>(obs::Phase::kScatter)] +=
+          span.scatter_ns;
     }
     trace.blocks = std::move(spans);
     metrics_.gather_requests->Increment();
     metrics_.gather_rows->Add(rows.size());
-    FinishRequest(std::move(trace), t_start, trace_out);
+    FinishRequest(std::move(trace), t_start, options.trace);
   }
   return out;
 }

@@ -21,6 +21,24 @@
 // Requests must come from outside the pool: a block task must not
 // call back into Execute/Gather, or the pool can deadlock on itself.
 //
+// The front door (pooled services only; inline execution bypasses it):
+//  * Coalescing — concurrent requests whose row sets land in the same
+//    block batch into one shared pin and one merged, deduplicated
+//    gather per block (src/serve/coalescer.h); results stay
+//    byte-identical to independent execution. Disable per service with
+//    Options::coalescing = false (the A/B lever the closed-loop bench
+//    uses).
+//  * Admission control — Options::max_inflight_requests bounds the
+//    requests in flight; arrivals past the bound are rejected with
+//    ResourceExhausted ("serve.rejected") instead of queueing without
+//    bound, and a request whose ScanRequest::deadline_ns has already
+//    passed is rejected with DeadlineExceeded ("serve.deadline_missed")
+//    before touching any block. Degrade, don't collapse.
+//  * Read-ahead — a prefetch thread (src/serve/read_ahead.h) issues the
+//    request's block fetches in scan order ahead of the workers, so for
+//    sequential scans miss_fill moves off the critical path and workers
+//    mostly pin resident blocks.
+//
 // Telemetry (src/obs/): every request feeds the registry's serving
 // histograms (total latency plus per-phase queue wait / cache pin /
 // miss fill / decode / merge) and counters, at a cost of a handful of
@@ -35,10 +53,12 @@
 #ifndef CORRA_SERVE_SCAN_SERVICE_H_
 #define CORRA_SERVE_SCAN_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -48,6 +68,8 @@
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/coalescer.h"
+#include "serve/read_ahead.h"
 #include "serve/table_reader.h"
 
 namespace corra::serve {
@@ -79,6 +101,24 @@ struct ScanRequest {
   /// scheme/rows/pruned annotations) on ScanResult::trace. Ignored —
   /// the trace stays nullopt — when observability is disabled.
   bool collect_trace = false;
+
+  /// Absolute deadline (obs::MonotonicNs clock; 0 = none). A request
+  /// whose deadline has already passed is rejected before touching any
+  /// block, and one that expires mid-flight stops scanning further
+  /// blocks; both return DeadlineExceeded and count toward
+  /// "serve.deadline_missed".
+  uint64_t deadline_ns = 0;
+};
+
+/// Per-call options for ScanService::Gather (the positional twin of the
+/// fields ScanRequest carries for Execute).
+struct GatherOptions {
+  /// Absolute deadline (obs::MonotonicNs clock; 0 = none); semantics as
+  /// ScanRequest::deadline_ns.
+  uint64_t deadline_ns = 0;
+  /// With a non-null trace (and observability enabled), receives the
+  /// request's full attribution.
+  obs::RequestTrace* trace = nullptr;
 };
 
 struct ScanResult {
@@ -123,6 +163,19 @@ class ScanService {
 
     /// Slow-trace ring capacity (last N retained).
     size_t slow_trace_capacity = 32;
+
+    /// Batch concurrent requests touching the same block into one pin +
+    /// one merged gather (pooled services only; inline execution never
+    /// coalesces). Results are byte-identical either way.
+    bool coalescing = true;
+
+    /// Reject (ResourceExhausted) requests arriving while this many are
+    /// already in flight; 0 means unbounded.
+    size_t max_inflight_requests = 0;
+
+    /// Prefetch a request's blocks in scan order on a background thread
+    /// (pooled services only), so workers mostly pin resident blocks.
+    bool read_ahead = true;
   };
 
   ScanService();  // Default Options.
@@ -155,6 +208,12 @@ class ScanService {
       std::span<const uint64_t> rows,
       obs::RequestTrace* trace = nullptr);
 
+  /// Gather with per-call options (deadline + trace sink). The
+  /// trace-pointer overload above forwards here.
+  Result<std::vector<std::vector<int64_t>>> Gather(
+      const TableReader& reader, std::span<const size_t> columns,
+      std::span<const uint64_t> rows, const GatherOptions& options);
+
   size_t num_threads() const { return workers_.size(); }
 
   /// Traces that breached Options::slow_trace_ns, oldest first (at most
@@ -173,6 +232,14 @@ class ScanService {
     obs::Counter* rows_matched;
     obs::Counter* gather_rows;
     obs::Counter* blocks_pruned;
+    obs::Counter* rejected;          // Admission-control fast rejects.
+    obs::Counter* deadline_missed;   // DeadlineExceeded returns.
+    obs::Counter* coalesced_requests;  // Units served by piggybacking.
+    obs::Counter* coalesced_batches;   // Batches with 2+ live units.
+    obs::Counter* prefetch_issued;
+    obs::Counter* prefetch_skipped;
+    obs::Gauge* queue_depth;         // Tasks waiting for a worker.
+    obs::Gauge* inflight;            // Admitted, not yet returned.
     obs::Histogram* latency_us;
     std::array<obs::Histogram*, obs::kNumPhases> phase_us;
   };
@@ -182,8 +249,13 @@ class ScanService {
   void FinishRequest(obs::RequestTrace trace, uint64_t start_ns,
                      obs::RequestTrace* sink);
 
-  // Enqueues all tasks and blocks until every one has run.
-  void RunTasks(std::vector<std::function<void()>> tasks);
+  // Admission: deadline-expired or over-limit requests are rejected
+  // before any block work. Admit() takes an in-flight slot on success;
+  // ReleaseSlot() returns it.
+  Status Admit(uint64_t deadline_ns);
+  void ReleaseSlot();
+
+  void EnqueueTask(std::function<void()> task);
   void WorkerLoop();
 
   std::mutex mu_;
@@ -194,6 +266,10 @@ class ScanService {
   Metrics metrics_{};
   uint64_t slow_trace_ns_ = 0;
   obs::TraceRing slow_traces_;
+  size_t max_inflight_ = 0;
+  std::atomic<size_t> inflight_{0};
+  std::unique_ptr<Coalescer> coalescer_;
+  std::unique_ptr<ReadAhead> read_ahead_;  // Pooled + read_ahead only.
 };
 
 }  // namespace corra::serve
