@@ -3,15 +3,17 @@
 // Compresses a correlated table to disk, then serves filtered scans and
 // aggregates through the out-of-core stack — TableReader (lazy block
 // loads) + BlockCache (bounded memory) + ScanService (worker pool) —
-// prints the cache behaviour along the way, and finishes with the full
-// telemetry snapshot every serving component feeds (see README,
-// "Observability").
+// prints the cache behaviour along the way, demonstrates degraded
+// (allow_partial) serving around an injected block failure, and
+// finishes with the full telemetry snapshot every serving component
+// feeds (see README, "Observability").
 //
 // Run: ./serve_quickstart
 
 #include <cstdio>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "core/corra_compressor.h"
 #include "obs/metrics.h"
@@ -124,7 +126,48 @@ int main() {
                 static_cast<long long>(gathered.value()[2][i]));
   }
 
-  // 6. Everything above also fed the process-wide telemetry registry:
+  // 6. Degraded serving: when a block goes bad (media error, detected
+  //    corruption), a strict scan fails whole — but a request that sets
+  //    allow_partial gets the rows from every healthy block plus a
+  //    manifest naming the blocks that failed and why. Here a failpoint
+  //    stands in for the bad medium (see README, "Failure model").
+  if (fail::CompiledIn()) {
+    fail::ScopedFailpoint storm("cache.load_error", "times:1");
+    serve::ScanRequest degraded = request;
+    degraded.collect_trace = false;
+    degraded.allow_partial = true;
+    auto partial = service.Execute(*reader.value(), degraded);
+    if (!partial.ok()) {
+      std::printf("degraded scan failed: %s\n",
+                  partial.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\ndegraded scan: %llu rows matched from healthy blocks, "
+                "%zu block(s) failed:\n",
+                static_cast<unsigned long long>(
+                    partial.value().rows_matched),
+                partial.value().failed_blocks.size());
+    for (const serve::ScanResult::BlockError& fb :
+         partial.value().failed_blocks) {
+      std::printf("  block %llu: %s\n",
+                  static_cast<unsigned long long>(fb.block),
+                  fb.status.ToString().c_str());
+    }
+    // The failed block is quarantined: repeat offenders fail fast
+    // instead of hammering the device. Once the operator clears the
+    // quarantine (or the TTL lapses) the block serves again.
+    cache->ClearQuarantine();
+    auto healed = service.Execute(*reader.value(), degraded);
+    if (!healed.ok()) {
+      return 1;
+    }
+    std::printf("after quarantine clear: %llu rows matched, %zu failed "
+                "blocks\n",
+                static_cast<unsigned long long>(healed.value().rows_matched),
+                healed.value().failed_blocks.size());
+  }
+
+  // 7. Everything above also fed the process-wide telemetry registry:
   //    cache counters/gauges, per-request latency and phase histograms,
   //    per-scheme decode row counts. One snapshot exports it all.
   std::printf("\nend-of-run metrics snapshot:\n%s\n",

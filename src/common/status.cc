@@ -22,6 +22,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Resource exhausted";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kIOError:
+      return "I/O error";
   }
   return "Unknown";
 }

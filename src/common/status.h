@@ -35,6 +35,10 @@ enum class StatusCode : int {
   kResourceExhausted = 7,
   /// The request's deadline passed before (or while) it was served.
   kDeadlineExceeded = 8,
+  /// A syscall-level I/O failure (EIO, unreadable fd) — the *medium*
+  /// failed, as opposed to kCorruption where the bytes arrived but are
+  /// damaged. Retryable at the storage layer's discretion.
+  kIOError = 9,
 };
 
 /// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
@@ -87,6 +91,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -111,6 +118,7 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
 
   /// "OK" or "<category>: <message>".
   std::string ToString() const;

@@ -68,6 +68,9 @@ struct BlockSpan {
   /// — and are charged — by the executing request, so this span carries
   /// only queue wait and its own scatter.
   bool coalesced = false;
+  /// The fill absorbed read retries (re-issued preads or a checksum
+  /// re-read): the block was served, but the medium misbehaved.
+  bool retried = false;
   uint64_t queue_ns = 0;
   uint64_t pin_ns = 0;
   uint64_t fill_ns = 0;

@@ -3,12 +3,27 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <list>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
+
 namespace corra::serve {
+
+namespace {
+
+// Statuses that quarantine a block: the *data* is bad (or the medium
+// persistently failed after retries), so re-running the loader cannot
+// help. Transient classes — deadline, admission, internal hiccups —
+// never quarantine; the next request simply retries the load.
+bool QuarantineEligible(const Status& status) {
+  return status.IsCorruption() || status.IsIOError();
+}
+
+}  // namespace
 
 // All cache machinery lives here; Handles co-own it so pin release is
 // safe even after the issuing BlockCache is gone.
@@ -28,12 +43,25 @@ struct BlockCache::State {
     bool in_lru = false;
   };
 
+  // One quarantined block: the load error to replay and when the block
+  // becomes loadable again.
+  struct Quarantined {
+    Status status;
+    uint64_t expire_ns = 0;
+  };
+
   struct Shard {
     mutable std::mutex mu;
     std::condition_variable cv;  // Signals load completions.
     std::unordered_map<BlockKey, std::unique_ptr<Entry>, BlockKeyHash>
         entries;
     std::list<Entry*> lru;  // Front = most recently used, unpinned only.
+    // Negative cache of persistently failing blocks; bounded by the
+    // cache-wide quarantine_capacity split across shards. The FIFO
+    // holds insertion order so the oldest entry is dropped first when
+    // the shard's share of the bound is exceeded.
+    std::unordered_map<BlockKey, Quarantined, BlockKeyHash> quarantine;
+    std::deque<BlockKey> quarantine_fifo;
     size_t bytes = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -41,6 +69,7 @@ struct BlockCache::State {
     uint64_t failed_loads = 0;
     uint64_t erased = 0;  // EraseFile removals (incl. doomed unpins).
     uint64_t load_waits = 0;  // Hits that waited out an in-flight load.
+    uint64_t quarantine_fastfails = 0;
   };
 
   // Cached registry series; resolved once at construction so cache
@@ -53,10 +82,12 @@ struct BlockCache::State {
     obs::Counter* evictions;
     obs::Counter* failed_loads;
     obs::Counter* load_waits;
+    obs::Counter* quarantine_fastfails;
     obs::Gauge* cached_blocks;
     obs::Gauge* cached_bytes;
     obs::Gauge* pinned_blocks;
     obs::Gauge* pinned_bytes;
+    obs::Gauge* quarantined_blocks;
 
     explicit Metrics(obs::Registry& registry)
         : hits(&registry.counter("cache.hits")),
@@ -64,14 +95,20 @@ struct BlockCache::State {
           evictions(&registry.counter("cache.evictions")),
           failed_loads(&registry.counter("cache.failed_loads")),
           load_waits(&registry.counter("cache.load_waits")),
+          quarantine_fastfails(
+              &registry.counter("cache.quarantine_fastfails")),
           cached_blocks(&registry.gauge("cache.cached_blocks")),
           cached_bytes(&registry.gauge("cache.cached_bytes")),
           pinned_blocks(&registry.gauge("cache.pinned_blocks")),
-          pinned_bytes(&registry.gauge("cache.pinned_bytes")) {}
+          pinned_bytes(&registry.gauge("cache.pinned_bytes")),
+          quarantined_blocks(&registry.gauge("cache.quarantined_blocks")) {}
   };
 
   BlockCacheOptions options;
   std::unique_ptr<Metrics> metrics;
+  // Per-shard quarantine bound (quarantine_capacity split across
+  // shards, at least 1 each); 0 when quarantine is disabled.
+  size_t quarantine_per_shard = 0;
   // Budgets are enforced globally (per-shard slices would starve the
   // cache whenever capacity / shards is smaller than a block); a shard
   // can only evict its own entries, so an overshoot in one shard drains
@@ -145,6 +182,43 @@ struct BlockCache::State {
     }
   }
 
+  // Quarantine bookkeeping. Callers hold shard.mu.
+  void RemoveQuarantineLocked(Shard& shard, const BlockKey& key) {
+    auto it = shard.quarantine.find(key);
+    if (it == shard.quarantine.end()) {
+      return;
+    }
+    shard.quarantine.erase(it);
+    auto fit = std::find(shard.quarantine_fifo.begin(),
+                         shard.quarantine_fifo.end(), key);
+    if (fit != shard.quarantine_fifo.end()) {
+      shard.quarantine_fifo.erase(fit);
+    }
+    metrics->quarantined_blocks->Sub(1);
+  }
+
+  void InsertQuarantineLocked(Shard& shard, const BlockKey& key,
+                              const Status& status) {
+    const uint64_t expire_ns =
+        obs::MonotonicNs() + options.quarantine_ttl_ms * 1'000'000ull;
+    auto it = shard.quarantine.find(key);
+    if (it != shard.quarantine.end()) {
+      // Re-failure refreshes the window and the status; the FIFO slot
+      // keeps its original position (age by first failure).
+      it->second = Quarantined{status, expire_ns};
+      return;
+    }
+    shard.quarantine.emplace(key, Quarantined{status, expire_ns});
+    shard.quarantine_fifo.push_back(key);
+    metrics->quarantined_blocks->Add(1);
+    while (shard.quarantine.size() > quarantine_per_shard) {
+      const BlockKey oldest = shard.quarantine_fifo.front();
+      shard.quarantine_fifo.pop_front();
+      shard.quarantine.erase(oldest);
+      metrics->quarantined_blocks->Sub(1);
+    }
+  }
+
   // Removes the pin added by a Handle; re-files the entry in the LRU.
   void Unpin(const BlockKey& key) {
     Shard& shard = ShardFor(key);
@@ -195,6 +269,8 @@ struct BlockCache::State {
           metrics->pinned_bytes->Sub(static_cast<int64_t>(entry->bytes));
         }
       }
+      metrics->quarantined_blocks->Sub(
+          static_cast<int64_t>(shard_ptr->quarantine.size()));
     }
   }
 };
@@ -247,6 +323,10 @@ BlockCache::BlockCache(BlockCacheOptions options)
   state_->shards.reserve(shards);
   for (size_t s = 0; s < shards; ++s) {
     state_->shards.push_back(std::make_unique<State::Shard>());
+  }
+  if (options.quarantine_ttl_ms > 0 && options.quarantine_capacity > 0) {
+    state_->quarantine_per_shard =
+        std::max<size_t>(1, options.quarantine_capacity / shards);
   }
 }
 
@@ -302,6 +382,23 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     shard.cv.wait(lock);
   }
 
+  // Quarantine check before becoming the loader: a block that failed
+  // persistently moments ago fails fast with that same status — this
+  // is also what waiters woken from a failed single-flight load hit,
+  // so a pile-up on a bad block produces one disk read, not N.
+  if (state_->quarantine_per_shard > 0) {
+    auto qit = shard.quarantine.find(key);
+    if (qit != shard.quarantine.end()) {
+      if (obs::MonotonicNs() < qit->second.expire_ns) {
+        ++shard.quarantine_fastfails;
+        state_->metrics->quarantine_fastfails->Increment();
+        return qit->second.status;
+      }
+      // Expired: the block earns a fresh load attempt.
+      state_->RemoveQuarantineLocked(shard, key);
+    }
+  }
+
   auto placeholder = std::make_unique<State::Entry>();
   placeholder->key = key;
   State::Entry* entry = placeholder.get();
@@ -317,10 +414,17 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     ++shard.failed_loads;
     state_->metrics->failed_loads->Increment();
     shard.entries.erase(key);
+    Status failure =
+        loaded.ok() ? Status::Internal("block loader returned null block")
+                    : loaded.status();
+    // Quarantine before waking the waiters: each of them re-checks the
+    // map, finds no entry, and hits the quarantine — every waiter gets
+    // this failure without any of them re-running a doomed loader.
+    if (state_->quarantine_per_shard > 0 && QuarantineEligible(failure)) {
+      state_->InsertQuarantineLocked(shard, key, failure);
+    }
     shard.cv.notify_all();
-    return loaded.ok()
-               ? Status::Internal("block loader returned null block")
-               : loaded.status();
+    return failure;
   }
   entry->block = std::move(loaded).value();
   entry->bytes = entry->block->GetStats().encoded_bytes;
@@ -350,6 +454,20 @@ void BlockCache::EraseFile(uint64_t file_id) {
   for (auto& shard_ptr : state_->shards) {
     State::Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto qit = shard.quarantine.begin();
+         qit != shard.quarantine.end();) {
+      if (qit->first.file_id == file_id) {
+        auto fit = std::find(shard.quarantine_fifo.begin(),
+                             shard.quarantine_fifo.end(), qit->first);
+        if (fit != shard.quarantine_fifo.end()) {
+          shard.quarantine_fifo.erase(fit);
+        }
+        state_->metrics->quarantined_blocks->Sub(1);
+        qit = shard.quarantine.erase(qit);
+      } else {
+        ++qit;
+      }
+    }
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {
       State::Entry* entry = it->second.get();
       if (entry->key.file_id != file_id) {
@@ -379,6 +497,17 @@ void BlockCache::EraseFile(uint64_t file_id) {
   }
 }
 
+void BlockCache::ClearQuarantine() {
+  for (auto& shard_ptr : state_->shards) {
+    State::Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    state_->metrics->quarantined_blocks->Sub(
+        static_cast<int64_t>(shard.quarantine.size()));
+    shard.quarantine.clear();
+    shard.quarantine_fifo.clear();
+  }
+}
+
 BlockCacheStats BlockCache::GetStats() const {
   // Coherent snapshot: every shard lock is held for the whole
   // aggregation, so no load can complete, no pin can drop, and no
@@ -405,6 +534,8 @@ BlockCacheStats BlockCache::GetStats() const {
     stats.failed_loads += shard.failed_loads;
     stats.erased_blocks += shard.erased;
     stats.load_waits += shard.load_waits;
+    stats.quarantine_fastfails += shard.quarantine_fastfails;
+    stats.quarantined += shard.quarantine.size();
     stats.cached_bytes += shard.bytes;
     for (const auto& [key, entry] : shard.entries) {
       if (entry->loading) {

@@ -73,6 +73,16 @@ struct BlockCacheOptions {
   /// "cache."). Null means obs::Registry::Default(). Several caches
   /// sharing one registry aggregate into the same series.
   obs::Registry* registry = nullptr;
+  /// Quarantine TTL: a block whose load fails with a persistent status
+  /// (Corruption or IOError — not deadline/admission classes) enters a
+  /// bounded negative cache for this long, and requests arriving inside
+  /// the window fail fast with the original Status instead of hammering
+  /// the disk with loads that cannot succeed. 0 disables quarantine
+  /// (every request re-runs the loader, the pre-quarantine behavior).
+  uint64_t quarantine_ttl_ms = 2000;
+  /// Upper bound on quarantined blocks across all shards; the oldest
+  /// entry is dropped first (it simply becomes loadable again early).
+  size_t quarantine_capacity = 256;
 };
 
 /// Coherent point-in-time snapshot of the cache (see GetStats).
@@ -87,6 +97,12 @@ struct BlockCacheOptions {
 /// still loading, resident, or was removed by exactly one of eviction,
 /// load failure, or EraseFile (immediately, or deferred to the last
 /// unpin of a doomed entry — counted as erased either way).
+///
+/// Quarantine sits outside the ledger: a failed load counts toward
+/// failed_loads exactly once whether or not it quarantines the block,
+/// and a request rejected by the quarantine (quarantine_fastfails)
+/// never creates an entry — it is neither a hit nor a miss, so the
+/// equation above is untouched by any quarantine traffic.
 struct BlockCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -101,11 +117,18 @@ struct BlockCacheStats {
   /// the read-ahead thread is still filling the block). A subset of
   /// hits; not part of the ledger invariant.
   uint64_t load_waits = 0;
+  /// Requests failed fast by the quarantine with the original load
+  /// error (no loader run, no entry created).
+  uint64_t quarantine_fastfails = 0;
   size_t cached_blocks = 0;
   size_t cached_bytes = 0;
   size_t pinned_blocks = 0;
   /// Entries whose loader is still running (missed, not yet resident).
   size_t loading_blocks = 0;
+  /// Blocks currently held in the quarantine negative cache (their
+  /// expiry may have passed; expired entries are reaped lazily on the
+  /// next request for the block).
+  size_t quarantined = 0;
 
   double HitRate() const {
     const uint64_t total = hits + misses;
@@ -164,7 +187,11 @@ class BlockCache {
 
   /// Returns a pinned handle for `key`, running `loader` if (and only
   /// if) the block is not cached and no other caller is already loading
-  /// it. Loader failures are propagated and nothing is cached.
+  /// it. Loader failures are propagated and nothing is cached; a
+  /// persistent failure (Corruption/IOError) additionally quarantines
+  /// the key (see BlockCacheOptions::quarantine_ttl_ms), so callers —
+  /// including waiters woken from the failed single-flight load — fail
+  /// fast with that same status until the TTL expires.
   Result<Handle> GetOrLoad(const BlockKey& key, const Loader& loader);
 
   /// True if `key` is resident (does not touch LRU order or stats).
@@ -173,8 +200,14 @@ class BlockCache {
   /// Drops every unpinned entry of `file_id` (a closing reader's blocks
   /// stop occupying budget). Entries still pinned or mid-load are
   /// dropped when their last pin is released — they never linger as
-  /// unreachable residents.
+  /// unreachable residents. The file's quarantine entries are dropped
+  /// too (file ids are never reused, so they could only leak).
   void EraseFile(uint64_t file_id);
+
+  /// Empties the quarantine: every quarantined block becomes loadable
+  /// again immediately (operational unblock after replacing a bad
+  /// file, and the test hook for TTL-independent recovery).
+  void ClearQuarantine();
 
   /// Coherent snapshot: taken with every shard lock held at once, so
   /// the BlockCacheStats ledger invariant (see its comment) holds

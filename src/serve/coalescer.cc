@@ -146,142 +146,153 @@ void Coalescer::ExecuteBatch(const TableReader* reader, size_t block,
     lead_scan = scans[0];
   }
 
-  const uint64_t t_exec = tracing ? obs::MonotonicNs() : 0;
-  BlockFetchStats fetch;
-  auto handle = reader->GetBlock(block, tracing ? &fetch : nullptr);
-  if (!handle.ok()) {
-    const uint64_t now = tracing ? obs::MonotonicNs() : 0;
-    for (GatherUnit* u : gathers) {
-      FinishWithoutWork(*u, handle.status(), now);
-    }
-    for (ScanUnit* u : scans) {
-      FinishWithoutWork(*u, handle.status(), now);
-    }
-    return;
-  }
-  const uint64_t t_pinned = tracing ? obs::MonotonicNs() : 0;
-  const Block& blk = *handle.value();
-
-  // Span bookkeeping shared by both unit kinds. Leaders absorb the
-  // batch's pin/fill; piggybacked units carry coalesced = true and
-  // account their life up to being served as queue wait.
-  const auto charge = [&](auto& unit, bool is_leader, uint64_t t_work,
-                          uint64_t decode_ns, uint64_t scatter_ns) {
-    obs::BlockSpan* span = unit.span;
-    if (span == nullptr) {
+  // Completions fire only after the scope below releases the shared
+  // pin: a caller observing its request complete must also observe the
+  // block unpinned (stats samplers and capacity accounting would
+  // otherwise see a pin that outlives every request holding it). The
+  // units live in `batch` until this function returns, so deferring
+  // the callbacks is safe.
+  std::vector<const std::function<void()>*> dones;
+  dones.reserve(live);
+  {
+    const uint64_t t_exec = tracing ? obs::MonotonicNs() : 0;
+    BlockFetchStats fetch;
+    auto handle = reader->GetBlock(block, tracing ? &fetch : nullptr);
+    if (!handle.ok()) {
+      const uint64_t now = tracing ? obs::MonotonicNs() : 0;
+      for (GatherUnit* u : gathers) {
+        FinishWithoutWork(*u, handle.status(), now);
+      }
+      for (ScanUnit* u : scans) {
+        FinishWithoutWork(*u, handle.status(), now);
+      }
       return;
     }
-    span->block = static_cast<uint32_t>(block);
-    span->decode_ns = decode_ns;
-    span->scatter_ns = scatter_ns;
-    if (is_leader) {
-      span->cache_hit = !fetch.miss;
-      span->queue_ns = t_exec > unit.enqueue_ns ? t_exec - unit.enqueue_ns : 0;
-      span->fill_ns = fetch.fill_ns;
-      const uint64_t pin_total = t_pinned - t_exec;
-      span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
-    } else {
-      span->coalesced = true;
-      span->cache_hit = true;  // Served off the leader's pin.
-      span->queue_ns = t_work > unit.enqueue_ns ? t_work - unit.enqueue_ns : 0;
-    }
-  };
+    const uint64_t t_pinned = tracing ? obs::MonotonicNs() : 0;
+    const Block& blk = *handle.value();
 
-  if (gathers.size() == 1) {
-    // Uncontended fast path: gather straight into the caller's output,
-    // no merge, no scratch, no scatter.
-    GatherUnit& u = *gathers[0];
-    const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
-    for (size_t c = 0; c < u.columns.size(); ++c) {
-      query::ScanColumn(blk, u.columns[c], u.rows, u.outs[c]);
-    }
-    const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
-    charge(u, lead_gather == &u, t0, t1 - t0, 0);
-    if (u.span != nullptr) {
-      u.span->rows = u.rows.size();
-      u.span->schemes = SchemesAnnotation(blk, u.columns);
-    }
-    if (u.done) {
-      u.done();
-    }
-  } else if (gathers.size() >= 2) {
-    // Merged gather: one deduplicated sorted union of every unit's row
-    // set, one ScanColumn per distinct column, then a per-caller
-    // scatter. Byte-identical to independent gathers because the union
-    // preserves every selected position's value.
-    size_t total_rows = 0;
-    for (const GatherUnit* u : gathers) {
-      total_rows += u->rows.size();
-    }
-    std::vector<uint32_t> merged;
-    merged.reserve(total_rows);
-    for (const GatherUnit* u : gathers) {
-      merged.insert(merged.end(), u->rows.begin(), u->rows.end());
-    }
-    std::sort(merged.begin(), merged.end());
-    merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-
-    std::vector<size_t> cols;
-    for (const GatherUnit* u : gathers) {
-      for (size_t col : u->columns) {
-        if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
-          cols.push_back(col);
-        }
+    // Span bookkeeping shared by both unit kinds. Leaders absorb the
+    // batch's pin/fill; piggybacked units carry coalesced = true and
+    // account their life up to being served as queue wait.
+    const auto charge = [&](auto& unit, bool is_leader, uint64_t t_work,
+                            uint64_t decode_ns, uint64_t scatter_ns) {
+      obs::BlockSpan* span = unit.span;
+      if (span == nullptr) {
+        return;
       }
-    }
+      span->block = static_cast<uint32_t>(block);
+      span->decode_ns = decode_ns;
+      span->scatter_ns = scatter_ns;
+      if (is_leader) {
+        span->cache_hit = !fetch.miss;
+        span->retried = fetch.retries > 0;
+        span->queue_ns = t_exec > unit.enqueue_ns ? t_exec - unit.enqueue_ns : 0;
+        span->fill_ns = fetch.fill_ns;
+        const uint64_t pin_total = t_pinned - t_exec;
+        span->pin_ns = pin_total > fetch.fill_ns ? pin_total - fetch.fill_ns : 0;
+      } else {
+        span->coalesced = true;
+        span->cache_hit = true;  // Served off the leader's pin.
+        span->queue_ns = t_work > unit.enqueue_ns ? t_work - unit.enqueue_ns : 0;
+      }
+    };
 
-    const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
-    std::vector<std::vector<int64_t>> scratch(cols.size());
-    for (size_t c = 0; c < cols.size(); ++c) {
-      scratch[c].resize(merged.size());
-      query::ScanColumn(blk, cols[c], merged, scratch[c].data());
-    }
-    const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
-
-    for (GatherUnit* up : gathers) {
-      GatherUnit& u = *up;
-      const uint64_t ts0 = tracing ? obs::MonotonicNs() : 0;
-      // Both the unit's rows and the merged union are sorted, so each
-      // unit scatters with one forward pass (duplicates in the unit's
-      // rows simply re-read the same merged slot).
-      std::vector<size_t> idx(u.columns.size());
+    if (gathers.size() == 1) {
+      // Uncontended fast path: gather straight into the caller's output,
+      // no merge, no scratch, no scatter.
+      GatherUnit& u = *gathers[0];
+      const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
       for (size_t c = 0; c < u.columns.size(); ++c) {
-        idx[c] = static_cast<size_t>(
-            std::find(cols.begin(), cols.end(), u.columns[c]) - cols.begin());
+        query::ScanColumn(blk, u.columns[c], u.rows, u.outs[c]);
       }
-      size_t j = 0;
-      for (size_t i = 0; i < u.rows.size(); ++i) {
-        while (merged[j] < u.rows[i]) {
-          ++j;
-        }
-        for (size_t c = 0; c < u.columns.size(); ++c) {
-          u.outs[c][i] = scratch[idx[c]][j];
-        }
-      }
-      const uint64_t ts1 = tracing ? obs::MonotonicNs() : 0;
-      const bool is_leader = lead_gather == up;
-      charge(u, is_leader, ts0, is_leader ? t1 - t0 : 0, ts1 - ts0);
+      const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
+      charge(u, lead_gather == &u, t0, t1 - t0, 0);
       if (u.span != nullptr) {
         u.span->rows = u.rows.size();
         u.span->schemes = SchemesAnnotation(blk, u.columns);
       }
-      if (u.done) {
-        u.done();
+      dones.push_back(&u.done);
+    } else if (gathers.size() >= 2) {
+      // Merged gather: one deduplicated sorted union of every unit's row
+      // set, one ScanColumn per distinct column, then a per-caller
+      // scatter. Byte-identical to independent gathers because the union
+      // preserves every selected position's value.
+      size_t total_rows = 0;
+      for (const GatherUnit* u : gathers) {
+        total_rows += u->rows.size();
       }
+      std::vector<uint32_t> merged;
+      merged.reserve(total_rows);
+      for (const GatherUnit* u : gathers) {
+        merged.insert(merged.end(), u->rows.begin(), u->rows.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+
+      std::vector<size_t> cols;
+      for (const GatherUnit* u : gathers) {
+        for (size_t col : u->columns) {
+          if (std::find(cols.begin(), cols.end(), col) == cols.end()) {
+            cols.push_back(col);
+          }
+        }
+      }
+
+      const uint64_t t0 = tracing ? obs::MonotonicNs() : 0;
+      std::vector<std::vector<int64_t>> scratch(cols.size());
+      for (size_t c = 0; c < cols.size(); ++c) {
+        scratch[c].resize(merged.size());
+        query::ScanColumn(blk, cols[c], merged, scratch[c].data());
+      }
+      const uint64_t t1 = tracing ? obs::MonotonicNs() : 0;
+
+      for (GatherUnit* up : gathers) {
+        GatherUnit& u = *up;
+        const uint64_t ts0 = tracing ? obs::MonotonicNs() : 0;
+        // Both the unit's rows and the merged union are sorted, so each
+        // unit scatters with one forward pass (duplicates in the unit's
+        // rows simply re-read the same merged slot).
+        std::vector<size_t> idx(u.columns.size());
+        for (size_t c = 0; c < u.columns.size(); ++c) {
+          idx[c] = static_cast<size_t>(
+              std::find(cols.begin(), cols.end(), u.columns[c]) - cols.begin());
+        }
+        size_t j = 0;
+        for (size_t i = 0; i < u.rows.size(); ++i) {
+          while (merged[j] < u.rows[i]) {
+            ++j;
+          }
+          for (size_t c = 0; c < u.columns.size(); ++c) {
+            u.outs[c][i] = scratch[idx[c]][j];
+          }
+        }
+        const uint64_t ts1 = tracing ? obs::MonotonicNs() : 0;
+        const bool is_leader = lead_gather == up;
+        charge(u, is_leader, ts0, is_leader ? t1 - t0 : 0, ts1 - ts0);
+        if (u.span != nullptr) {
+          u.span->rows = u.rows.size();
+          u.span->schemes = SchemesAnnotation(blk, u.columns);
+        }
+        dones.push_back(&u.done);
+      }
+    }
+
+    // Scan units share the pin but not their decode: each carries its own
+    // predicate, so its decode time is its own — only piggybacked pins
+    // are deduplicated.
+    for (ScanUnit* up : scans) {
+      ScanUnit& u = *up;
+      const uint64_t tr0 = tracing ? obs::MonotonicNs() : 0;
+      u.run(blk);
+      const uint64_t tr1 = tracing ? obs::MonotonicNs() : 0;
+      charge(u, lead_scan == up, tr0, tr1 - tr0, 0);
+      dones.push_back(&u.done);
     }
   }
 
-  // Scan units share the pin but not their decode: each carries its own
-  // predicate, so its decode time is its own — only piggybacked pins
-  // are deduplicated.
-  for (ScanUnit* up : scans) {
-    ScanUnit& u = *up;
-    const uint64_t tr0 = tracing ? obs::MonotonicNs() : 0;
-    u.run(blk);
-    const uint64_t tr1 = tracing ? obs::MonotonicNs() : 0;
-    charge(u, lead_scan == up, tr0, tr1 - tr0, 0);
-    if (u.done) {
-      u.done();
+  for (const std::function<void()>* done : dones) {
+    if (*done) {
+      (*done)();
     }
   }
 }

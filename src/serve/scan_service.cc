@@ -211,6 +211,7 @@ ScanService::ScanService(Options options)
   metrics_.blocks_pruned = &reg.counter("serve.blocks_pruned");
   metrics_.rejected = &reg.counter("serve.rejected");
   metrics_.deadline_missed = &reg.counter("serve.deadline_missed");
+  metrics_.partial_results = &reg.counter("serve.partial_results");
   metrics_.coalesced_requests = &reg.counter("serve.coalesced_requests");
   metrics_.coalesced_batches = &reg.counter("serve.coalesced_batches");
   metrics_.prefetch_issued = &reg.counter("serve.prefetch_issued");
@@ -405,6 +406,7 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
         span->block = static_cast<uint32_t>(b);
         span->rows = partials[b].rows_scanned;
         span->cache_hit = !fetch.miss;
+        span->retried = fetch.retries > 0;
         span->queue_ns = 0;
         span->fill_ns = fetch.fill_ns;
         const uint64_t pin_total = t_pinned - t_task;
@@ -425,6 +427,12 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
     auto completion = std::make_shared<Completion>(runnable.size());
     for (size_t b : runnable) {
       obs::BlockSpan* span = tracing ? &spans[b] : nullptr;
+      if (span != nullptr) {
+        // Identify the span even when the unit finishes without work
+        // (expired deadline or a failed pin never reaches the
+        // coalescer's charge path, which is what sets it otherwise).
+        span->block = static_cast<uint32_t>(b);
+      }
       ScanUnit unit;
       unit.enqueue_ns = t_start;
       unit.deadline_ns = request.deadline_ns;
@@ -449,12 +457,21 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   }
   const uint64_t t_merge = tracing ? obs::MonotonicNs() : 0;
 
+  // With allow_partial, per-block failures degrade the result instead
+  // of failing it: the block's original status lands on failed_blocks
+  // and the merge skips it. DeadlineExceeded is never downgraded.
   Status first_error;
-  for (const BlockPartial& partial : partials) {
-    if (!partial.status.ok()) {
-      first_error = partial.status;
+  std::vector<ScanResult::BlockError> failed_blocks;
+  for (size_t b = 0; b < partials.size(); ++b) {
+    const Status& status = partials[b].status;
+    if (status.ok()) {
+      continue;
+    }
+    if (status.IsDeadlineExceeded() || !request.allow_partial) {
+      first_error = status;
       break;
     }
+    failed_blocks.push_back({static_cast<uint64_t>(b), status});
   }
   if (!first_error.ok()) {
     if (first_error.IsDeadlineExceeded()) {
@@ -469,6 +486,9 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
   result.columns.resize(request.project_columns.size());
   uint64_t agg_sum = 0;
   for (BlockPartial& partial : partials) {
+    if (!partial.status.ok()) {
+      continue;  // Reported on failed_blocks; contributes nothing.
+    }
     result.rows_scanned += partial.rows_scanned;
     result.rows_matched += partial.rows_matched;
     result.positions.insert(result.positions.end(),
@@ -493,6 +513,10 @@ Result<ScanResult> ScanService::Execute(const TableReader& reader,
     }
   }
   result.agg_sum = static_cast<int64_t>(agg_sum);
+  result.failed_blocks = std::move(failed_blocks);
+  if (!result.failed_blocks.empty()) {
+    metrics_.partial_results->Increment();
+  }
 
   if (tracing) {
     trace.rows_scanned = result.rows_scanned;
@@ -585,6 +609,7 @@ Result<std::vector<std::vector<int64_t>>> ScanService::Gather(
         span->block = static_cast<uint32_t>(slice.block);
         span->rows = slice.local_rows.size();
         span->cache_hit = !fetch.miss;
+        span->retried = fetch.retries > 0;
         span->queue_ns = 0;
         span->fill_ns = fetch.fill_ns;
         const uint64_t pin_total = t_pinned - t_task;

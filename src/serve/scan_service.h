@@ -108,6 +108,16 @@ struct ScanRequest {
   /// blocks; both return DeadlineExceeded and count toward
   /// "serve.deadline_missed".
   uint64_t deadline_ns = 0;
+
+  /// Degrade instead of fail: when set, a block whose fetch or load
+  /// fails (Corruption, IOError, quarantine fast-fail, ...) is reported
+  /// on ScanResult::failed_blocks — with its original status, context
+  /// intact — while every healthy block's results are still returned
+  /// and stay byte-identical to a fault-free scan of those blocks.
+  /// DeadlineExceeded is never downgraded: an expired deadline fails
+  /// the whole request either way, because a partial answer past the
+  /// deadline helps no one.
+  bool allow_partial = false;
 };
 
 /// Per-call options for ScanService::Gather (the positional twin of the
@@ -140,6 +150,19 @@ struct ScanResult {
   int64_t agg_sum = 0;
   std::optional<int64_t> agg_min;
   std::optional<int64_t> agg_max;
+
+  /// One block that failed under ScanRequest::allow_partial.
+  struct BlockError {
+    uint64_t block = 0;  // Block index within the table.
+    Status status;       // The original fetch/load failure.
+  };
+
+  /// Blocks whose fetch failed, ascending by index; only ever non-empty
+  /// under allow_partial (without it the first failure fails the whole
+  /// request). A failed block contributes nothing to rows_scanned /
+  /// rows_matched / positions / columns / aggregates — callers that
+  /// need exact coverage must check this before trusting totals.
+  std::vector<BlockError> failed_blocks;
 
   /// Full request attribution (ScanRequest::collect_trace only): where
   /// the latency went, block by block and phase by phase.
@@ -234,6 +257,8 @@ class ScanService {
     obs::Counter* blocks_pruned;
     obs::Counter* rejected;          // Admission-control fast rejects.
     obs::Counter* deadline_missed;   // DeadlineExceeded returns.
+    obs::Counter* partial_results;   // allow_partial scans that lost
+                                     // at least one block.
     obs::Counter* coalesced_requests;  // Units served by piggybacking.
     obs::Counter* coalesced_batches;   // Batches with 2+ live units.
     obs::Counter* prefetch_issued;

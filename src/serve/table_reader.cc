@@ -1,5 +1,6 @@
 #include "serve/table_reader.h"
 
+#include "common/failpoint.h"
 #include "obs/trace.h"
 
 namespace corra::serve {
@@ -10,7 +11,7 @@ Result<std::unique_ptr<TableReader>> TableReader::Open(
   if (cache == nullptr) {
     return Status::InvalidArgument("TableReader needs a BlockCache");
   }
-  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path));
+  CORRA_ASSIGN_OR_RETURN(CorfFile file, CorfFile::Open(path, options.io));
   const uint64_t file_id = cache->RegisterFile();
   return std::unique_ptr<TableReader>(new TableReader(
       std::move(file), std::move(cache), file_id, options));
@@ -42,13 +43,25 @@ Result<BlockCache::Handle> TableReader::GetBlock(
   // attributes the fill to exactly the request that paid for it.
   return cache_->GetOrLoad(key, [this, index, fetch]()
                                -> Result<std::shared_ptr<const Block>> {
+    // Fault injection for the cache's failure paths (quarantine,
+    // waiter wakeup) without involving the file at all.
+    if (CORRA_FAILPOINT("cache.load_error")) {
+      return Status::IOError("injected block loader failure (file '" +
+                             file_.path() + "', block " +
+                             std::to_string(index) + ")");
+    }
     const bool timed = fetch != nullptr && obs::Enabled();
     const uint64_t begin = timed ? obs::MonotonicNs() : 0;
-    CORRA_ASSIGN_OR_RETURN(Block block,
-                           file_.ReadBlock(index, options_.verify_blocks));
+    BlockReadStats read_stats;
+    CORRA_ASSIGN_OR_RETURN(
+        Block block,
+        file_.ReadBlock(index, options_.verify_blocks, &read_stats));
     if (timed) {
       fetch->miss = true;
       fetch->fill_ns = obs::MonotonicNs() - begin;
+    }
+    if (fetch != nullptr) {
+      fetch->retries = read_stats.retries + read_stats.checksum_rereads;
     }
     return std::make_shared<const Block>(std::move(block));
   });

@@ -31,6 +31,8 @@ struct TableReaderOptions {
   /// Validate payload checksums and run block integrity checks on every
   /// load (the cost is paid once per cache miss, not per scan).
   bool verify_blocks = false;
+  /// Retry/backoff policy for the underlying CorfFile's reads.
+  CorfFileOptions io;
 };
 
 /// What one GetBlock call actually did — filled only when the caller
@@ -42,6 +44,9 @@ struct BlockFetchStats {
   bool miss = false;
   /// Wall time spent inside the loader when miss is true.
   uint64_t fill_ns = 0;
+  /// Read retries (re-issued preads + checksum re-reads) the loader
+  /// absorbed — nonzero means the block was served despite faults.
+  uint32_t retries = 0;
 };
 
 class TableReader {

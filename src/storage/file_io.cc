@@ -7,11 +7,16 @@
 #include <cerrno>
 
 #include <algorithm>
+#include <chrono>
+#include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "common/buffer.h"
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 #include "query/aggregate.h"
 
@@ -60,21 +65,98 @@ Status WriteAll(std::FILE* file, const std::vector<uint8_t>& bytes) {
   return Status::OK();
 }
 
+// Which file (and block, when payload-level) a read serves — every
+// error a read path produces carries this locality.
+struct ReadSite {
+  const std::string* path;  // Never null.
+  int64_t block = -1;       // -1: header/directory read.
+};
+
+std::string SiteSuffix(const ReadSite& site, uint64_t offset,
+                       size_t length) {
+  std::string out = " (file '" + *site.path + "'";
+  if (site.block >= 0) {
+    out += ", block " + std::to_string(site.block);
+  }
+  out += ", offset " + std::to_string(offset) + ", length " +
+         std::to_string(length) + ")";
+  return out;
+}
+
+// Safety valve against an injected (or pathological) EINTR storm: real
+// signal interruptions are retried unconditionally, but not forever.
+constexpr uint32_t kMaxEintrRetries = 1024;
+
 // Positional read of exactly [offset, offset + length), immune to the
 // process-wide file position — safe under concurrency.
-Status PReadExact(int fd, uint64_t offset, uint8_t* dst, size_t length) {
+//
+// Fault policy (see CorfFileOptions): EINTR and partial progress are
+// retried unconditionally; syscall errors are retried up to
+// options.max_read_retries times with RetryBackoffUs sleeps; reading 0
+// bytes inside the requested extent is truncation (Corruption, final).
+// `retries` (optional) accumulates every pread call beyond the single
+// one a clean read needs.
+//
+// Failpoint sites (tests only; inert otherwise):
+//   corf.pread.eio    the next pread call reports EIO without running
+//   corf.pread.eintr  the next pread call reports EINTR without running
+//   corf.pread.short  the next pread call asks for at most half the
+//                     remainder, forcing partial-progress handling
+Status PReadRetrying(int fd, uint64_t offset, uint8_t* dst, size_t length,
+                     const ReadSite& site, const CorfFileOptions& options,
+                     uint32_t* retries) {
   size_t done = 0;
+  uint32_t io_errors = 0;
+  uint32_t eintrs = 0;
+  bool first = true;
   while (done < length) {
-    const ssize_t n = ::pread(fd, dst + done, length - done,
-                              static_cast<off_t>(offset + done));
-    if (n < 0) {
-      if (errno == EINTR) {
-        continue;  // Interrupted by a signal; the read is retryable.
+    if (!first && retries != nullptr) {
+      ++*retries;
+    }
+    first = false;
+    ssize_t n;
+    int err = 0;
+    if (CORRA_FAILPOINT("corf.pread.eio")) {
+      n = -1;
+      err = EIO;
+    } else if (CORRA_FAILPOINT("corf.pread.eintr")) {
+      n = -1;
+      err = EINTR;
+    } else {
+      size_t want = length - done;
+      if (want > 1 && CORRA_FAILPOINT("corf.pread.short")) {
+        want /= 2;
       }
-      return Status::Corruption("read failed");
+      n = ::pread(fd, dst + done, want, static_cast<off_t>(offset + done));
+      err = errno;
+    }
+    if (n < 0) {
+      if (err == EINTR) {
+        if (++eintrs > kMaxEintrRetries) {
+          return Status::IOError(
+              "pread interrupted (EINTR) " +
+              std::to_string(kMaxEintrRetries) + " times" +
+              SiteSuffix(site, offset, length));
+        }
+        continue;  // Interrupted by a signal; always retryable.
+      }
+      if (io_errors++ >= options.max_read_retries) {
+        return Status::IOError(
+            "pread failed: " + std::string(std::strerror(err)) + " after " +
+            std::to_string(io_errors) + " attempt(s)" +
+            SiteSuffix(site, offset, length));
+      }
+      const uint64_t backoff_us =
+          RetryBackoffUs(options, io_errors - 1, offset);
+      if (backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      }
+      continue;
     }
     if (n == 0) {
-      return Status::Corruption("short read");
+      return Status::Corruption(
+          "file truncated: no data at offset " +
+          std::to_string(offset + done) + SiteSuffix(site, offset, length));
     }
     done += static_cast<size_t>(n);
   }
@@ -190,14 +272,18 @@ Status ParseStats(BufferReader* reader, FileInfo* info) {
   return Status::OK();
 }
 
-Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
+Result<FileInfo> ParseHeader(int fd, uint64_t file_size,
+                             const std::string& path,
+                             const CorfFileOptions& options) {
+  const ReadSite site{&path, -1};
   // Probe a small prefix: enough for the preamble (magic, version,
   // schema, block count) of any sane file, and usually for the whole
   // directory too. Magic/version/schema corruption fails here without
   // any further read.
   const uint64_t probe = std::min<uint64_t>(file_size, kHeaderProbe);
   std::vector<uint8_t> prefix(probe);
-  CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+  CORRA_RETURN_NOT_OK(PReadRetrying(fd, 0, prefix.data(), prefix.size(),
+                                    site, options, nullptr));
   FileInfo info;
   BufferReader reader(prefix);
   uint8_t version = 0;
@@ -212,7 +298,8 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
       return preamble;
     }
     prefix.resize(budget);
-    CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+    CORRA_RETURN_NOT_OK(PReadRetrying(fd, 0, prefix.data(), prefix.size(),
+                                      site, options, nullptr));
     info = FileInfo{};
     reader = BufferReader(prefix);
     CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &version, &retryable));
@@ -235,7 +322,8 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
       return Status::Corruption("file truncated inside block directory");
     }
     prefix.resize(header_bytes);
-    CORRA_RETURN_NOT_OK(PReadExact(fd, 0, prefix.data(), prefix.size()));
+    CORRA_RETURN_NOT_OK(PReadRetrying(fd, 0, prefix.data(), prefix.size(),
+                                      site, options, nullptr));
     info = FileInfo{};
     reader = BufferReader(prefix);
     CORRA_RETURN_NOT_OK(ParsePreamble(&reader, &info, &version, &retryable));
@@ -248,6 +336,27 @@ Result<FileInfo> ParseHeader(int fd, uint64_t file_size) {
 }
 
 }  // namespace
+
+uint64_t RetryBackoffUs(const CorfFileOptions& options, uint32_t attempt,
+                        uint64_t salt) {
+  if (options.backoff_base_us == 0) {
+    return 0;
+  }
+  const uint64_t base = options.backoff_base_us;
+  uint64_t step = attempt < 32 ? base << attempt : UINT64_MAX;
+  if (options.backoff_cap_us > 0 && step > options.backoff_cap_us) {
+    step = options.backoff_cap_us;
+  }
+  // Deterministic jitter in [0, step/4): decorrelates concurrent
+  // retriers without breaking monotonicity — step + step/4 is still
+  // below the next step's 2x until the cap flattens the curve.
+  uint64_t x = salt * 0x9E3779B97F4A7C15ull + attempt + 1;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  const uint64_t jitter = step >= 4 ? x % (step / 4) : 0;
+  return step + jitter;
+}
 
 uint64_t FileInfo::TotalRows() const {
   uint64_t total = 0;
@@ -309,7 +418,8 @@ Status WriteCompressedTable(const CompressedTable& table,
   return Status::OK();
 }
 
-Result<CorfFile> CorfFile::Open(const std::string& path) {
+Result<CorfFile> CorfFile::Open(const std::string& path,
+                                CorfFileOptions options) {
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
     return Status::NotFound("cannot open file: " + path);
@@ -319,18 +429,20 @@ Result<CorfFile> CorfFile::Open(const std::string& path) {
     ::close(fd);
     return Status::Corruption("cannot determine file size: " + path);
   }
-  auto info = ParseHeader(fd, static_cast<uint64_t>(st.st_size));
+  auto info = ParseHeader(fd, static_cast<uint64_t>(st.st_size), path,
+                          options);
   if (!info.ok()) {
     ::close(fd);
     return info.status();
   }
-  return CorfFile(fd, path, std::move(info).value());
+  return CorfFile(fd, path, std::move(info).value(), options);
 }
 
 CorfFile::CorfFile(CorfFile&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       path_(std::move(other.path_)),
-      info_(std::move(other.info_)) {}
+      info_(std::move(other.info_)),
+      options_(other.options_) {}
 
 CorfFile& CorfFile::operator=(CorfFile&& other) noexcept {
   if (this != &other) {
@@ -340,6 +452,7 @@ CorfFile& CorfFile::operator=(CorfFile&& other) noexcept {
     fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     info_ = std::move(other.info_);
+    options_ = other.options_;
   }
   return *this;
 }
@@ -350,37 +463,117 @@ CorfFile::~CorfFile() {
   }
 }
 
+namespace {
+
+std::string ChecksumHex(uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, value);
+  return buf;
+}
+
+}  // namespace
+
 Result<std::vector<uint8_t>> CorfFile::ReadBlockBytes(
-    size_t block_index) const {
+    size_t block_index, BlockReadStats* stats) const {
   if (block_index >= info_.num_blocks) {
-    return Status::OutOfRange("block index out of range");
+    return Status::OutOfRange(
+        "block index " + std::to_string(block_index) +
+        " out of range (file '" + path_ + "' has " +
+        std::to_string(info_.num_blocks) + " blocks)");
   }
+  const ReadSite site{&path_, static_cast<int64_t>(block_index)};
   std::vector<uint8_t> bytes(info_.block_lengths[block_index]);
-  CORRA_RETURN_NOT_OK(PReadExact(fd_, info_.block_offsets[block_index],
-                                 bytes.data(), bytes.size()));
+  uint32_t retries = 0;
+  Status read = PReadRetrying(fd_, info_.block_offsets[block_index],
+                              bytes.data(), bytes.size(), site, options_,
+                              &retries);
+  if (stats != nullptr) {
+    stats->retries += retries;
+  }
   // Cold-read accounting: every payload fetched from disk, process
   // wide. The serving layer's cache.misses counts pin-level misses;
   // these count the I/O they actually caused (one read per miss) plus
-  // any non-cached one-shot readers.
+  // any non-cached one-shot readers. read_retries counts re-issued
+  // pread calls (EINTR, short reads, syscall-error retries) and
+  // read_errors the reads that failed for good.
   if (obs::Enabled()) {
     static obs::Counter& reads =
         obs::Registry::Default().counter("storage.block_reads");
     static obs::Counter& read_bytes =
         obs::Registry::Default().counter("storage.block_read_bytes");
-    reads.Increment();
-    read_bytes.Add(bytes.size());
+    static obs::Counter& read_retries =
+        obs::Registry::Default().counter("storage.read_retries");
+    static obs::Counter& read_errors =
+        obs::Registry::Default().counter("storage.read_errors");
+    if (retries > 0) {
+      read_retries.Add(retries);
+    }
+    if (!read.ok()) {
+      read_errors.Increment();
+    } else {
+      reads.Increment();
+      read_bytes.Add(bytes.size());
+    }
+  }
+  CORRA_RETURN_NOT_OK(read);
+  // Fault injection for the verify/quarantine paths: damage the payload
+  // *after* a successful read, the way a bad cable or DMA error would.
+  if (!bytes.empty() && CORRA_FAILPOINT("corf.payload.bitflip")) {
+    bytes[bytes.size() / 2] ^= 0x40;
   }
   return bytes;
 }
 
-Result<Block> CorfFile::ReadBlock(size_t block_index, bool verify) const {
-  CORRA_ASSIGN_OR_RETURN(auto bytes, ReadBlockBytes(block_index));
+Result<Block> CorfFile::ReadBlock(size_t block_index, bool verify,
+                                  BlockReadStats* stats) const {
+  CORRA_ASSIGN_OR_RETURN(auto bytes, ReadBlockBytes(block_index, stats));
   if (verify && Fnv1a64(bytes) != info_.block_checksums[block_index]) {
-    return Status::Corruption("block payload checksum mismatch");
+    // One re-read distinguishes transient from persistent corruption: a
+    // bit flipped in transfer heals, damage on the medium does not.
+    if (stats != nullptr) {
+      stats->checksum_rereads += 1;
+    }
+    if (obs::Enabled()) {
+      static obs::Counter& read_retries =
+          obs::Registry::Default().counter("storage.read_retries");
+      read_retries.Increment();
+    }
+    CORRA_ASSIGN_OR_RETURN(bytes, ReadBlockBytes(block_index, stats));
+    const uint64_t actual = Fnv1a64(bytes);
+    const uint64_t expected = info_.block_checksums[block_index];
+    if (actual != expected) {
+      if (obs::Enabled()) {
+        static obs::Counter& read_errors =
+            obs::Registry::Default().counter("storage.read_errors");
+        read_errors.Increment();
+      }
+      return Status::Corruption(
+          "block payload checksum mismatch after re-read: expected " +
+          ChecksumHex(expected) + ", actual " + ChecksumHex(actual) +
+          SiteSuffix(ReadSite{&path_, static_cast<int64_t>(block_index)},
+                     info_.block_offsets[block_index],
+                     info_.block_lengths[block_index]));
+    }
   }
-  CORRA_ASSIGN_OR_RETURN(Block block, Block::Deserialize(bytes, verify));
+  auto deserialized = Block::Deserialize(bytes, verify);
+  if (!deserialized.ok()) {
+    const Status& st = deserialized.status();
+    return Status(st.code(),
+                  st.message() +
+                      SiteSuffix(ReadSite{&path_,
+                                          static_cast<int64_t>(block_index)},
+                                 info_.block_offsets[block_index],
+                                 info_.block_lengths[block_index]));
+  }
+  Block block = std::move(deserialized).value();
   if (block.rows() != info_.block_rows[block_index]) {
-    return Status::Corruption("block row count disagrees with directory");
+    return Status::Corruption(
+        "block row count disagrees with directory: decoded " +
+        std::to_string(block.rows()) + ", directory says " +
+        std::to_string(info_.block_rows[block_index]) +
+        SiteSuffix(ReadSite{&path_, static_cast<int64_t>(block_index)},
+                   info_.block_offsets[block_index],
+                   info_.block_lengths[block_index]));
   }
   return block;
 }

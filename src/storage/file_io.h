@@ -24,12 +24,54 @@
 #ifndef CORRA_STORAGE_FILE_IO_H_
 #define CORRA_STORAGE_FILE_IO_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/result.h"
 #include "storage/table.h"
 
 namespace corra {
+
+/// Read-path fault policy of one CorfFile.
+///
+/// Retry semantics (see failpoint sites corf.pread.* for how they are
+/// tested):
+///   * EINTR and short reads that made progress are always retried —
+///     they are artifacts of signals and readahead, not of the medium.
+///   * A read returning 0 bytes inside a block's extent means the file
+///     is truncated; that is Corruption and never retried.
+///   * Syscall errors (EIO et al.) are retried up to max_read_retries
+///     times with exponential backoff + jitter, then surface as
+///     StatusCode::kIOError with full locality context.
+///   * A checksum mismatch under verify triggers exactly one re-read
+///     (a bit flipped in transfer heals; damage on the medium does
+///     not), then surfaces as Corruption with expected/actual.
+struct CorfFileOptions {
+  /// Extra pread attempts after a syscall error (0 = fail immediately).
+  uint32_t max_read_retries = 2;
+  /// Backoff before syscall-error retry k (0-based) is
+  /// min(backoff_base_us << k, backoff_cap_us) plus a deterministic
+  /// jitter of at most a quarter step — strictly monotone until capped.
+  uint32_t backoff_base_us = 20;
+  uint32_t backoff_cap_us = 2000;
+};
+
+/// Backoff before syscall-error retry `attempt` (0-based), in
+/// microseconds. `salt` decorrelates concurrent retriers (jitter), and
+/// makes the schedule deterministic for tests: same salt, same delays.
+uint64_t RetryBackoffUs(const CorfFileOptions& options, uint32_t attempt,
+                        uint64_t salt);
+
+/// What one block read cost beyond the happy path (optional out-param
+/// of ReadBlockBytes/ReadBlock; the serving layer surfaces it as the
+/// trace's `retried` annotation).
+struct BlockReadStats {
+  /// pread calls beyond the one a clean read needs (EINTR, short reads,
+  /// syscall-error retries — all paths that re-issued the syscall).
+  uint32_t retries = 0;
+  /// 1 when a checksum mismatch forced the single re-read.
+  uint32_t checksum_rereads = 0;
+};
 
 /// Writes `table` to `path` (overwriting). Fails with an IO-flavoured
 /// InvalidArgument if the file cannot be created or written.
@@ -73,7 +115,8 @@ struct FileInfo {
 /// position.
 class CorfFile {
  public:
-  static Result<CorfFile> Open(const std::string& path);
+  static Result<CorfFile> Open(const std::string& path,
+                               CorfFileOptions options = {});
 
   CorfFile(CorfFile&& other) noexcept;
   CorfFile& operator=(CorfFile&& other) noexcept;
@@ -85,22 +128,29 @@ class CorfFile {
   const FileInfo& info() const { return info_; }
   size_t num_blocks() const { return info_.num_blocks; }
 
-  /// Raw payload bytes of block `block_index`.
-  Result<std::vector<uint8_t>> ReadBlockBytes(size_t block_index) const;
+  /// Raw payload bytes of block `block_index`. Transient read failures
+  /// are retried per CorfFileOptions; `stats` (optional) reports what
+  /// the read cost beyond the happy path.
+  Result<std::vector<uint8_t>> ReadBlockBytes(
+      size_t block_index, BlockReadStats* stats = nullptr) const;
 
   /// Deserializes block `block_index`. With `verify`, the payload
   /// checksum is compared against the directory (catching any flipped
-  /// byte) and Block::Deserialize runs its O(n) integrity checks. The
+  /// byte) and Block::Deserialize runs its O(n) integrity checks; a
+  /// mismatch is re-read once before it is ruled Corruption. The
   /// block's row count is always validated against the directory.
-  Result<Block> ReadBlock(size_t block_index, bool verify = false) const;
+  Result<Block> ReadBlock(size_t block_index, bool verify = false,
+                          BlockReadStats* stats = nullptr) const;
 
  private:
-  CorfFile(int fd, std::string path, FileInfo info)
-      : fd_(fd), path_(std::move(path)), info_(std::move(info)) {}
+  CorfFile(int fd, std::string path, FileInfo info, CorfFileOptions options)
+      : fd_(fd), path_(std::move(path)), info_(std::move(info)),
+        options_(options) {}
 
   int fd_ = -1;
   std::string path_;
   FileInfo info_;
+  CorfFileOptions options_;
 };
 
 /// Reads only the header and directory of `path`.

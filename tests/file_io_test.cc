@@ -5,12 +5,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <thread>
 
 #include "common/buffer.h"
+#include "common/failpoint.h"
 #include "common/random.h"
 #include "core/corra_compressor.h"
 #include "query/aggregate.h"
@@ -334,6 +338,186 @@ TEST_F(FileIoTest, CorfFileRejectsOutOfRangeBlock) {
   ASSERT_TRUE(file.ok());
   EXPECT_TRUE(file.value().ReadBlock(3).status().IsOutOfRange());
   EXPECT_TRUE(file.value().ReadBlockBytes(99).status().IsOutOfRange());
+}
+
+TEST(RetryBackoffTest, MonotoneThenCappedWithBoundedJitter) {
+  const CorfFileOptions options;  // base 20 us, cap 2000 us.
+  uint64_t prev = 0;
+  for (uint32_t attempt = 0; attempt < 12; ++attempt) {
+    const uint64_t us = RetryBackoffUs(options, attempt, /*salt=*/7);
+    const uint64_t step =
+        std::min<uint64_t>(options.backoff_cap_us,
+                           uint64_t{options.backoff_base_us} << attempt);
+    EXPECT_GE(us, step) << "attempt " << attempt;
+    EXPECT_LT(us, step + std::max<uint64_t>(step / 4, 1))
+        << "attempt " << attempt;
+    // Strictly increasing until the cap: the next step doubles, which
+    // outruns the at-most-quarter-step jitter.
+    if (attempt > 0 &&
+        (uint64_t{options.backoff_base_us} << attempt) <=
+            options.backoff_cap_us) {
+      EXPECT_GT(us, prev) << "attempt " << attempt;
+    }
+    prev = us;
+  }
+  // Deterministic for a given (options, attempt, salt).
+  EXPECT_EQ(RetryBackoffUs(options, 3, 7), RetryBackoffUs(options, 3, 7));
+}
+
+class FileIoFaultTest : public FileIoTest {
+ protected:
+  void SetUp() override {
+    FileIoTest::SetUp();
+    if (!fail::CompiledIn()) {
+      GTEST_SKIP() << "failpoints compiled out (CORRA_FAILPOINTS_OFF)";
+    }
+    fail::ClearAll();
+    ASSERT_TRUE(WriteCompressedTable(MakeTable(), path_).ok());
+  }
+  void TearDown() override {
+    fail::ClearAll();
+    FileIoTest::TearDown();
+  }
+
+  // Block 1 decoded fault-free — the byte-identity baseline. Opens
+  // (and reads) before any failpoint is armed.
+  std::vector<int64_t> Baseline() {
+    return std::vector<int64_t>(receipt_.begin() + 1000,
+                                receipt_.begin() + 2000);
+  }
+
+  static std::vector<int64_t> DecodeCol1(const Block& block) {
+    std::vector<int64_t> values(block.rows());
+    block.column(1).DecodeAll(values.data());
+    return values;
+  }
+};
+
+TEST_F(FileIoFaultTest, EintrIsRetriedTransparently) {
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.eintr", "times:3");
+  BlockReadStats stats;
+  auto block = file.value().ReadBlock(1, /*verify=*/true, &stats);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(DecodeCol1(block.value()), Baseline());
+}
+
+TEST_F(FileIoFaultTest, EintrStormIsBoundedNotInfinite) {
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.eintr", "every:1");
+  auto block = file.value().ReadBlock(1);
+  ASSERT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsIOError());
+  EXPECT_NE(block.status().message().find("EINTR"), std::string::npos);
+}
+
+TEST_F(FileIoFaultTest, ShortReadsMakeProgressAndStayByteIdentical) {
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.short", "every:1");
+  BlockReadStats stats;
+  auto block = file.value().ReadBlock(1, /*verify=*/true, &stats);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_GT(stats.retries, 0u);  // Halved preads forced extra calls.
+  EXPECT_EQ(DecodeCol1(block.value()), Baseline());
+}
+
+TEST_F(FileIoFaultTest, EioWithinBudgetSucceedsAfterRetries) {
+  CorfFileOptions options;
+  options.max_read_retries = 2;
+  options.backoff_base_us = 1;  // Keep the test fast.
+  auto file = CorfFile::Open(path_, options);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.eio", "times:2");
+  BlockReadStats stats;
+  auto block = file.value().ReadBlock(1, /*verify=*/true, &stats);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(DecodeCol1(block.value()), Baseline());
+}
+
+TEST_F(FileIoFaultTest, PersistentEioExhaustsBudgetWithContext) {
+  CorfFileOptions options;
+  options.max_read_retries = 2;
+  options.backoff_base_us = 1;
+  auto file = CorfFile::Open(path_, options);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.eio", "every:1");
+  auto block = file.value().ReadBlock(1);
+  ASSERT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsIOError());
+  EXPECT_FALSE(block.status().IsCorruption());
+  const std::string& message = block.status().message();
+  EXPECT_NE(message.find("after 3 attempt(s)"), std::string::npos)
+      << message;
+  EXPECT_NE(message.find(path_), std::string::npos) << message;
+  EXPECT_NE(message.find("block 1"), std::string::npos) << message;
+  EXPECT_NE(message.find("offset"), std::string::npos) << message;
+}
+
+TEST_F(FileIoFaultTest, RetriesAreDisabledWithZeroBudget) {
+  CorfFileOptions options;
+  options.max_read_retries = 0;
+  auto file = CorfFile::Open(path_, options);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.pread.eio", "times:1");
+  EXPECT_TRUE(file.value().ReadBlock(1).status().IsIOError());
+  // The single injected error was consumed; the next read is clean.
+  EXPECT_TRUE(file.value().ReadBlock(1).ok());
+}
+
+TEST_F(FileIoFaultTest, TransientBitFlipIsCuredByChecksumReread) {
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.payload.bitflip", "times:1");
+  BlockReadStats stats;
+  auto block = file.value().ReadBlock(1, /*verify=*/true, &stats);
+  ASSERT_TRUE(block.ok()) << block.status().ToString();
+  EXPECT_EQ(stats.checksum_rereads, 1u);
+  EXPECT_EQ(DecodeCol1(block.value()), Baseline());
+}
+
+TEST_F(FileIoFaultTest, PersistentBitFlipFailsAfterOneReread) {
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  fail::ScopedFailpoint fp("corf.payload.bitflip", "every:1");
+  BlockReadStats stats;
+  auto block = file.value().ReadBlock(1, /*verify=*/true, &stats);
+  ASSERT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsCorruption());
+  EXPECT_EQ(stats.checksum_rereads, 1u);  // Exactly one re-read, not a loop.
+  const std::string& message = block.status().message();
+  EXPECT_NE(message.find("after re-read"), std::string::npos) << message;
+  EXPECT_NE(message.find("expected 0x"), std::string::npos) << message;
+  EXPECT_NE(message.find("block 1"), std::string::npos) << message;
+}
+
+TEST_F(FileIoFaultTest, TruncationIsCorruptionNotIOError) {
+  // Distinct failure taxonomies: a truncated extent is damaged data
+  // (Corruption, never retried), a failing medium is kIOError.
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  const FileInfo& info = file.value().info();
+  const uint64_t cut = info.block_offsets[2] + info.block_lengths[2] / 2;
+  ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(cut)), 0);
+  auto block = file.value().ReadBlock(2);
+  ASSERT_FALSE(block.ok());
+  EXPECT_TRUE(block.status().IsCorruption());
+  EXPECT_FALSE(block.status().IsIOError());
+  const std::string& message = block.status().message();
+  EXPECT_NE(message.find("truncated"), std::string::npos) << message;
+  EXPECT_NE(message.find("block 2"), std::string::npos) << message;
+}
+
+TEST_F(FileIoFaultTest, HeaderReadsRetryToo) {
+  // Arm before Open: the header/directory preads share the retry path.
+  fail::ScopedFailpoint fp("corf.pread.eintr", "times:2");
+  auto file = CorfFile::Open(path_);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file.value().num_blocks(), 3u);
 }
 
 TEST_F(FileIoTest, StringDictionariesSurviveFile) {

@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <thread>
 
 #include "common/random.h"
@@ -322,10 +324,176 @@ TEST(BlockCacheTest, FailedLoadIsNotCachedAndPropagates) {
   EXPECT_FALSE(cache.Contains({7, 0}));
   EXPECT_EQ(cache.GetStats().failed_loads, 1u);
 
-  // The key stays loadable after a failure.
+  // A persistent failure quarantines the key: requests inside the TTL
+  // fail fast with the original status, and the loader never runs.
+  auto fastfail = cache.GetOrLoad({7, 0}, MarkerLoader(70, &loads));
+  EXPECT_FALSE(fastfail.ok());
+  EXPECT_TRUE(fastfail.status().IsCorruption());
+  EXPECT_EQ(loads.load(), 0);
+  {
+    const BlockCacheStats stats = cache.GetStats();
+    EXPECT_EQ(stats.quarantine_fastfails, 1u);
+    EXPECT_EQ(stats.quarantined, 1u);
+    // A fast-fail is neither a hit nor a miss: the ledger is untouched.
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 0u);
+  }
+
+  // The key becomes loadable again once the quarantine lifts.
+  cache.ClearQuarantine();
+  EXPECT_EQ(cache.GetStats().quarantined, 0u);
   auto ok = cache.GetOrLoad({7, 0}, MarkerLoader(70, &loads));
   ASSERT_TRUE(ok.ok());
   EXPECT_EQ(ok.value()->column(0).Get(0), 70);
+  EXPECT_EQ(loads.load(), 1);
+}
+
+TEST(BlockCacheTest, QuarantineDisabledKeepsKeysLoadable) {
+  BlockCache cache({.capacity_blocks = 4,
+                    .capacity_bytes = 0,
+                    .shards = 1,
+                    .quarantine_ttl_ms = 0});
+  std::atomic<int> loads{0};
+  auto failing = cache.GetOrLoad({7, 0}, [] {
+    return Result<std::shared_ptr<const Block>>(
+        Status::IOError("synthetic load failure"));
+  });
+  EXPECT_FALSE(failing.ok());
+  // Pre-quarantine behavior: the very next request re-runs the loader.
+  auto ok = cache.GetOrLoad({7, 0}, MarkerLoader(70, &loads));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(loads.load(), 1);
+  EXPECT_EQ(cache.GetStats().quarantine_fastfails, 0u);
+}
+
+TEST(BlockCacheTest, QuarantineTtlExpiresAndSkipsTransientStatuses) {
+  BlockCache cache({.capacity_blocks = 4,
+                    .capacity_bytes = 0,
+                    .shards = 1,
+                    .quarantine_ttl_ms = 20});
+  std::atomic<int> loads{0};
+
+  // Transient statuses (anything but Corruption/IOError) never
+  // quarantine: a retry may well succeed.
+  auto transient = cache.GetOrLoad({7, 0}, [] {
+    return Result<std::shared_ptr<const Block>>(
+        Status::ResourceExhausted("loader backpressure"));
+  });
+  EXPECT_FALSE(transient.ok());
+  EXPECT_EQ(cache.GetStats().quarantined, 0u);
+  {
+    auto ok = cache.GetOrLoad({7, 0}, MarkerLoader(70, &loads));
+    ASSERT_TRUE(ok.ok());
+    EXPECT_EQ(loads.load(), 1);
+  }
+
+  // A persistent failure quarantines — and the TTL lifts it without any
+  // explicit clear.
+  auto failing = cache.GetOrLoad({8, 0}, [] {
+    return Result<std::shared_ptr<const Block>>(
+        Status::IOError("synthetic load failure"));
+  });
+  EXPECT_FALSE(failing.ok());
+  EXPECT_FALSE(cache.GetOrLoad({8, 0}, MarkerLoader(80, &loads)).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  auto ok = cache.GetOrLoad({8, 0}, MarkerLoader(80, &loads));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value()->column(0).Get(0), 80);
+}
+
+TEST(BlockCacheTest, QuarantineCapacityDropsOldestFirst) {
+  BlockCache cache({.capacity_blocks = 8,
+                    .capacity_bytes = 0,
+                    .shards = 1,
+                    .quarantine_capacity = 2});
+  std::atomic<int> loads{0};
+  for (uint64_t b = 0; b < 3; ++b) {
+    auto failing = cache.GetOrLoad({9, b}, [] {
+      return Result<std::shared_ptr<const Block>>(
+          Status::IOError("synthetic load failure"));
+    });
+    EXPECT_FALSE(failing.ok());
+  }
+  // Capacity 2: block 0 (oldest) was dropped and is loadable again;
+  // blocks 1 and 2 still fast-fail.
+  EXPECT_EQ(cache.GetStats().quarantined, 2u);
+  EXPECT_TRUE(cache.GetOrLoad({9, 0}, MarkerLoader(90, &loads)).ok());
+  EXPECT_FALSE(cache.GetOrLoad({9, 1}, MarkerLoader(91, &loads)).ok());
+  EXPECT_FALSE(cache.GetOrLoad({9, 2}, MarkerLoader(92, &loads)).ok());
+  EXPECT_EQ(loads.load(), 1);
+}
+
+TEST(BlockCacheTest, EraseFileSweepsItsQuarantineEntries) {
+  BlockCache cache({.capacity_blocks = 8, .capacity_bytes = 0, .shards = 1});
+  std::atomic<int> loads{0};
+  for (uint64_t file : {10u, 11u}) {
+    auto failing = cache.GetOrLoad({file, 0}, [] {
+      return Result<std::shared_ptr<const Block>>(
+          Status::IOError("synthetic load failure"));
+    });
+    EXPECT_FALSE(failing.ok());
+  }
+  EXPECT_EQ(cache.GetStats().quarantined, 2u);
+  cache.EraseFile(10);
+  EXPECT_EQ(cache.GetStats().quarantined, 1u);
+  EXPECT_TRUE(cache.GetOrLoad({10, 0}, MarkerLoader(100, &loads)).ok());
+  EXPECT_FALSE(cache.GetOrLoad({11, 0}, MarkerLoader(110, &loads)).ok());
+}
+
+// The waiter-wakeup audit: concurrent requests for one key during a
+// failing load must all wake with the error (none may hang), the loader
+// must have run exactly once for the flight, and failed_loads must
+// count exactly once. Run under TSan in CI.
+TEST(BlockCacheTest, AllWaitersWakeWithErrorOnFailedLoad) {
+  BlockCache cache({.capacity_blocks = 8, .capacity_bytes = 0, .shards = 1});
+  std::atomic<int> loads{0};
+  std::atomic<int> release{0};
+
+  // Leader: a slow failing load the waiters pile onto.
+  std::thread leader([&] {
+    auto result = cache.GetOrLoad({12, 0}, [&] {
+      loads.fetch_add(1);
+      release.store(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      return Result<std::shared_ptr<const Block>>(
+          Status::IOError("synthetic slow load failure"));
+    });
+    EXPECT_FALSE(result.ok());
+  });
+  while (release.load() == 0) {
+    std::this_thread::yield();
+  }
+
+  constexpr int kWaiters = 8;
+  std::vector<std::thread> waiters;
+  std::atomic<int> woken_with_error{0};
+  waiters.reserve(kWaiters);
+  for (int w = 0; w < kWaiters; ++w) {
+    waiters.emplace_back([&] {
+      auto result = cache.GetOrLoad({12, 0}, [&] {
+        loads.fetch_add(1);  // Must not run: single flight + quarantine.
+        return Result<std::shared_ptr<const Block>>(
+            Status::IOError("unexpected second load"));
+      });
+      if (!result.ok() && result.status().IsIOError()) {
+        woken_with_error.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : waiters) {
+    t.join();
+  }
+  leader.join();
+
+  EXPECT_EQ(woken_with_error.load(), kWaiters);
+  EXPECT_EQ(loads.load(), 1);
+  const BlockCacheStats stats = cache.GetStats();
+  EXPECT_EQ(stats.failed_loads, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  // Ledger: the one miss was removed by exactly the one failed load.
+  EXPECT_EQ(stats.misses, stats.cached_blocks + stats.loading_blocks +
+                              stats.evictions + stats.failed_loads +
+                              stats.erased_blocks);
 }
 
 TEST(BlockCacheTest, ByteBudgetTriggersEviction) {
@@ -884,6 +1052,178 @@ TEST_F(BlockSkipTest, FullyDisjointFilterTouchesNoBlock) {
   ASSERT_EQ(result.value().columns.size(), 1u);
   EXPECT_TRUE(result.value().columns[0].empty());
   EXPECT_EQ(cache->GetStats().misses, 0u);  // Nothing ever read.
+}
+
+// Partial-result degradation (ScanRequest::allow_partial) around a
+// block whose payload is corrupt on disk.
+class PartialScanTest : public ServeTest {
+ protected:
+  static constexpr size_t kBadBlock = 2;  // Global rows 2000..2999.
+
+  void SetUp() override {
+    ServeTest::SetUp();
+    // Flip one byte in the middle of the bad block's payload; with
+    // verify_blocks the checksum rejects it on every read (the one
+    // re-read sees the same damaged bytes).
+    auto info = ReadFileInfo(path_);
+    ASSERT_TRUE(info.ok());
+    const uint64_t target = info.value().block_offsets[kBadBlock] +
+                            info.value().block_lengths[kBadBlock] / 2;
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<long>(target));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<long>(target));
+    f.write(&byte, 1);
+  }
+
+  // The oracle restricted to rows outside the bad block.
+  Expected ExpectedHealthyScan(int64_t lo, int64_t hi) const {
+    const Expected full = ExpectedScan(lo, hi);
+    Expected healthy;
+    for (size_t i = 0; i < full.positions.size(); ++i) {
+      const uint64_t pos = full.positions[i];
+      if (pos / kBlockRows == kBadBlock) {
+        continue;
+      }
+      healthy.positions.push_back(pos);
+      healthy.ship.push_back(full.ship[i]);
+      healthy.receipt.push_back(full.receipt[i]);
+      healthy.fare.push_back(full.fare[i]);
+    }
+    return healthy;
+  }
+
+  static void ExpectMatchesHealthy(const ScanResult& result,
+                                   const Expected& healthy) {
+    EXPECT_EQ(result.positions, healthy.positions);
+    ASSERT_EQ(result.columns.size(), 3u);
+    EXPECT_EQ(result.columns[0], healthy.ship);
+    EXPECT_EQ(result.columns[1], healthy.receipt);
+    EXPECT_EQ(result.columns[2], healthy.fare);
+  }
+};
+
+TEST_F(PartialScanTest, AllowPartialDegradesAroundABadBlock) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8});
+  auto reader =
+      TableReader::Open(path_, cache, {.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service({.num_threads = 0});
+
+  // Without allow_partial the bad block fails the whole scan.
+  ScanRequest request = FilterScanRequest(8035, 10591);
+  auto strict = service.Execute(*reader.value(), request);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_TRUE(strict.status().IsCorruption());
+
+  // With it, every healthy block's results come back byte-identical
+  // and the bad block is reported with its original status.
+  request.allow_partial = true;
+  auto partial = service.Execute(*reader.value(), request);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  ASSERT_EQ(partial.value().failed_blocks.size(), 1u);
+  EXPECT_EQ(partial.value().failed_blocks[0].block, kBadBlock);
+  EXPECT_TRUE(partial.value().failed_blocks[0].status.IsCorruption());
+  EXPECT_NE(partial.value().failed_blocks[0].status.message().find(
+                "block 2"),
+            std::string::npos);
+  ExpectMatchesHealthy(partial.value(), ExpectedHealthyScan(8035, 10591));
+  EXPECT_EQ(partial.value().rows_scanned, kRows - kBlockRows);
+}
+
+TEST_F(PartialScanTest, QuarantineFastFailKeepsTheOriginalStatus) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8});
+  auto reader =
+      TableReader::Open(path_, cache, {.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service({.num_threads = 0});
+  ScanRequest request = FilterScanRequest(8035, 10591);
+  request.allow_partial = true;
+
+  auto first = service.Execute(*reader.value(), request);
+  ASSERT_TRUE(first.ok());
+  // Second scan: the bad block is quarantined, so its failure comes
+  // from the fast path — but carries the same Corruption status, so
+  // the manifest is indistinguishable from the first scan's.
+  auto second = service.Execute(*reader.value(), request);
+  ASSERT_TRUE(second.ok());
+  ASSERT_EQ(second.value().failed_blocks.size(), 1u);
+  EXPECT_TRUE(second.value().failed_blocks[0].status.IsCorruption());
+  EXPECT_EQ(second.value().failed_blocks[0].status.message(),
+            first.value().failed_blocks[0].status.message());
+  EXPECT_GE(cache->GetStats().quarantine_fastfails, 1u);
+  ExpectMatchesHealthy(second.value(), ExpectedHealthyScan(8035, 10591));
+}
+
+TEST_F(PartialScanTest, DeadlineIsNeverDowngradedToPartial) {
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8});
+  auto reader =
+      TableReader::Open(path_, cache, {.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service({.num_threads = 0});
+  ScanRequest request = FilterScanRequest(8035, 10591);
+  request.allow_partial = true;
+  request.deadline_ns = 1;  // Long expired.
+  auto result = service.Execute(*reader.value(), request);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST_F(PartialScanTest, PooledAndCoalescedRequestsAllSeeTheFailure) {
+  // Concurrent allow_partial scans through the pooled front door: the
+  // coalescer's leader eats the pin failure and must hand it to every
+  // follower; all requests degrade identically, none hang.
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8});
+  auto reader =
+      TableReader::Open(path_, cache, {.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service({.num_threads = 4});
+  const Expected healthy = ExpectedHealthyScan(8035, 10591);
+
+  constexpr int kClients = 8;
+  std::vector<std::thread> clients;
+  std::atomic<int> degraded{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      ScanRequest request = FilterScanRequest(8035, 10591);
+      request.allow_partial = true;
+      auto result = service.Execute(*reader.value(), request);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ASSERT_EQ(result.value().failed_blocks.size(), 1u);
+      EXPECT_EQ(result.value().failed_blocks[0].block, kBadBlock);
+      ExpectMatchesHealthy(result.value(), healthy);
+      degraded.fetch_add(1);
+    });
+  }
+  for (std::thread& thread : clients) {
+    thread.join();
+  }
+  EXPECT_EQ(degraded.load(), kClients);
+}
+
+TEST_F(PartialScanTest, PartialResultsCounterTracksDegradedScans) {
+  obs::Registry registry;
+  auto cache = std::make_shared<BlockCache>(
+      BlockCacheOptions{.capacity_blocks = 8, .registry = &registry});
+  auto reader =
+      TableReader::Open(path_, cache, {.verify_blocks = true});
+  ASSERT_TRUE(reader.ok());
+  ScanService service({.num_threads = 0, .registry = &registry});
+  ScanRequest request = FilterScanRequest(8035, 10591);
+  request.allow_partial = true;
+  ASSERT_TRUE(service.Execute(*reader.value(), request).ok());
+  ASSERT_TRUE(service.Execute(*reader.value(), request).ok());
+  if (obs::Enabled()) {
+    EXPECT_EQ(registry.counter("serve.partial_results").Value(), 2u);
+    EXPECT_GE(registry.counter("cache.quarantine_fastfails").Value(), 1u);
+    EXPECT_EQ(registry.gauge("cache.quarantined_blocks").Value(), 1);
+  }
 }
 
 TEST_F(ServeTest, TwoReadersShareOneCacheWithoutCollisions) {

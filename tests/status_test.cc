@@ -34,6 +34,18 @@ TEST(StatusTest, AllCategories) {
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+}
+
+TEST(StatusTest, IOErrorAndCorruptionAreDistinct) {
+  // Two failure taxonomies: the medium failed (retryable) vs the bytes
+  // are damaged (never retryable). Paths branch on the distinction.
+  const Status io = Status::IOError("pread failed");
+  EXPECT_TRUE(io.IsIOError());
+  EXPECT_FALSE(io.IsCorruption());
+  const Status corrupt = Status::Corruption("checksum mismatch");
+  EXPECT_FALSE(corrupt.IsIOError());
+  EXPECT_TRUE(corrupt.IsCorruption());
 }
 
 TEST(StatusTest, CategoriesAreDisjoint) {
@@ -43,6 +55,7 @@ TEST(StatusTest, CategoriesAreDisjoint) {
   EXPECT_FALSE(s.IsNotImplemented());
   EXPECT_FALSE(s.IsInternal());
   EXPECT_FALSE(s.IsNotFound());
+  EXPECT_FALSE(s.IsIOError());
 }
 
 TEST(StatusTest, CopyPreservesState) {
@@ -70,6 +83,7 @@ TEST(StatusTest, StatusCodeToStringCoversAll) {
             "Not implemented");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
   EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "I/O error");
 }
 
 Status FailingOperation() { return Status::OutOfRange("position 9"); }
