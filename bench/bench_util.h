@@ -43,12 +43,12 @@ inline Flags ParseFlags(int argc, char** argv) {
       }
       return nullptr;
     };
-    if (const char* v = value("--scale")) {
-      flags.scale = static_cast<size_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--rows")) {
-      flags.rows = static_cast<size_t>(std::strtoull(v, nullptr, 10));
-    } else if (const char* v = value("--runs")) {
-      flags.runs = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    if (const char* scale = value("--scale")) {
+      flags.scale = static_cast<size_t>(std::strtoull(scale, nullptr, 10));
+    } else if (const char* rows = value("--rows")) {
+      flags.rows = static_cast<size_t>(std::strtoull(rows, nullptr, 10));
+    } else if (const char* runs = value("--runs")) {
+      flags.runs = static_cast<size_t>(std::strtoull(runs, nullptr, 10));
     } else if (std::strcmp(argv[i], "--json") == 0) {
       flags.json = true;
     }

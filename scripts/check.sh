@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot local static analysis: mirrors the CI static-analysis job.
+#
+#   scripts/check.sh [build-dir]
+#
+# Runs, in order, skipping what the host toolchain lacks:
+#   1. the repo-invariant linter (scripts/corra_lint.py) + its self-test
+#   2. a clang build with -Wthread-safety -Werror (when clang is found)
+#   3. clang-tidy over the compilation database (when found)
+#
+# Exits non-zero on the first failure.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build-check}"
+
+echo "== corra_lint =="
+python3 "$ROOT/scripts/lint_test.py"
+python3 "$ROOT/scripts/corra_lint.py"
+
+if command -v clang++ >/dev/null 2>&1; then
+  echo "== clang -Wthread-safety build =="
+  cmake -B "$BUILD" -S "$ROOT" \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++ \
+    -DCORRA_WERROR=ON >/dev/null
+  cmake --build "$BUILD" -j "$(nproc)"
+else
+  echo "== clang not found; skipping thread-safety build =="
+fi
+
+if command -v clang-tidy >/dev/null 2>&1 && [ -f "$BUILD/compile_commands.json" ]; then
+  echo "== clang-tidy =="
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p "$BUILD" -quiet "$ROOT/src/.*"
+  else
+    # Fallback: tidy every library source serially.
+    find "$ROOT/src" -name '*.cc' -print0 |
+      xargs -0 -n 1 -P "$(nproc)" clang-tidy -p "$BUILD" --quiet
+  fi
+else
+  echo "== clang-tidy not found; skipping =="
+fi
+
+echo "check.sh: all available checks passed"

@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter for Corra.
+
+Enforces invariants that the compilers cannot (or that only hold under
+special build configurations the default build skips):
+
+  no-dynamic-cast   dynamic_cast is banned in src/ — hot paths dispatch
+                    on scheme() and the no-rtti CI build must keep
+                    linking. The gcc/clang default builds compile
+                    dynamic_cast fine, so only this lint (and the
+                    no-rtti job) catch a reintroduction early.
+  no-raw-io         raw POSIX I/O calls (::open, ::pread, ::close, ...)
+                    and C stdio file opens are confined to
+                    src/storage/file_io.cc, the single choke point the
+                    failpoint fault-injection sites instrument. An I/O
+                    call added anywhere else silently escapes the chaos
+                    suite.
+  no-bare-mutex     std::mutex / std::lock_guard / std::condition_variable
+                    and friends are banned in src/ outside
+                    src/common/mutex.h: code must use corra::Mutex /
+                    MutexLock / CondVar so Clang Thread Safety Analysis
+                    sees every lock.
+  status-discard    a statement consisting solely of an expression
+                    ending in .status(); discards the error it asked
+                    for — either propagate it or branch on it.
+
+Per-line opt-out, for the rare deliberate exception (justify it in an
+adjacent comment):
+
+    some_code();  // corra-lint: allow(no-raw-io)
+
+Usage: corra_lint.py [file-or-dir ...]
+With no arguments, lints <repo-root>/src. Exits 0 when clean, 1 with
+"path:line: [rule] message" findings on stdout otherwise.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Raw I/O calls must go through src/storage/file_io.cc so fault
+# injection and retry accounting see them.
+RAW_IO_ALLOWED = {os.path.join("src", "storage", "file_io.cc")}
+
+RAW_IO_RE = re.compile(
+    r"::(open|openat|creat|pread|pwrite|read|write|close|fsync"
+    r"|fdatasync|lseek|fstat|stat|unlink|ftruncate)\s*\("
+    r"|std::(fopen|freopen)\s*\("
+    r"|[^:\w](fopen|freopen)\s*\("
+)
+
+BARE_MUTEX_RE = re.compile(
+    r"std::(recursive_mutex|timed_mutex|recursive_timed_mutex"
+    r"|shared_timed_mutex|shared_mutex|mutex"
+    r"|lock_guard|unique_lock|scoped_lock|shared_lock"
+    r"|condition_variable_any|condition_variable)\b"
+)
+MUTEX_ALLOWED = {os.path.join("src", "common", "mutex.h")}
+
+DYNAMIC_CAST_RE = re.compile(r"\bdynamic_cast\s*<")
+
+# A statement that is exactly "<expr>.status();" (optionally wrapped in
+# (void)) — the Status was computed and dropped on the floor. Returning
+# it ("return x.status();") propagates it and is fine.
+STATUS_DISCARD_RE = re.compile(
+    r"^\s*(\(void\)\s*)?[\w\(][\w\.\->\(\)\[\]:, ]*\.status\(\)\s*;\s*$"
+)
+RETURN_RE = re.compile(r"^\s*(co_)?return\b")
+
+ALLOW_RE = re.compile(r"corra-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string literals, and char literals while
+    preserving the line structure, so line numbers in findings match the
+    file. Returns (stripped_lines, raw_lines)."""
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            # Char literal: require something that actually opens one
+            # (not a digit separator like 1'000'000).
+            if c == "'" and not (i > 0 and text[i - 1].isalnum()):
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(" " if c != "\n" else c)
+            i += 1
+    stripped = "".join(out)
+    return stripped.split("\n"), text.split("\n")
+
+
+def lint_file(path, rel=None):
+    """Lints one file; returns a list of (rel, line_no, rule, message)."""
+    if rel is None:
+        rel = os.path.relpath(path, REPO_ROOT)
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    stripped_lines, raw_lines = strip_comments_and_strings(text)
+    findings = []
+    for idx, line in enumerate(stripped_lines):
+        raw = raw_lines[idx] if idx < len(raw_lines) else ""
+        allowed = set(ALLOW_RE.findall(raw))
+        no = idx + 1
+
+        def report(rule, message):
+            if rule not in allowed:
+                findings.append((rel, no, rule, message))
+
+        if DYNAMIC_CAST_RE.search(line):
+            report("no-dynamic-cast",
+                   "dynamic_cast is banned (breaks the no-rtti build; "
+                   "dispatch on scheme() instead)")
+        if RAW_IO_RE.search(line) and rel not in RAW_IO_ALLOWED:
+            report("no-raw-io",
+                   "raw I/O call outside src/storage/file_io.cc "
+                   "(bypasses fault injection and retry accounting)")
+        if BARE_MUTEX_RE.search(line) and rel not in MUTEX_ALLOWED:
+            report("no-bare-mutex",
+                   "bare std synchronization primitive; use corra::Mutex"
+                   "/MutexLock/CondVar (common/mutex.h) so thread safety "
+                   "analysis sees the lock")
+        if STATUS_DISCARD_RE.match(line) and not RETURN_RE.match(line):
+            report("status-discard",
+                   "statement computes a Status and discards it; "
+                   "propagate or branch on it")
+    return findings
+
+
+def collect_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith((".h", ".cc", ".cpp")):
+                        files.append(os.path.join(root, name))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv):
+    targets = argv[1:] or [os.path.join(REPO_ROOT, "src")]
+    findings = []
+    for path in collect_files(targets):
+        findings.extend(lint_file(path))
+    for rel, line_no, rule, message in findings:
+        print(f"{rel}:{line_no}: [{rule}] {message}")
+    if findings:
+        print(f"corra_lint: {len(findings)} finding(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,14 @@
+// Lint self-test fixture: every finding in here is intentional.
+// Not part of any build (outside the CMake source globs).
+
+struct Base {
+  virtual ~Base() = default;
+};
+struct Derived : Base {};
+
+// A comment mentioning dynamic_cast must NOT fire the lint.
+const char* kDoc = "dynamic_cast in a string must not fire either";
+
+Derived* Bad(Base* base) {
+  return dynamic_cast<Derived*>(base);  // expect: no-dynamic-cast
+}

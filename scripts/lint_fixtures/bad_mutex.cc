@@ -1,0 +1,17 @@
+// Lint self-test fixture: every finding in here is intentional.
+// Not part of any build (outside the CMake source globs).
+
+#include <condition_variable>
+#include <mutex>
+
+// std::mutex in this comment must not fire the lint.
+
+struct BadQueue {
+  std::mutex mu;               // expect: no-bare-mutex
+  std::condition_variable cv;  // expect: no-bare-mutex
+
+  void Touch() {
+    std::lock_guard<std::mutex> lock(mu);  // expect: no-bare-mutex
+    cv.notify_one();
+  }
+};

@@ -1,0 +1,24 @@
+// Lint self-test fixture: every finding in here is intentional.
+// Not part of any build (outside the CMake source globs).
+
+#include <cstdio>
+#include <fcntl.h>
+#include <unistd.h>
+
+// "::pread in a comment" must not fire; neither must this line.
+
+long BadRead(int fd, char* buf, unsigned long n, long off) {
+  return ::pread(fd, buf, n, off);  // expect: no-raw-io
+}
+
+int BadOpen(const char* path) {
+  return ::open(path, O_RDONLY);  // expect: no-raw-io
+}
+
+void* BadFopen(const char* path) {
+  return std::fopen(path, "rb");  // expect: no-raw-io
+}
+
+long AllowedRead(int fd, char* buf, unsigned long n, long off) {
+  return ::pread(fd, buf, n, off);  // corra-lint: allow(no-raw-io)
+}

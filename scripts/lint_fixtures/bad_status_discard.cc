@@ -1,0 +1,25 @@
+// Lint self-test fixture: every finding in here is intentional.
+// Not part of any build (outside the CMake source globs).
+
+struct Status {
+  bool ok() const { return true; }
+};
+
+struct Result {
+  Status status() const { return {}; }
+};
+
+Result Load();
+
+void Bad() {
+  Load().status();         // expect: status-discard
+  (void)Load().status();   // expect: status-discard
+}
+
+Status Good() {
+  Status status = Load().status();  // Binding it is fine.
+  if (!Load().status().ok()) {      // Branching on it is fine.
+    return status;
+  }
+  return status;
+}

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Self-test for scripts/corra_lint.py.
+
+Two halves:
+  1. The seeded fixtures in scripts/lint_fixtures/ must produce exactly
+     the findings their "// expect: <rule>" markers declare — same rule,
+     same line — proving each rule fires and that comments, strings, and
+     the allow() opt-out suppress correctly.
+  2. The real tree (src/) must lint clean, so the lint stays an
+     invariant and not an aspiration.
+
+Runs under ctest (corra_lint_selftest) and the static-analysis CI job.
+"""
+
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import corra_lint  # noqa: E402
+
+FIXTURE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "lint_fixtures")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+)")
+
+
+def expected_findings(path):
+    """(line_no, rule) pairs declared by the fixture's expect markers."""
+    expected = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for no, line in enumerate(f, start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                expected.add((no, m.group(1)))
+    return expected
+
+
+def main():
+    failures = []
+
+    # Half 1: fixtures fire exactly as declared.
+    fixture_count = 0
+    for name in sorted(os.listdir(FIXTURE_DIR)):
+        if not name.endswith((".h", ".cc", ".cpp")):
+            continue
+        fixture_count += 1
+        path = os.path.join(FIXTURE_DIR, name)
+        expected = expected_findings(path)
+        actual = {(line_no, rule)
+                  for _rel, line_no, rule, _msg in corra_lint.lint_file(path)}
+        for missing in sorted(expected - actual):
+            failures.append(f"{name}:{missing[0]}: expected [{missing[1]}] "
+                            "to fire, it did not")
+        for extra in sorted(actual - expected):
+            failures.append(f"{name}:{extra[0]}: unexpected [{extra[1]}] "
+                            "finding")
+    if fixture_count == 0:
+        failures.append("no fixtures found in scripts/lint_fixtures/")
+
+    # Half 2: the real tree is clean.
+    src = os.path.join(corra_lint.REPO_ROOT, "src")
+    tree_findings = []
+    for path in corra_lint.collect_files([src]):
+        tree_findings.extend(corra_lint.lint_file(path))
+    for rel, line_no, rule, _msg in tree_findings:
+        failures.append(f"tree not clean: {rel}:{line_no}: [{rule}]")
+
+    if failures:
+        for failure in failures:
+            print(failure)
+        print(f"lint_test: FAILED ({len(failures)} problem(s))")
+        return 1
+    print(f"lint_test: OK ({fixture_count} fixtures, clean tree)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,8 +2,8 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
 #include "common/random.h"
 
 namespace corra::fail {
@@ -40,9 +40,9 @@ struct Site {
 };
 
 struct Table {
-  std::mutex mu;
+  Mutex mu;
   // less<> so string_view lookups don't allocate.
-  std::map<std::string, Site, std::less<>> sites;
+  std::map<std::string, Site, std::less<>> sites CORRA_GUARDED_BY(mu);
 };
 
 Table& GetTable() {
@@ -114,8 +114,9 @@ Status ParseSpec(std::string_view spec, std::string_view name,
   return bad("unknown mode (want off|prob|every|times)");
 }
 
-// Parses "site=spec;site=spec" pairs into the table. Caller holds mu.
-Status ConfigureLocked(Table& table, std::string_view config) {
+// Parses "site=spec;site=spec" pairs into the table.
+Status ConfigureLocked(Table& table, std::string_view config)
+    CORRA_REQUIRES(table.mu) {
   while (!config.empty()) {
     const size_t semi = config.find(';');
     const std::string_view pair = config.substr(0, semi);
@@ -139,9 +140,9 @@ Status ConfigureLocked(Table& table, std::string_view config) {
   return Status::OK();
 }
 
-// First-use env parse. Caller holds mu. Idempotent: after this,
-// g_armed is >= 0 and reflects the table size.
-void InitFromEnvLocked(Table& table) {
+// First-use env parse. Idempotent: after this, g_armed is >= 0 and
+// reflects the table size.
+void InitFromEnvLocked(Table& table) CORRA_REQUIRES(table.mu) {
   if (internal::g_armed.load(std::memory_order_relaxed) >= 0) {
     return;
   }
@@ -162,7 +163,7 @@ std::atomic<int> g_armed{-1};
 
 bool EvaluateSlow(const char* site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   InitFromEnvLocked(table);
   auto it = table.sites.find(std::string_view(site));
   if (it == table.sites.end()) {
@@ -197,7 +198,7 @@ Status Configure(std::string_view site, std::string_view spec) {
   Site parsed;
   CORRA_RETURN_NOT_OK(ParseSpec(spec, site, &parsed));
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   InitFromEnvLocked(table);
   table.sites.insert_or_assign(std::string(site), std::move(parsed));
   internal::g_armed.store(static_cast<int>(table.sites.size()),
@@ -207,7 +208,7 @@ Status Configure(std::string_view site, std::string_view spec) {
 
 Status ConfigureFromString(std::string_view config) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   InitFromEnvLocked(table);
   const Status status = ConfigureLocked(table, config);
   internal::g_armed.store(static_cast<int>(table.sites.size()),
@@ -217,7 +218,7 @@ Status ConfigureFromString(std::string_view config) {
 
 void Clear(std::string_view site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   InitFromEnvLocked(table);
   auto it = table.sites.find(site);
   if (it != table.sites.end()) {
@@ -229,7 +230,7 @@ void Clear(std::string_view site) {
 
 void ClearAll() {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   table.sites.clear();
   // Also swallows any pending env config: ClearAll means "no sites".
   internal::g_armed.store(0, std::memory_order_relaxed);
@@ -237,14 +238,14 @@ void ClearAll() {
 
 uint64_t Evaluations(std::string_view site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   return it == table.sites.end() ? 0 : it->second.evaluations;
 }
 
 uint64_t Fires(std::string_view site) {
   Table& table = GetTable();
-  std::lock_guard<std::mutex> lock(table.mu);
+  MutexLock lock(table.mu);
   auto it = table.sites.find(site);
   return it == table.sites.end() ? 0 : it->second.fires;
 }

@@ -68,7 +68,7 @@ bool EvaluateSlow(const char* site);
 /// fires this evaluation. Production code calls this through
 /// CORRA_FAILPOINT so the whole expression disappears when the
 /// framework is compiled out.
-inline bool Triggered(const char* site) {
+[[nodiscard]] inline bool Triggered(const char* site) {
 #ifdef CORRA_FAILPOINTS_OFF
   (void)site;
   return false;
@@ -95,8 +95,8 @@ void ClearAll();
 
 /// Times the site was evaluated / fired since it was (re)configured.
 /// 0 for unknown sites.
-uint64_t Evaluations(std::string_view site);
-uint64_t Fires(std::string_view site);
+[[nodiscard]] uint64_t Evaluations(std::string_view site);
+[[nodiscard]] uint64_t Fires(std::string_view site);
 
 /// RAII arming for tests: configures on construction, clears the site
 /// on destruction. A malformed spec is surfaced via status().
@@ -108,7 +108,7 @@ class ScopedFailpoint {
   ScopedFailpoint(const ScopedFailpoint&) = delete;
   ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
 
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
 
  private:
   std::string site_;

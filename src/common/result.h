@@ -46,10 +46,10 @@ class [[nodiscard]] Result {
   Result(Result&&) noexcept = default;
   Result& operator=(Result&&) noexcept = default;
 
-  bool ok() const { return std::holds_alternative<T>(data_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
 
   /// The error (or OK if this result holds a value).
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) {
       return Status::OK();
     }
@@ -57,19 +57,19 @@ class [[nodiscard]] Result {
   }
 
   /// The contained value; aborts if this result holds an error.
-  const T& value() const& {
+  [[nodiscard]] const T& value() const& {
     if (!ok()) {
       internal::DieOnBadResult(std::get<Status>(data_));
     }
     return std::get<T>(data_);
   }
-  T& value() & {
+  [[nodiscard]] T& value() & {
     if (!ok()) {
       internal::DieOnBadResult(std::get<Status>(data_));
     }
     return std::get<T>(data_);
   }
-  T&& value() && {
+  [[nodiscard]] T&& value() && {
     if (!ok()) {
       internal::DieOnBadResult(std::get<Status>(data_));
     }
@@ -82,7 +82,7 @@ class [[nodiscard]] Result {
   T* operator->() { return &value(); }
 
   /// Returns the value, or `fallback` when errored.
-  T ValueOr(T fallback) const& {
+  [[nodiscard]] T ValueOr(T fallback) const& {
     return ok() ? std::get<T>(data_) : std::move(fallback);
   }
 

@@ -95,33 +95,45 @@ class [[nodiscard]] Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return state_ == nullptr; }
-  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
-  const std::string& message() const {
+  [[nodiscard]] bool ok() const { return state_ == nullptr; }
+  [[nodiscard]] StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  [[nodiscard]] const std::string& message() const {
     static const std::string kEmpty;
     return state_ ? state_->message : kEmpty;
   }
 
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code() == StatusCode::kInvalidArgument;
   }
-  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
-  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
-  bool IsNotImplemented() const {
+  [[nodiscard]] bool IsOutOfRange() const {
+    return code() == StatusCode::kOutOfRange;
+  }
+  [[nodiscard]] bool IsCorruption() const {
+    return code() == StatusCode::kCorruption;
+  }
+  [[nodiscard]] bool IsNotImplemented() const {
     return code() == StatusCode::kNotImplemented;
   }
-  bool IsInternal() const { return code() == StatusCode::kInternal; }
-  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
-  bool IsResourceExhausted() const {
+  [[nodiscard]] bool IsInternal() const {
+    return code() == StatusCode::kInternal;
+  }
+  [[nodiscard]] bool IsNotFound() const {
+    return code() == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
-  bool IsDeadlineExceeded() const {
+  [[nodiscard]] bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
-  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  [[nodiscard]] bool IsIOError() const {
+    return code() == StatusCode::kIOError;
+  }
 
   /// "OK" or "<category>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
  private:
   struct State {

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis attributes, CORRA_-prefixed.
+//
+// These macros turn the repo's locking disciplines — which previously
+// lived in comments like "Caller holds shard.mu" — into contracts the
+// compiler checks on every Clang build (-Wthread-safety, promoted to an
+// error in the static-analysis CI job):
+//
+//   * CORRA_GUARDED_BY(mu)   on a field: reads and writes require mu.
+//   * CORRA_REQUIRES(mu)     on a function: callers must hold mu.
+//   * CORRA_ACQUIRE/RELEASE  on lock/unlock-shaped functions.
+//   * CORRA_EXCLUDES(mu)     on a function: callers must NOT hold mu
+//                            (self-deadlock documentation).
+//
+// Under GCC (or any compiler without the attributes) every macro
+// expands to nothing, so annotated code compiles identically everywhere
+// and the wrappers in common/mutex.h stay zero-overhead.
+//
+// CORRA_NO_THREAD_SAFETY_ANALYSIS is the audited escape hatch for the
+// few shapes the analysis cannot follow (e.g. BlockCache::GetStats
+// taking a dynamic number of shard locks at once). Every use must carry
+// a why-comment; scripts/corra_lint.py keeps new bare std::mutex uses
+// out of src/ so coverage cannot silently erode.
+
+#ifndef CORRA_COMMON_THREAD_ANNOTATIONS_H_
+#define CORRA_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define CORRA_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define CORRA_THREAD_ANNOTATION_(x)  // No-op outside Clang.
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CORRA_CAPABILITY(x) CORRA_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor
+/// releases a capability.
+#define CORRA_SCOPED_CAPABILITY CORRA_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Field may only be touched while holding the given mutex.
+#define CORRA_GUARDED_BY(x) CORRA_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the given mutex.
+#define CORRA_PT_GUARDED_BY(x) CORRA_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities held on entry (and still
+/// held on exit).
+#define CORRA_REQUIRES(...) \
+  CORRA_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit).
+#define CORRA_ACQUIRE(...) \
+  CORRA_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define CORRA_RELEASE(...) \
+  CORRA_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define CORRA_TRY_ACQUIRE(...) \
+  CORRA_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (the function acquires
+/// them itself; holding one on entry would self-deadlock).
+#define CORRA_EXCLUDES(...) \
+  CORRA_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis, not at runtime) that the capability is
+/// held — for code reached only while locked in ways the analysis
+/// cannot prove.
+#define CORRA_ASSERT_CAPABILITY(x) \
+  CORRA_THREAD_ANNOTATION_(assert_capability(x))
+
+/// Function returns a reference to the given capability.
+#define CORRA_RETURN_CAPABILITY(x) CORRA_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Audited opt-out: the function's locking is correct but beyond the
+/// analysis (dynamic lock sets, lock handoff). Every use carries a
+/// why-comment.
+#define CORRA_NO_THREAD_SAFETY_ANALYSIS \
+  CORRA_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // CORRA_COMMON_THREAD_ANNOTATIONS_H_

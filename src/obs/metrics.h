@@ -45,11 +45,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace corra::obs {
 
@@ -200,7 +201,7 @@ class Histogram {
   /// Bins `value`, relaxed, on the calling thread's shard.
   void Record(uint64_t value);
 
-  HistogramSnapshot Snapshot() const;
+  [[nodiscard]] HistogramSnapshot Snapshot() const;
   void Reset();
 
   std::span<const uint64_t> bounds() const { return bounds_; }
@@ -224,12 +225,12 @@ struct RegistrySnapshot {
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name:
   /// {count, sum, mean, max, p50, p90, p99, p999}}} — sorted by name.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 
   /// Prometheus text exposition: corra_<name> with dots flattened to
   /// underscores; histograms emit cumulative _bucket{le=...}, _sum,
   /// _count series.
-  std::string ToPrometheus() const;
+  [[nodiscard]] std::string ToPrometheus() const;
 };
 
 class Registry {
@@ -251,18 +252,26 @@ class Registry {
   Histogram& histogram(std::string_view name,
                        std::span<const uint64_t> bounds = {});
 
-  RegistrySnapshot Snapshot() const;
-  std::string ToJson() const { return Snapshot().ToJson(); }
-  std::string ToPrometheus() const { return Snapshot().ToPrometheus(); }
+  [[nodiscard]] RegistrySnapshot Snapshot() const;
+  [[nodiscard]] std::string ToJson() const { return Snapshot().ToJson(); }
+  [[nodiscard]] std::string ToPrometheus() const {
+    return Snapshot().ToPrometheus();
+  }
 
   /// Zeroes every metric; registrations (and cached references) survive.
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // mu_ guards the registration maps only; the metric objects behind
+  // them are internally synchronized (lock-free atomics) and their
+  // references outlive any lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      CORRA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      CORRA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      CORRA_GUARDED_BY(mu_);
 };
 
 }  // namespace corra::obs

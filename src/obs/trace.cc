@@ -71,7 +71,7 @@ TraceRing::TraceRing(size_t capacity)
     : capacity_(std::max<size_t>(capacity, 1)) {}
 
 void TraceRing::Push(RequestTrace trace) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(trace));
   } else {
@@ -81,7 +81,7 @@ void TraceRing::Push(RequestTrace trace) {
 }
 
 std::vector<RequestTrace> TraceRing::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RequestTrace> out;
   out.reserve(ring_.size());
   // Oldest-first: once the ring has wrapped, the slot at pushed_ %
@@ -96,7 +96,7 @@ std::vector<RequestTrace> TraceRing::Drain() {
 }
 
 std::vector<RequestTrace> TraceRing::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<RequestTrace> out;
   out.reserve(ring_.size());
   const size_t count = ring_.size();
@@ -108,7 +108,7 @@ std::vector<RequestTrace> TraceRing::Snapshot() const {
 }
 
 uint64_t TraceRing::pushed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pushed_;
 }
 

@@ -27,10 +27,11 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace corra::obs {
 
@@ -116,20 +117,21 @@ class TraceRing {
   void Push(RequestTrace trace);
 
   /// Retained traces, oldest first; leaves the ring empty.
-  std::vector<RequestTrace> Drain();
+  [[nodiscard]] std::vector<RequestTrace> Drain();
 
   /// Copy of the retained traces, oldest first.
-  std::vector<RequestTrace> Snapshot() const;
+  [[nodiscard]] std::vector<RequestTrace> Snapshot() const;
 
   size_t capacity() const { return capacity_; }
   /// Total traces ever pushed (including ones already overwritten).
   uint64_t pushed() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   const size_t capacity_;
-  uint64_t pushed_ = 0;
-  std::vector<RequestTrace> ring_;  // ring_[i] slot reused circularly.
+  uint64_t pushed_ CORRA_GUARDED_BY(mu_) = 0;
+  // ring_[i] slot reused circularly.
+  std::vector<RequestTrace> ring_ CORRA_GUARDED_BY(mu_);
 };
 
 }  // namespace corra::obs

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/trace.h"
 
 namespace corra::serve {
@@ -50,26 +49,34 @@ struct BlockCache::State {
     uint64_t expire_ns = 0;
   };
 
+  // Entry objects themselves carry no annotations: an Entry is only
+  // reachable through its shard's guarded containers, so every access
+  // already runs under that shard's mu (raw Entry* copies never escape
+  // a locked region).
   struct Shard {
-    mutable std::mutex mu;
-    std::condition_variable cv;  // Signals load completions.
+    mutable Mutex mu;
+    CondVar cv;  // Signals load completions.
     std::unordered_map<BlockKey, std::unique_ptr<Entry>, BlockKeyHash>
-        entries;
-    std::list<Entry*> lru;  // Front = most recently used, unpinned only.
+        entries CORRA_GUARDED_BY(mu);
+    // Front = most recently used, unpinned only.
+    std::list<Entry*> lru CORRA_GUARDED_BY(mu);
     // Negative cache of persistently failing blocks; bounded by the
     // cache-wide quarantine_capacity split across shards. The FIFO
     // holds insertion order so the oldest entry is dropped first when
     // the shard's share of the bound is exceeded.
-    std::unordered_map<BlockKey, Quarantined, BlockKeyHash> quarantine;
-    std::deque<BlockKey> quarantine_fifo;
-    size_t bytes = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t failed_loads = 0;
-    uint64_t erased = 0;  // EraseFile removals (incl. doomed unpins).
-    uint64_t load_waits = 0;  // Hits that waited out an in-flight load.
-    uint64_t quarantine_fastfails = 0;
+    std::unordered_map<BlockKey, Quarantined, BlockKeyHash> quarantine
+        CORRA_GUARDED_BY(mu);
+    std::deque<BlockKey> quarantine_fifo CORRA_GUARDED_BY(mu);
+    size_t bytes CORRA_GUARDED_BY(mu) = 0;
+    uint64_t hits CORRA_GUARDED_BY(mu) = 0;
+    uint64_t misses CORRA_GUARDED_BY(mu) = 0;
+    uint64_t evictions CORRA_GUARDED_BY(mu) = 0;
+    uint64_t failed_loads CORRA_GUARDED_BY(mu) = 0;
+    // EraseFile removals (incl. doomed unpins).
+    uint64_t erased CORRA_GUARDED_BY(mu) = 0;
+    // Hits that waited out an in-flight load.
+    uint64_t load_waits CORRA_GUARDED_BY(mu) = 0;
+    uint64_t quarantine_fastfails CORRA_GUARDED_BY(mu) = 0;
   };
 
   // Cached registry series; resolved once at construction so cache
@@ -124,7 +131,9 @@ struct BlockCache::State {
   // no lock cycle. Only contended when the cache is actually over
   // budget: EvictOverflow pre-checks the atomics lock-free and takes
   // this mutex (re-checking under it) only on an observed overshoot.
-  std::mutex evict_mu;
+  // No fields are guarded by it — it serializes the check-and-evict
+  // sequence, not any particular datum.
+  Mutex evict_mu;
   std::vector<std::unique_ptr<Shard>> shards;
   std::atomic<uint64_t> next_file_id{1};
 
@@ -136,8 +145,8 @@ struct BlockCache::State {
   }
 
   // Evicts this shard's LRU-tail entries while the cache exceeds its
-  // global budget. Caller holds shard.mu.
-  void EvictOverflow(Shard& shard) {
+  // global budget.
+  void EvictOverflow(Shard& shard) CORRA_REQUIRES(shard.mu) {
     const auto over = [&] {
       if (options.capacity_blocks > 0 &&
           total_blocks.load(std::memory_order_relaxed) >
@@ -160,7 +169,7 @@ struct BlockCache::State {
     }
     // Check-and-evict must be atomic across shards once over budget:
     // see evict_mu. The over() re-check below runs under the lock.
-    std::lock_guard<std::mutex> evict_lock(evict_mu);
+    MutexLock evict_lock(evict_mu);
     // Only unpinned, fully loaded entries sit in the LRU list; pinned
     // entries (and residents of other shards) can carry the cache over
     // budget until their pins drop or their shard sees traffic.
@@ -182,8 +191,9 @@ struct BlockCache::State {
     }
   }
 
-  // Quarantine bookkeeping. Callers hold shard.mu.
-  void RemoveQuarantineLocked(Shard& shard, const BlockKey& key) {
+  // Quarantine bookkeeping.
+  void RemoveQuarantineLocked(Shard& shard, const BlockKey& key)
+      CORRA_REQUIRES(shard.mu) {
     auto it = shard.quarantine.find(key);
     if (it == shard.quarantine.end()) {
       return;
@@ -198,7 +208,8 @@ struct BlockCache::State {
   }
 
   void InsertQuarantineLocked(Shard& shard, const BlockKey& key,
-                              const Status& status) {
+                              const Status& status)
+      CORRA_REQUIRES(shard.mu) {
     const uint64_t expire_ns =
         obs::MonotonicNs() + options.quarantine_ttl_ms * 1'000'000ull;
     auto it = shard.quarantine.find(key);
@@ -222,7 +233,7 @@ struct BlockCache::State {
   // Removes the pin added by a Handle; re-files the entry in the LRU.
   void Unpin(const BlockKey& key) {
     Shard& shard = ShardFor(key);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.entries.find(key);
     if (it == shard.entries.end()) {
       return;  // Entry was erased (EraseFile) while pinned.
@@ -258,6 +269,14 @@ struct BlockCache::State {
   // short-lived caches (benches, tests) don't drift the gauges upward.
   ~State() {
     for (const auto& shard_ptr : shards) {
+      // The last co-owner (cache or outstanding Handle) runs this, so
+      // by shared_ptr ordering no *other* thread still touches the
+      // shards — but a Handle released on another thread moments ago
+      // may not have published its Unpin writes to this one. Locking
+      // each shard both satisfies the guarded-field contract and
+      // provides the release/acquire edge that makes the final gauge
+      // accounting read those writes.
+      MutexLock lock(shard_ptr->mu);
       for (const auto& [key, entry] : shard_ptr->entries) {
         if (entry->loading) {
           continue;
@@ -347,7 +366,7 @@ size_t BlockCache::num_shards() const { return state_->shards.size(); }
 Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
                                                  const Loader& loader) {
   State::Shard& shard = state_->ShardFor(key);
-  std::unique_lock<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   bool waited = false;  // Blocked on another caller's in-flight load.
   for (;;) {
     auto it = shard.entries.find(key);
@@ -379,7 +398,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     // Another caller is loading this block; wait for it to finish, then
     // re-check (the entry may be gone if the load failed).
     waited = true;
-    shard.cv.wait(lock);
+    shard.cv.Wait(shard.mu);
   }
 
   // Quarantine check before becoming the loader: a block that failed
@@ -405,11 +424,11 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
   shard.entries.emplace(key, std::move(placeholder));
   ++shard.misses;
   state_->metrics->misses->Increment();
-  lock.unlock();
+  lock.Unlock();
 
   Result<std::shared_ptr<const Block>> loaded = loader();
 
-  lock.lock();
+  lock.Lock();
   if (!loaded.ok() || loaded.value() == nullptr) {
     ++shard.failed_loads;
     state_->metrics->failed_loads->Increment();
@@ -423,7 +442,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
     if (state_->quarantine_per_shard > 0 && QuarantineEligible(failure)) {
       state_->InsertQuarantineLocked(shard, key, failure);
     }
-    shard.cv.notify_all();
+    shard.cv.NotifyAll();
     return failure;
   }
   entry->block = std::move(loaded).value();
@@ -437,7 +456,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
   state_->metrics->cached_bytes->Add(static_cast<int64_t>(entry->bytes));
   state_->metrics->pinned_blocks->Add(1);
   state_->metrics->pinned_bytes->Add(static_cast<int64_t>(entry->bytes));
-  shard.cv.notify_all();
+  shard.cv.NotifyAll();
   state_->EvictOverflow(shard);
   return Handle(state_, key, entry->block);
 }
@@ -445,7 +464,7 @@ Result<BlockCache::Handle> BlockCache::GetOrLoad(const BlockKey& key,
 bool BlockCache::Contains(const BlockKey& key) const {
   const State::Shard& shard =
       static_cast<const State&>(*state_).ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.entries.find(key);
   return it != shard.entries.end() && !it->second->loading;
 }
@@ -453,7 +472,7 @@ bool BlockCache::Contains(const BlockKey& key) const {
 void BlockCache::EraseFile(uint64_t file_id) {
   for (auto& shard_ptr : state_->shards) {
     State::Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto qit = shard.quarantine.begin();
          qit != shard.quarantine.end();) {
       if (qit->first.file_id == file_id) {
@@ -500,7 +519,7 @@ void BlockCache::EraseFile(uint64_t file_id) {
 void BlockCache::ClearQuarantine() {
   for (auto& shard_ptr : state_->shards) {
     State::Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     state_->metrics->quarantined_blocks->Sub(
         static_cast<int64_t>(shard.quarantine.size()));
     shard.quarantine.clear();
@@ -508,7 +527,13 @@ void BlockCache::ClearQuarantine() {
   }
 }
 
-BlockCacheStats BlockCache::GetStats() const {
+// Thread-safety analysis is off here by design: the function locks a
+// *dynamic* set of mutexes (one per shard, discovered at runtime),
+// which the static analysis cannot model — there is no per-shard
+// capability expression to name at compile time. The locking protocol
+// is reviewed by hand instead and documented below.
+BlockCacheStats BlockCache::GetStats() const
+    CORRA_NO_THREAD_SAFETY_ANALYSIS {
   // Coherent snapshot: every shard lock is held for the whole
   // aggregation, so no load can complete, no pin can drop, and no
   // eviction can run while counting — the ledger invariant documented
@@ -520,10 +545,8 @@ BlockCacheStats BlockCache::GetStats() const {
   // before B was — a reader could then see misses != evictions +
   // cached_blocks + loading_blocks even with the per-shard counters
   // individually exact.
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(state_->shards.size());
   for (const auto& shard_ptr : state_->shards) {
-    locks.emplace_back(shard_ptr->mu);
+    shard_ptr->mu.Lock();
   }
   BlockCacheStats stats;
   for (const auto& shard_ptr : state_->shards) {
@@ -547,6 +570,9 @@ BlockCacheStats BlockCache::GetStats() const {
         ++stats.pinned_blocks;
       }
     }
+  }
+  for (const auto& shard_ptr : state_->shards) {
+    shard_ptr->mu.Unlock();
   }
   return stats;
 }

@@ -130,7 +130,7 @@ struct BlockCacheStats {
   /// next request for the block).
   size_t quarantined = 0;
 
-  double HitRate() const {
+  [[nodiscard]] double HitRate() const {
     const uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) /
                                   static_cast<double>(total);
@@ -161,7 +161,9 @@ class BlockCache {
     explicit operator bool() const { return block_ != nullptr; }
     const Block& operator*() const { return *block_; }
     const Block* operator->() const { return block_.get(); }
-    const std::shared_ptr<const Block>& block() const { return block_; }
+    [[nodiscard]] const std::shared_ptr<const Block>& block() const {
+      return block_;
+    }
 
     /// Releases the pin early (idempotent).
     void Release();
@@ -183,7 +185,7 @@ class BlockCache {
   BlockCache& operator=(const BlockCache&) = delete;
 
   /// Returns a process-unique file id for keying a newly opened file.
-  uint64_t RegisterFile();
+  [[nodiscard]] uint64_t RegisterFile();
 
   /// Returns a pinned handle for `key`, running `loader` if (and only
   /// if) the block is not cached and no other caller is already loading
@@ -192,10 +194,11 @@ class BlockCache {
   /// the key (see BlockCacheOptions::quarantine_ttl_ms), so callers —
   /// including waiters woken from the failed single-flight load — fail
   /// fast with that same status until the TTL expires.
-  Result<Handle> GetOrLoad(const BlockKey& key, const Loader& loader);
+  [[nodiscard]] Result<Handle> GetOrLoad(const BlockKey& key,
+                                         const Loader& loader);
 
   /// True if `key` is resident (does not touch LRU order or stats).
-  bool Contains(const BlockKey& key) const;
+  [[nodiscard]] bool Contains(const BlockKey& key) const;
 
   /// Drops every unpinned entry of `file_id` (a closing reader's blocks
   /// stop occupying budget). Entries still pinned or mid-load are
@@ -214,11 +217,11 @@ class BlockCache {
   /// exactly even while concurrent loads, unpins, and evictions are in
   /// flight. Safe against the eviction path's lock order (no code path
   /// holds two shard locks, and GetStats acquires them in index order).
-  BlockCacheStats GetStats() const;
+  [[nodiscard]] BlockCacheStats GetStats() const;
 
-  size_t capacity_blocks() const;
-  size_t capacity_bytes() const;
-  size_t num_shards() const;
+  [[nodiscard]] size_t capacity_blocks() const;
+  [[nodiscard]] size_t capacity_bytes() const;
+  [[nodiscard]] size_t num_shards() const;
 
  private:
   // All mutable cache machinery (shards, budgets, counters) lives in

@@ -44,7 +44,7 @@ void FinishWithoutWork(Unit& unit, Status status, uint64_t now) {
 template <typename Unit>
 bool Coalescer::Submit(const Key& key, Unit unit,
                        std::vector<Unit> Batch::*member, bool is_scan) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::deque<Batch>& queue = pending_[key];
   if (enabled_ && !queue.empty()) {
     (queue.back().*member).push_back(std::move(unit));
@@ -71,7 +71,7 @@ bool Coalescer::SubmitScan(const TableReader& reader, size_t block,
 void Coalescer::RunBatch(const TableReader* reader, size_t block) {
   Batch batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = pending_.find(Key{reader, block});
     if (it == pending_.end() || it->second.empty()) {
       return;  // An earlier executor already served this batch's units.

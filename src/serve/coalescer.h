@@ -48,12 +48,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -150,11 +150,12 @@ class Coalescer {
 
   const bool enabled_;
   Counters counters_;
-  std::mutex mu_;
+  Mutex mu_;
   // Per key: pending batches oldest-first. With coalescing enabled the
   // deque never exceeds one batch (a new batch is only opened when the
   // deque is empty); disabled, every unit is its own batch.
-  std::unordered_map<Key, std::deque<Batch>, KeyHash> pending_;
+  std::unordered_map<Key, std::deque<Batch>, KeyHash> pending_
+      CORRA_GUARDED_BY(mu_);
 };
 
 }  // namespace corra::serve

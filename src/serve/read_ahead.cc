@@ -10,10 +10,10 @@ ReadAhead::ReadAhead(Counters counters) : counters_(counters) {
 
 ReadAhead::~ReadAhead() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   thread_.join();
 }
 
@@ -23,46 +23,52 @@ std::unique_ptr<ReadAhead::Session> ReadAhead::Start(
     const TableReader& reader, std::vector<size_t> blocks) {
   uint64_t id;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     id = next_session_++;
     for (size_t block : blocks) {
       jobs_.push_back(Job{id, &reader, block});
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return std::unique_ptr<Session>(new Session(this, id));
 }
 
 void ReadAhead::Cancel(uint64_t session_id) {
-  std::unique_lock<std::mutex> lock(mu_);
-  const size_t before = jobs_.size();
-  jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
-                             [session_id](const Job& job) {
-                               return job.session == session_id;
-                             }),
-              jobs_.end());
-  const size_t dropped = before - jobs_.size();
-  // The session's reader dies with the request: wait out an in-flight
-  // fetch so the prefetch thread never touches a dead reader. Bounded
-  // by a single block load.
-  cv_.wait(lock, [this, session_id] { return active_session_ != session_id; });
-  lock.unlock();
+  size_t dropped = 0;
+  {
+    MutexLock lock(mu_);
+    const size_t before = jobs_.size();
+    jobs_.erase(std::remove_if(jobs_.begin(), jobs_.end(),
+                               [session_id](const Job& job) {
+                                 return job.session == session_id;
+                               }),
+                jobs_.end());
+    dropped = before - jobs_.size();
+    // The session's reader dies with the request: wait out an in-flight
+    // fetch so the prefetch thread never touches a dead reader. Bounded
+    // by a single block load.
+    while (active_session_ == session_id) {
+      cv_.Wait(mu_);
+    }
+  }
   if (dropped > 0) {
     counters_.skipped->Add(dropped);
   }
 }
 
 void ReadAhead::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+    while (!stop_ && jobs_.empty()) {
+      cv_.Wait(mu_);
+    }
     if (stop_) {
       return;  // Sessions die before the service, so the queue is empty.
     }
     const Job job = jobs_.front();
     jobs_.pop_front();
     active_session_ = job.session;
-    lock.unlock();
+    lock.Unlock();
 
     const BlockKey key{job.reader->file_id(), job.block};
     if (job.reader->cache()->Contains(key)) {
@@ -75,9 +81,9 @@ void ReadAhead::Loop() {
       (void)handle;
     }
 
-    lock.lock();
+    lock.Lock();
     active_session_ = 0;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 

@@ -21,14 +21,13 @@
 #ifndef CORRA_SERVE_READ_AHEAD_H_
 #define CORRA_SERVE_READ_AHEAD_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "obs/metrics.h"
 #include "serve/table_reader.h"
 
@@ -79,13 +78,14 @@ class ReadAhead {
   void Cancel(uint64_t session_id);
 
   Counters counters_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Job> jobs_;
-  uint64_t active_session_ = 0;  // Session of the job being fetched.
-  uint64_t next_session_ = 1;
-  bool stop_ = false;
-  std::thread thread_;
+  Mutex mu_;
+  CondVar cv_;  // Signals new jobs, shutdown, and fetch completion.
+  std::deque<Job> jobs_ CORRA_GUARDED_BY(mu_);
+  // Session of the job being fetched.
+  uint64_t active_session_ CORRA_GUARDED_BY(mu_) = 0;
+  uint64_t next_session_ CORRA_GUARDED_BY(mu_) = 1;
+  bool stop_ CORRA_GUARDED_BY(mu_) = false;
+  std::thread thread_;  // Written by the ctor only.
 };
 
 }  // namespace corra::serve

@@ -32,19 +32,21 @@ struct BlockPartial {
 // every one of its units is done — possibly served by another request's
 // batch executor (see Coalescer).
 struct Completion {
-  std::mutex mu;
-  std::condition_variable cv;
-  size_t remaining;
+  Mutex mu;
+  CondVar cv;
+  size_t remaining CORRA_GUARDED_BY(mu);
   explicit Completion(size_t n) : remaining(n) {}
   void Done() {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (--remaining == 0) {
-      cv.notify_all();
+      cv.NotifyAll();
     }
   }
   void Wait() {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return remaining == 0; });
+    MutexLock lock(mu);
+    while (remaining != 0) {
+      cv.Wait(mu);
+    }
   }
 };
 
@@ -290,10 +292,10 @@ void ScanService::ReleaseSlot() {
 
 ScanService::~ScanService() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -303,8 +305,10 @@ void ScanService::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && tasks_.empty()) {
+        cv_.Wait(mu_);
+      }
       if (tasks_.empty()) {
         return;  // stop_ set and queue drained.
       }
@@ -318,11 +322,11 @@ void ScanService::WorkerLoop() {
 
 void ScanService::EnqueueTask(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     tasks_.push_back(std::move(task));
   }
   metrics_.queue_depth->Add(1);
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 Result<ScanResult> ScanService::Execute(const TableReader& reader,

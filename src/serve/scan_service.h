@@ -54,17 +54,16 @@
 #define CORRA_SERVE_SCAN_SERVICE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -241,7 +240,7 @@ class ScanService {
 
   /// Traces that breached Options::slow_trace_ns, oldest first (at most
   /// the last slow_trace_capacity of them); leaves the ring empty.
-  std::vector<obs::RequestTrace> DrainSlowTraces() {
+  [[nodiscard]] std::vector<obs::RequestTrace> DrainSlowTraces() {
     return slow_traces_.Drain();
   }
   const obs::TraceRing& slow_traces() const { return slow_traces_; }
@@ -283,11 +282,11 @@ class ScanService {
   void EnqueueTask(std::function<void()> task);
   void WorkerLoop();
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> tasks_;
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mu_;
+  CondVar cv_;  // Signals new tasks and shutdown.
+  std::deque<std::function<void()>> tasks_ CORRA_GUARDED_BY(mu_);
+  bool stop_ CORRA_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // Written by the ctor only.
   Metrics metrics_{};
   uint64_t slow_trace_ns_ = 0;
   obs::TraceRing slow_traces_;

@@ -32,7 +32,7 @@ struct TableReaderOptions {
   /// load (the cost is paid once per cache miss, not per scan).
   bool verify_blocks = false;
   /// Retry/backoff policy for the underlying CorfFile's reads.
-  CorfFileOptions io;
+  CorfFileOptions io = {};
 };
 
 /// What one GetBlock call actually did — filled only when the caller

@@ -71,8 +71,8 @@ INSTANTIATE_TEST_SUITE_P(Distributions, AggregateTest,
                                            Dist::kSmallRange,
                                            Dist::kNegative, Dist::kLowCard,
                                            Dist::kSorted, Dist::kExtremes),
-                         [](const auto& info) {
-                           return test::DistName(info.param);
+                         [](const auto& param_info) {
+                           return test::DistName(param_info.param);
                          });
 
 TEST(AggregateTest, EmptyColumn) {

@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          59, 63, 64),
                        ::testing::Values(size_t{1}, size_t{7}, size_t{64},
                                          size_t{1000})),
-    [](const auto& info) {
-      return "w" + std::to_string(std::get<0>(info.param)) + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return "w" + std::to_string(std::get<0>(param_info.param)) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(BitStreamTest, MaxValuesAtEveryWidth) {

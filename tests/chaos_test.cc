@@ -293,8 +293,8 @@ TEST_P(ChaosTest, SoakHoldsInvariantsUnderRandomFaults) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
                          ::testing::Values(11u, 29u, 83u),
-                         [](const auto& info) {
-                           return "seed" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "seed" + std::to_string(param_info.param);
                          });
 
 }  // namespace

@@ -67,9 +67,9 @@ INSTANTIATE_TEST_SUITE_P(
                           Dist::kRunHeavy, Dist::kExtremes),
         ::testing::Values(size_t{1}, size_t{127}, size_t{128}, size_t{129},
                           size_t{5000})),
-    [](const auto& info) {
-      return test::DistName(std::get<0>(info.param)) + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return test::DistName(std::get<0>(param_info.param)) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(DeltaTest, SortedDataUsesNarrowDeltas) {

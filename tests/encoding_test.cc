@@ -70,9 +70,9 @@ INSTANTIATE_TEST_SUITE_P(
                           Dist::kWideRange, Dist::kNegative, Dist::kLowCard,
                           Dist::kSorted, Dist::kRunHeavy, Dist::kExtremes),
         ::testing::Values(size_t{1}, size_t{100}, size_t{4096})),
-    [](const auto& info) {
-      return test::DistName(std::get<0>(info.param)) + "_n" +
-             std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      return test::DistName(std::get<0>(param_info.param)) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
     });
 
 TEST(BitPackTest, RoundTripNonNegative) {

@@ -73,8 +73,8 @@ INSTANTIATE_TEST_SUITE_P(Distributions, FilterSchemeTest,
                                            Dist::kSmallRange,
                                            Dist::kNegative, Dist::kLowCard,
                                            Dist::kRunHeavy),
-                         [](const auto& info) {
-                           return test::DistName(info.param);
+                         [](const auto& param_info) {
+                           return test::DistName(param_info.param);
                          });
 
 TEST(FilterTest, EmptyRangeAndEmptyColumn) {

@@ -114,6 +114,46 @@ TEST(BlockCacheTest, PinnedBlocksAreNotEvicted) {
   EXPECT_TRUE(cache.Contains({1, 0}));
 }
 
+TEST(BlockCacheTest, HandleOutlivingCacheUnwindsGaugesExactly) {
+  // Regression for the State destructor's final gauge accounting: it
+  // reads per-shard entry state (pins, residency, quarantine size) and
+  // must do so under each shard's lock — the destructor can run on
+  // whichever thread drops the last Handle, which is not necessarily
+  // the thread that last mutated the shard.
+#ifdef CORRA_OBS_OFF
+  GTEST_SKIP() << "observability compiled out (CORRA_OBS_OFF)";
+#else
+  obs::Registry registry;
+  obs::SetEnabled(true);
+  std::atomic<int> loads{0};
+  BlockCache::Handle survivor;
+  {
+    BlockCacheOptions options;
+    options.capacity_blocks = 4;
+    options.registry = &registry;
+    BlockCache cache(options);
+    auto pinned = cache.GetOrLoad({1, 0}, MarkerLoader(10, &loads));
+    ASSERT_TRUE(pinned.ok());
+    auto released = cache.GetOrLoad({1, 1}, MarkerLoader(11, &loads));
+    ASSERT_TRUE(released.ok());
+    released.value().Release();
+    survivor = std::move(pinned).value();
+    EXPECT_EQ(registry.gauge("cache.cached_blocks").Value(), 2);
+    EXPECT_EQ(registry.gauge("cache.pinned_blocks").Value(), 1);
+    // The cache dies here; the survivor handle keeps the shared State
+    // (and the pinned block) alive.
+  }
+  EXPECT_EQ(survivor->column(0).Get(0), 10);
+  // Dropping the last handle unpins, then destroys State, which gives
+  // back the residency gauges for both blocks — exactly to zero.
+  survivor.Release();
+  EXPECT_EQ(registry.gauge("cache.cached_blocks").Value(), 0);
+  EXPECT_EQ(registry.gauge("cache.cached_bytes").Value(), 0);
+  EXPECT_EQ(registry.gauge("cache.pinned_blocks").Value(), 0);
+  EXPECT_EQ(registry.gauge("cache.pinned_bytes").Value(), 0);
+#endif  // CORRA_OBS_OFF
+}
+
 TEST(BlockCacheTest, AllPinnedPastCapacityAccountingStaysConsistent) {
   // Regression: capacity_bytes = 0 (unlimited) with pinned blocks far
   // past capacity_blocks. While every resident block is pinned the LRU
